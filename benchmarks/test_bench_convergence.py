@@ -1,0 +1,136 @@
+"""Benchmark exp-s1: convergence cost of every positive protocol.
+
+The paper makes no time claims (it is an exact space study); these benches
+record what the space-optimal protocols cost under the standard randomized
+scheduler, and pin the qualitative shape: cost grows with ``N``, the
+``P + 1``-state self-stabilizing protocols pay more than the initialized
+ones, and Protocol 3's ``N = P`` sweep is in a different league (hence
+benched only at a tiny bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.leader_uniform import LeaderUniformNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.experiments.convergence import measure, render_points
+
+RUNS = range(10)
+BUDGET = 5_000_000
+
+
+def _assert_shape(points) -> None:
+    """The qualitative claims the series table must exhibit."""
+    by_protocol: dict[str, dict[int, float]] = {}
+    for p in points:
+        by_protocol.setdefault(p.protocol, {})[p.n_mobile] = p.summary.mean
+    # Cost grows with N for every protocol.
+    for protocol, series in by_protocol.items():
+        sizes = sorted(series)
+        assert series[sizes[-1]] > series[sizes[0]], protocol
+    # Self-stabilizing naming (Protocol 2) pays at least as much as the
+    # initialized uniform-start protocol (Prop. 14) at larger N.
+    selfstab = next(v for k, v in by_protocol.items() if "Protocol 2" in k)
+    initialized = next(v for k, v in by_protocol.items() if "Prop. 14" in k)
+    shared = sorted(set(selfstab) & set(initialized))
+    assert shared
+    assert all(selfstab[n] >= initialized[n] for n in shared[2:])
+
+
+@pytest.fixture(scope="module")
+def printed_series():
+    """Print the full convergence table once (the exp-s1 artifact) and
+    check its qualitative shape."""
+    from repro.experiments.convergence import run_convergence
+
+    points = run_convergence(bound=8, runs=10, budget=BUDGET)
+    print()
+    print(render_points(points))
+    _assert_shape(points)
+    return points
+
+
+def test_bench_series_artifact(benchmark, printed_series):
+    """Regenerate the whole exp-s1 series table."""
+    from repro.experiments.convergence import run_convergence
+
+    points = benchmark.pedantic(
+        lambda: run_convergence(bound=6, runs=5, budget=BUDGET),
+        rounds=1,
+        iterations=1,
+    )
+    assert points
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_bench_asymmetric(benchmark, n):
+    point = benchmark.pedantic(
+        lambda: measure(
+            AsymmetricNamingProtocol(8), n, 8, RUNS, BUDGET
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.count == len(RUNS)
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_bench_symmetric_global(benchmark, n):
+    point = benchmark.pedantic(
+        lambda: measure(
+            SymmetricGlobalNamingProtocol(8), n, 8, RUNS, BUDGET
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.count == len(RUNS)
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_bench_leader_uniform(benchmark, n):
+    point = benchmark.pedantic(
+        lambda: measure(
+            LeaderUniformNamingProtocol(8), n, 8, RUNS, BUDGET, uniform=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.count == len(RUNS)
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_bench_selfstab(benchmark, n):
+    point = benchmark.pedantic(
+        lambda: measure(
+            SelfStabilizingNamingProtocol(8), n, 8, RUNS, BUDGET
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.count == len(RUNS)
+
+
+def test_bench_protocol3_small_population(benchmark):
+    point = benchmark.pedantic(
+        lambda: measure(GlobalNamingProtocol(8), 5, 8, RUNS, BUDGET),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.count == len(RUNS)
+
+
+def test_bench_protocol3_full_population_tiny_bound(benchmark):
+    """N = P = 3: the ordered sweep at the largest practical size for a
+    randomized schedule (super-exponential growth beyond)."""
+    point = benchmark.pedantic(
+        lambda: measure(GlobalNamingProtocol(3), 3, 3, RUNS, BUDGET),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.count == len(RUNS)
+
+

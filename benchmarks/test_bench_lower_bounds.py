@@ -1,0 +1,125 @@
+"""Benchmark exp-s3: exhaustive lower-bound verification.
+
+Times the machine verification of the paper's impossibility results by
+protocol enumeration: Proposition 2 at P = 2 and P = 3, Proposition 1 (the
+weak-fairness variant), Proposition 4 and Theorem 11 with bounded leader
+spaces, plus the asymmetric positive contrast (Proposition 12's rule is
+rediscovered by the search).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.enumeration import (
+    asymmetric_leaderless_protocols,
+    search,
+    symmetric_leaderless_protocols,
+    symmetric_leadered_protocols,
+)
+from repro.core.spec import Fairness, MobileInit
+from repro.experiments.lower_bounds import default_checks, render_checks
+
+
+@pytest.fixture(scope="module")
+def printed_battery():
+    checks = default_checks(include_p3=False)
+    print()
+    print(render_checks(checks))
+    assert all(c.matches for c in checks)
+    return checks
+
+
+def test_bench_quick_battery(benchmark, printed_battery):
+    """The full quick battery (everything except the P=3 sweep)."""
+
+    def battery():
+        checks = default_checks(include_p3=False)
+        assert all(c.matches for c in checks)
+        return checks
+
+    benchmark.pedantic(battery, rounds=1, iterations=1)
+
+
+def test_bench_prop2_p2_global(benchmark):
+    def sweep():
+        outcome = search(
+            symmetric_leaderless_protocols(2),
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+        )
+        assert outcome.total == 16 and not outcome.any_solves
+        return outcome
+
+    benchmark(sweep)
+
+
+def test_bench_prop1_p2_weak(benchmark):
+    def sweep():
+        outcome = search(
+            symmetric_leaderless_protocols(2),
+            sizes=[2],
+            fairness=Fairness.WEAK,
+            mobile_init=MobileInit.UNIFORM,
+        )
+        assert not outcome.any_solves
+        return outcome
+
+    benchmark(sweep)
+
+
+def test_bench_asymmetric_contrast_p2(benchmark):
+    def sweep():
+        outcome = search(
+            asymmetric_leaderless_protocols(2),
+            sizes=[2],
+            fairness=Fairness.WEAK,
+        )
+        assert outcome.total == 256 and outcome.any_solves
+        return outcome
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+
+def test_bench_theorem11_p2_l2(benchmark):
+    def sweep():
+        outcome = search(
+            symmetric_leadered_protocols(2, 2),
+            sizes=[2],
+            fairness=Fairness.WEAK,
+        )
+        assert outcome.total == 4096 and not outcome.any_solves
+        return outcome
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+
+def test_bench_prop4_p2_l2_global(benchmark):
+    def sweep():
+        outcome = search(
+            symmetric_leadered_protocols(2, 2),
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+            arbitrary_leader=True,
+        )
+        assert not outcome.any_solves
+        return outcome
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+
+def test_bench_prop2_p3_global_full_sweep(benchmark):
+    """The flagship sweep: all 19683 three-state symmetric leaderless
+    protocols refuted at N in {3, 2} - Proposition 2 at P = 3, verified
+    by exhaustion."""
+
+    def sweep():
+        outcome = search(
+            symmetric_leaderless_protocols(3),
+            sizes=[3, 2],
+            fairness=Fairness.GLOBAL,
+        )
+        assert outcome.total == 19683 and not outcome.any_solves
+        return outcome
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -1,0 +1,125 @@
+"""Benchmark exp-s2: self-stabilizing recovery after transient faults.
+
+Times the corruption-to-reconvergence cycle for each self-stabilizing
+protocol and prints the recovery table the paper's motivation implies
+("the less volatile memory ... the less vulnerable to corruptions").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.selfstab_naming import (
+    SelfStabLeaderState,
+    SelfStabilizingNamingProtocol,
+)
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.population import Population
+from repro.experiments.recovery import (
+    measure_recovery,
+    render_points,
+    run_recovery,
+)
+from repro.faults.injection import (
+    corrupt_all_mobile_to,
+    corrupt_leader_to,
+    corrupt_random_mobile,
+)
+
+BUDGET = 3_000_000
+
+
+@pytest.fixture(scope="module")
+def printed_recovery():
+    points = run_recovery(bound=8, n_mobile=6, runs=10, budget=BUDGET)
+    print()
+    print(render_points(points))
+    # Shape: a benign leader corruption is free, a full mobile collapse
+    # is not.
+    benign = [p for p in points if "benign" in p.corruption]
+    collapse = [p for p in points if "one name" in p.corruption]
+    assert benign and all(p.summary.maximum == 0 for p in benign)
+    assert collapse and all(p.summary.mean > 0 for p in collapse)
+    return points
+
+
+def test_bench_recovery_artifact(benchmark, printed_recovery):
+    points = benchmark.pedantic(
+        lambda: run_recovery(bound=6, n_mobile=5, runs=5, budget=BUDGET),
+        rounds=1,
+        iterations=1,
+    )
+    assert points
+
+
+def test_bench_asymmetric_full_collapse(benchmark):
+    protocol = AsymmetricNamingProtocol(8)
+    population = Population(6)
+    point = benchmark.pedantic(
+        lambda: measure_recovery(
+            protocol,
+            population,
+            corrupt_all_mobile_to(population, 0),
+            "collapse",
+            range(10),
+            BUDGET,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.mean > 0
+
+
+def test_bench_prop13_reset_state_collapse(benchmark):
+    protocol = SymmetricGlobalNamingProtocol(8)
+    population = Population(6)
+    point = benchmark.pedantic(
+        lambda: measure_recovery(
+            protocol,
+            population,
+            corrupt_all_mobile_to(population, 8),
+            "reset-state collapse",
+            range(10),
+            BUDGET,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.mean > 0
+
+
+def test_bench_protocol2_partial_scramble(benchmark):
+    protocol = SelfStabilizingNamingProtocol(8)
+    population = Population(6, has_leader=True)
+    point = benchmark.pedantic(
+        lambda: measure_recovery(
+            protocol,
+            population,
+            corrupt_random_mobile(population, protocol, 3, seed=13),
+            "scramble 3 of 6",
+            range(10),
+            BUDGET,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.count == 10
+
+
+def test_bench_protocol2_leader_amnesia(benchmark):
+    protocol = SelfStabilizingNamingProtocol(8)
+    population = Population(6, has_leader=True)
+    point = benchmark.pedantic(
+        lambda: measure_recovery(
+            protocol,
+            population,
+            corrupt_leader_to(population, SelfStabLeaderState(0, 0)),
+            "leader amnesia",
+            range(10),
+            BUDGET,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.summary.count == 10

@@ -1,0 +1,92 @@
+"""Benchmark exp-s4: scheduler ablation.
+
+Times the ablation matrix (which scheduler classes each protocol survives)
+and the raw throughput of each scheduler implementation - the engine-level
+cost of an interaction proposal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.experiments.ablation import render_points, run_ablation
+from repro.schedulers.adversarial import HomonymPreservingScheduler
+from repro.schedulers.matching import MatchingScheduler
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+
+@pytest.fixture(scope="module")
+def printed_ablation():
+    points = run_ablation(bound=6, seed=7, budget=300_000)
+    print()
+    print(render_points(points))
+    assert all(p.matches for p in points)
+    return points
+
+
+def test_bench_ablation_matrix(benchmark, printed_ablation):
+    def matrix():
+        points = run_ablation(bound=4, seed=7, budget=100_000)
+        assert all(p.matches for p in points)
+        return points
+
+    benchmark.pedantic(matrix, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize(
+    "scheduler_factory",
+    [
+        lambda pop: RandomPairScheduler(pop, seed=1),
+        lambda pop: RoundRobinScheduler(pop, seed=1),
+        lambda pop: MatchingScheduler(pop, seed=1),
+    ],
+    ids=["random", "round-robin", "matching"],
+)
+def test_bench_scheduler_throughput(benchmark, scheduler_factory):
+    """Proposals per second for each stateless-ish scheduler."""
+    pop = Population(16)
+    scheduler = scheduler_factory(pop)
+    config = Configuration.uniform(pop, 0)
+
+    def burst():
+        for _ in range(1000):
+            scheduler.next_pair(config)
+
+    benchmark(burst)
+
+
+def test_bench_adversary_throughput(benchmark):
+    """The homonym-preserving adversary pays per-proposal search costs."""
+    protocol = AsymmetricNamingProtocol(8)
+    pop = Population(8)
+    scheduler = HomonymPreservingScheduler(pop, protocol, seed=1)
+    config = Configuration.uniform(pop, 0)
+
+    def burst():
+        for _ in range(100):
+            scheduler.next_pair(config)
+
+    benchmark(burst)
+
+
+def test_bench_simulation_throughput(benchmark):
+    """Raw interactions per second of the full simulation loop."""
+    protocol = SelfStabilizingNamingProtocol(8)
+    pop = Population(8, has_leader=True)
+    initial = Configuration.uniform(pop, 1, protocol.initial_leader_state())
+
+    def run():
+        scheduler = RandomPairScheduler(pop, seed=3)
+        simulator = Simulator(protocol, pop, scheduler, problem=None)
+        result = simulator.run(initial, max_interactions=20_000)
+        return result.interactions
+
+    interactions = benchmark(run)
+    assert interactions == 20_000

@@ -1,0 +1,113 @@
+"""Benchmark: regenerating the paper's Table 1 (the paper's only table).
+
+``pytest benchmarks/ --benchmark-only`` runs every cell group and prints
+the regenerated verdicts; the assertions guarantee the benchmark is also a
+correctness check - a timing for a wrong table would be worthless.
+
+The paper reports no figures and no timings, so the interesting output is
+the table itself (printed once per session by the report fixture) plus the
+cost of producing each kind of evidence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spec import (
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    ModelSpec,
+    Symmetry,
+    all_specs,
+    table1_cell,
+)
+from repro.experiments.table1 import (
+    _feasible_cell,
+    _infeasible_cell,
+    render_rows,
+    run_table1,
+)
+
+BOUND = 5
+
+
+@pytest.fixture(scope="module")
+def printed_table():
+    rows = run_table1(bound=BOUND, seed=1, budget=300_000, samples=2)
+    print()
+    print(render_rows(rows, BOUND))
+    assert all(row.match for row in rows)
+    return rows
+
+
+def test_bench_full_table1_regeneration(benchmark, printed_table):
+    """One full 24-cell regeneration (simulations + exact checks)."""
+
+    def regenerate():
+        rows = run_table1(bound=BOUND, seed=1, budget=300_000, samples=2)
+        assert all(row.match for row in rows)
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    assert len(rows) == 24
+
+
+@pytest.mark.parametrize(
+    "symmetry,fairness,leader",
+    [
+        (Symmetry.ASYMMETRIC, Fairness.WEAK, LeaderKind.NONE),
+        (Symmetry.ASYMMETRIC, Fairness.GLOBAL, LeaderKind.INITIALIZED),
+        (Symmetry.SYMMETRIC, Fairness.GLOBAL, LeaderKind.NONE),
+        (Symmetry.SYMMETRIC, Fairness.GLOBAL, LeaderKind.INITIALIZED),
+        (Symmetry.SYMMETRIC, Fairness.WEAK, LeaderKind.NON_INITIALIZED),
+        (Symmetry.SYMMETRIC, Fairness.WEAK, LeaderKind.INITIALIZED),
+    ],
+    ids=lambda v: getattr(v, "value", v),
+)
+def test_bench_feasible_cell(benchmark, symmetry, fairness, leader):
+    """Evidence generation for one feasible Table 1 cell."""
+    spec = ModelSpec(fairness, symmetry, leader, MobileInit.ARBITRARY)
+    assert table1_cell(spec).feasible
+
+    def run_cell():
+        row = _feasible_cell(spec, BOUND, seed=3, budget=300_000, samples=2)
+        assert row.match, row.evidence
+        return row
+
+    benchmark.pedantic(run_cell, rounds=3, iterations=1)
+
+
+def test_bench_infeasible_cell(benchmark):
+    """Evidence for the impossible cell: Prop. 1 adversary + exhaustion."""
+    spec = ModelSpec(
+        Fairness.WEAK,
+        Symmetry.SYMMETRIC,
+        LeaderKind.NONE,
+        MobileInit.ARBITRARY,
+    )
+
+    def run_cell():
+        row = _infeasible_cell(
+            spec, BOUND, seed=3, budget=120_000, thorough=True
+        )
+        assert row.match, row.evidence
+        return row
+
+    benchmark.pedantic(run_cell, rounds=3, iterations=1)
+
+
+def test_bench_state_count_audit(benchmark):
+    """The exact space-complexity audit across all 22 feasible cells."""
+    from repro.core.registry import optimal_states, protocol_for
+
+    feasible = [s for s in all_specs() if table1_cell(s).feasible]
+
+    def audit():
+        for spec in feasible:
+            protocol = protocol_for(spec, BOUND)
+            assert protocol.num_mobile_states == optimal_states(spec, BOUND)
+        return len(feasible)
+
+    count = benchmark(audit)
+    assert count == 22

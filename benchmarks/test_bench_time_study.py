@@ -1,0 +1,55 @@
+"""Benchmark exp-s6: the empirical time-complexity study.
+
+Prints the power-law fits (the paper's stated future work, first
+empirical step) and times the fitting pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.time_study import (
+    protocol3_blowup,
+    render_fits,
+    run_time_study,
+)
+
+
+@pytest.fixture(scope="module")
+def printed_fits():
+    fits = run_time_study(bound=10, runs=20, budget=10_000_000)
+    print()
+    print(render_fits(fits))
+    by_name = {f.protocol: f for f in fits}
+    selfstab = next(v for k, v in by_name.items() if "Protocol 2" in k)
+    initialized = next(v for k, v in by_name.items() if "Prop. 14" in k)
+    assert selfstab.exponent > initialized.exponent
+    assert all(f.exponent > 0 for f in fits)
+    return fits
+
+
+def test_bench_time_study(benchmark, printed_fits):
+    def study():
+        fits = run_time_study(bound=8, runs=10, budget=5_000_000)
+        assert len(fits) == 5
+        return fits
+
+    benchmark.pedantic(study, rounds=2, iterations=1)
+
+
+def test_bench_protocol3_blowup(benchmark, printed_fits):
+    """The N = P sweep wall, in numbers (P = 2..4 only; P = 5 would take
+    hours under the randomized scheduler - which is the point)."""
+
+    def blowup():
+        points = protocol3_blowup(max_bound=4, runs=5, budget=30_000_000)
+        print()
+        print("Protocol 3, N = P sweep (mean interactions):")
+        for bound, mean in points:
+            print(f"  P = {bound}: {mean:,.0f}")
+        means = [m for _, m in points]
+        assert means == sorted(means)  # strictly worsening
+        assert means[-1] / max(means[0], 1) > 100  # super-exponential wall
+        return points
+
+    benchmark.pedantic(blowup, rounds=1, iterations=1)

@@ -1,0 +1,27 @@
+"""Benchmark exp-s7: the space/assumptions/cost synthesis table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tradeoffs import render_rows, run_tradeoffs
+
+
+@pytest.fixture(scope="module")
+def printed_tradeoffs():
+    rows = run_tradeoffs(bound=8, n_mobile=6, runs=12, budget=5_000_000)
+    print()
+    print(render_rows(rows, bound=8))
+    by_ref = {r.reference: r for r in rows}
+    assert by_ref["Prop. 12"].states == 8
+    assert by_ref["Prop. 16"].states == 9
+    return rows
+
+
+def test_bench_tradeoffs_table(benchmark, printed_tradeoffs):
+    def synthesize():
+        rows = run_tradeoffs(bound=6, n_mobile=5, runs=6, budget=3_000_000)
+        assert len(rows) == 5
+        return rows
+
+    benchmark.pedantic(synthesize, rounds=2, iterations=1)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Leaderless symmetric naming for an "equal peers" scenario.
+
+The paper motivates symmetric rules with application-level equality: in a
+social network deployed over mobile devices, no interaction should have a
+distinguished initiator.  Proposition 13 gives the space-optimal protocol
+for that setting: symmetric rules, no leader, self-stabilizing, ``P + 1``
+states, correct under global fairness for populations of size ``N > 2``.
+
+This script:
+
+1. names 7 anonymous peers that all start in the same state (and again
+   from random states), under the randomized scheduler;
+2. demonstrates the ``N > 2`` restriction the proposition states: with
+   exactly two peers the protocol cycles ``(s,s) -> (P,P) -> (1,1) -> ...``
+   forever and can never break symmetry.
+"""
+
+import random
+
+from repro import (
+    Configuration,
+    NamingProblem,
+    Population,
+    RandomPairScheduler,
+    Simulator,
+    SymmetricGlobalNamingProtocol,
+)
+
+
+def name_peers(n_peers: int, bound: int, seed: int) -> None:
+    protocol = SymmetricGlobalNamingProtocol(bound)
+    population = Population(n_peers)
+    scheduler = RandomPairScheduler(population, seed=seed)
+    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+
+    rng = random.Random(seed)
+    starts = {
+        "uniform (all peers identical)": Configuration.uniform(population, 1),
+        "arbitrary (random residue)": Configuration.from_states(
+            population,
+            tuple(rng.randrange(bound + 1) for _ in range(n_peers)),
+        ),
+    }
+    for label, initial in starts.items():
+        result = simulator.run(initial, max_interactions=500_000)
+        assert result.converged
+        print(f"  start {label:33s} -> names {result.names()} "
+              f"after {result.convergence_interaction} interactions")
+
+
+def two_peer_failure(bound: int) -> None:
+    protocol = SymmetricGlobalNamingProtocol(bound)
+    population = Population(2)
+    scheduler = RandomPairScheduler(population, seed=0)
+    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    initial = Configuration.uniform(population, 1)
+    result = simulator.run(initial, max_interactions=50_000)
+    print(f"  two peers, 50k interactions: converged = {result.converged} "
+          f"(final states {result.names()})")
+    assert not result.converged, "the N = 2 cycle can never break symmetry"
+
+
+def main() -> None:
+    bound = 8
+    print(f"=== naming 7 equal peers (P = {bound}, "
+          f"{bound + 1} states per peer) ===")
+    name_peers(n_peers=7, bound=bound, seed=123)
+
+    print()
+    print("=== the N > 2 requirement of Proposition 13 ===")
+    print("with N = 2 the rules (s,s)->(P,P), (P,P)->(1,1) form a closed")
+    print("symmetric cycle; naming is unreachable:")
+    two_peer_failure(bound)
+
+
+if __name__ == "__main__":
+    main()

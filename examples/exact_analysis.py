@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The analyst's example: exact answers without simulation.
+
+Population protocols on the uniform-random scheduler are Markov chains,
+and agent anonymity collapses them onto multisets.  This example uses the
+toolkit to answer three questions *exactly* for Protocol 3 (Prop. 17):
+
+1. Does it solve naming at N = P = 5?  (quotient model checker - an
+   instance no simulation could certify)
+2. How long is it expected to take?  (lumped-chain linear solve:
+   ~2 billion interactions - which is *why* no simulation could)
+3. Does the cheap Prop. 13 alternative beat it when a leader is not
+   actually needed?  (same machinery, side by side)
+"""
+
+from repro.analysis import (
+    arbitrary_quotient_initials,
+    check_naming_global_quotient,
+    expected_convergence_time,
+    naming_absorbing,
+)
+from repro.core import GlobalNamingProtocol, SymmetricGlobalNamingProtocol
+
+
+def main() -> None:
+    bound = 5
+
+    print(f"=== Protocol 3 (Prop. 17) at N = P = {bound} ===")
+    protocol = GlobalNamingProtocol(bound)
+    leader0 = protocol.initial_leader_state()
+    verdict = check_naming_global_quotient(
+        protocol,
+        arbitrary_quotient_initials(protocol, bound, [leader0]),
+    )
+    print(f"solves naming under global fairness : {verdict.solves} "
+          f"(exact; {verdict.explored_nodes} multiset classes)")
+
+    start = ((0,) * bound, leader0)
+    times = expected_convergence_time(
+        protocol, [start], naming_absorbing(protocol), max_nodes=100_000
+    )
+    print(f"expected interactions from all-sink  : {times[start]:,.0f}")
+    print("(that is why the harness never simulates this instance)")
+
+    print()
+    print(f"=== the leaderless alternative (Prop. 13), N = P = {bound} ===")
+    alt = SymmetricGlobalNamingProtocol(bound)
+    alt_verdict = check_naming_global_quotient(
+        alt, arbitrary_quotient_initials(alt, bound)
+    )
+    alt_start = ((bound,) * bound, None)
+    alt_times = expected_convergence_time(
+        alt, [alt_start], naming_absorbing(alt)
+    )
+    print(f"solves naming                        : {alt_verdict.solves}")
+    print(f"expected interactions from all-reset : "
+          f"{alt_times[alt_start]:,.1f}")
+    print()
+    ratio = times[start] / alt_times[alt_start]
+    print(f"one extra state per agent (P+1 = {bound + 1}) buys a "
+          f"{ratio:,.0f}x expected-time improvement and drops the leader -")
+    print("the quantitative story behind Table 1's global-fairness row.")
+    assert verdict.solves and alt_verdict.solves
+    assert ratio > 1000
+
+
+if __name__ == "__main__":
+    main()

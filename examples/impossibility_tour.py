@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper's impossibility results, made executable.
+
+Six stops:
+
+1. **Proposition 1** - the matching adversary: a weakly fair schedule of
+   perfect matchings keeps any symmetric, uniformly started, leaderless
+   population perfectly symmetric forever.
+2. **Proposition 2 by exhaustion** - every one of the 16 deterministic
+   2-state symmetric leaderless protocols fails to name 2 agents, even
+   under global fairness and even with uniform initialization.
+3. **Theorem 11 by exhaustion** - every 2-state symmetric protocol with an
+   initialized 2-state leader fails under weak fairness with arbitrarily
+   initialized mobiles; yet Protocol 2, with one extra state, passes the
+   very same exact check (tightness!).
+4. **The sink state** (Section 3.1) - the structural fingerprint every
+   leader-based naming protocol here carries: state 0, to which homonym
+   chains collapse.
+5. **The hidden agent** (Lemma 5) - Protocol 1's exact rule trace replayed
+   among one extra sink-parked agent leaves the leader *provably* unable
+   to tell the worlds apart, until fairness unmasks the extra agent.
+6. **A synthesized counterexample** - the weak-fairness checker's failing
+   SCC turned into a concrete, replayable prefix + cycle schedule that
+   meets every pair yet never converges.
+"""
+
+from repro import (
+    Configuration,
+    MatchingScheduler,
+    NamingProblem,
+    Population,
+    SelfStabilizingNamingProtocol,
+    Simulator,
+    SymmetricGlobalNamingProtocol,
+)
+from repro.analysis import (
+    arbitrary_initial_configurations,
+    check_naming_weak,
+    homonym_chain,
+    search,
+    symmetric_leadered_protocols,
+    symmetric_leaderless_protocols,
+    unique_sink,
+)
+from repro.core import Fairness
+
+
+def stop_1_matching_adversary() -> None:
+    print("=== stop 1: Proposition 1's matching adversary ===")
+    n = 6
+    protocol = SymmetricGlobalNamingProtocol(n)
+    population = Population(n)
+    scheduler = MatchingScheduler(population, seed=0)
+    print(f"phases (1-factorization of K_{n}): {scheduler.phases}")
+    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    budget = 90_000 - 90_000 % (n // 2)  # stop on a phase boundary
+    result = simulator.run(Configuration.uniform(population, 1), budget)
+    states = set(result.final_configuration.mobile_states)
+    print(f"after {result.interactions} weakly fair interactions the "
+          f"population holds {len(states)} distinct state(s): {states}")
+    assert not result.converged and len(states) == 1
+
+
+def stop_2_prop2_exhaustion() -> None:
+    print("\n=== stop 2: Proposition 2 at P = 2, by exhaustion ===")
+    outcome = search(
+        symmetric_leaderless_protocols(2), sizes=[2], fairness=Fairness.GLOBAL
+    )
+    print(f"2-state symmetric leaderless protocols checked: {outcome.total}")
+    print(f"protocols that solve naming for N = 2:          {len(outcome.solving)}")
+    assert not outcome.any_solves
+
+
+def stop_3_theorem11_tightness() -> None:
+    print("\n=== stop 3: Theorem 11 at P = 2 - and its tightness ===")
+    outcome = search(
+        symmetric_leadered_protocols(2, 2), sizes=[2], fairness=Fairness.WEAK
+    )
+    print(f"2-state symmetric protocols with a 2-state initialized leader: "
+          f"{outcome.total}; solvers: {len(outcome.solving)}")
+    assert not outcome.any_solves
+
+    protocol = SelfStabilizingNamingProtocol(2)  # P + 1 = 3 states
+    population = Population(2, has_leader=True)
+    verdict = check_naming_weak(
+        protocol,
+        population,
+        arbitrary_initial_configurations(protocol, population),
+    )
+    print(f"Protocol 2 with P + 1 = 3 states on the same instance: "
+          f"solves = {verdict.solves} "
+          f"({verdict.explored_nodes} configurations, leader arbitrary too)")
+    assert verdict.solves
+
+
+def stop_4_sink_state() -> None:
+    print("\n=== stop 4: the sink state of Section 3.1 ===")
+    protocol = SelfStabilizingNamingProtocol(5)
+    sink = unique_sink(protocol)
+    print(f"unique sink of Protocol 2 (P = 5): state {sink}")
+    for seed in (1, 3, 5):
+        chain = homonym_chain(protocol, seed)
+        print(f"  homonym chain from state {seed}: "
+              f"{' -> '.join(map(str, chain.states))} -> cycle {chain.cycle}")
+
+
+def stop_5_hidden_agent() -> None:
+    print("\n=== stop 5: the hidden agent (Lemma 5's construction) ===")
+    from repro.analysis import hidden_agent_demo
+    from repro.core import CountingProtocol
+
+    demo = hidden_agent_demo(CountingProtocol, bound=5, n_visible=3, sink=0)
+    print("Protocol 1 converges on 3 visible agents; replaying its exact")
+    print("rule trace among 4 agents (one parked in the sink) yields an")
+    print(f"identical leader state: fooled = {demo.fooled} "
+          f"(leader believes N = {demo.padded_final.leader_state.n})")
+    print(f"once weak fairness unmasks the hidden agent, the count "
+          f"recovers to {demo.recovered_count}")
+    assert demo.fooled and demo.recovered_count == 4
+
+
+def stop_6_synthesized_counterexample() -> None:
+    print("\n=== stop 6: a synthesized weakly fair counterexample ===")
+    from repro.analysis import (
+        arbitrary_initial_configurations as all_starts,
+        synthesize_weak_counterexample,
+        verify_counterexample,
+    )
+    from repro.schedulers.adversarial import FixedSequenceScheduler
+
+    protocol = SymmetricGlobalNamingProtocol(3)
+    population = Population(3)
+    cex = synthesize_weak_counterexample(
+        protocol,
+        population,
+        list(all_starts(protocol, population)),
+    )
+    print(f"recurrent configuration : {cex.recurrent.mobile_states}")
+    print(f"prefix ({len(cex.prefix)} meetings) : {cex.prefix}")
+    print(f"cycle  ({len(cex.cycle)} meetings) : {cex.cycle}")
+    print(f"livelock (names change forever): {cex.livelock}")
+    assert verify_counterexample(protocol, population, cex)
+    scheduler = FixedSequenceScheduler(population, cex.cycle)
+    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    result = simulator.run(cex.recurrent, max_interactions=30_000)
+    print(f"replayed for {result.interactions} interactions: "
+          f"converged = {result.converged} (weakly fair cycle, "
+          f"covers all pairs: {scheduler.weakly_fair})")
+    assert not result.converged
+
+
+def main() -> None:
+    stop_1_matching_adversary()
+    stop_2_prop2_exhaustion()
+    stop_3_theorem11_tightness()
+    stop_4_sink_state()
+    stop_5_hidden_agent()
+    stop_6_synthesized_counterexample()
+    print("\nall six impossibility demonstrations hold")
+
+
+if __name__ == "__main__":
+    main()

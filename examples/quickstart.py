@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: name eight anonymous agents with one asymmetric rule.
+
+Proposition 12's protocol is the smallest possible naming protocol: a
+single transition rule ``(s, s) -> (s, s + 1 mod P)``, ``P`` states per
+agent, no leader, no initialization, correct under weak or global fairness.
+This script runs it on eight agents that all wake up in the same state and
+prints every symmetry-breaking interaction on the way to distinct names.
+"""
+
+from repro import (
+    AsymmetricNamingProtocol,
+    Configuration,
+    NamingProblem,
+    Population,
+    RandomPairScheduler,
+    Trace,
+    run_protocol,
+)
+
+
+def main() -> None:
+    bound = 8  # the known upper bound P on the population size
+    protocol = AsymmetricNamingProtocol(bound)
+    population = Population(n_mobile=8)
+    scheduler = RandomPairScheduler(population, seed=2018)
+
+    # Worst case for a naming protocol: everyone starts identical.
+    initial = Configuration.uniform(population, 0)
+
+    trace = Trace(capacity=None)  # keep every non-null interaction
+    result = run_protocol(
+        protocol,
+        population,
+        scheduler,
+        initial,
+        NamingProblem(),
+        max_interactions=100_000,
+        trace=trace,
+    )
+
+    print(f"protocol : {protocol.display_name}")
+    print(f"states   : {protocol.num_mobile_states} per agent (= P)")
+    print(f"outcome  : {result}")
+    print()
+    print("symmetry-breaking interactions:")
+    for record in trace:
+        print(f"  {record}")
+    print()
+    print(f"final names: {result.names()}")
+    assert result.converged
+    assert len(set(result.names())) == population.n_mobile
+
+
+if __name__ == "__main__":
+    main()

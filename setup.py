@@ -1,0 +1,9 @@
+"""Setup shim for offline environments lacking PEP 660 support.
+
+All metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e . --no-use-pep517`` editable path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,132 @@
+"""repro: a reproduction of "Space-Optimal Naming in Population Protocols"
+(Burman, Beauquier, Sohier; PODC 2018 brief announcement / HAL full text).
+
+The package provides:
+
+* the population-protocol execution model (:mod:`repro.engine`) with fair,
+  randomized and adversarial schedulers (:mod:`repro.schedulers`);
+* the paper's five space-optimal naming protocols and their counting
+  substrate (:mod:`repro.core`), addressable through
+  :func:`repro.core.registry.protocol_for` by model specification;
+* exact model checkers for weak and global fairness and exhaustive
+  lower-bound enumeration (:mod:`repro.analysis`);
+* transient-fault injection for self-stabilization studies
+  (:mod:`repro.faults`);
+* the experiment harness regenerating the paper's Table 1 and the
+  supplementary measurements (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        AsymmetricNamingProtocol, NamingProblem, Population,
+        Configuration, RandomPairScheduler, run_protocol,
+    )
+
+    protocol = AsymmetricNamingProtocol(bound=8)
+    population = Population(n_mobile=8)
+    scheduler = RandomPairScheduler(population, seed=1)
+    initial = Configuration.uniform(population, 0)
+    result = run_protocol(
+        protocol, population, scheduler, initial, NamingProblem()
+    )
+    print(result.names())
+"""
+
+from repro.core import (
+    SINK_STATE,
+    AsymmetricNamingProtocol,
+    CellResult,
+    CountingProtocol,
+    Fairness,
+    GlobalNamingProtocol,
+    LeaderKind,
+    LeaderUniformNamingProtocol,
+    MobileInit,
+    ModelSpec,
+    SelfStabilizingNamingProtocol,
+    Symmetry,
+    SymmetricGlobalNamingProtocol,
+    WithIdleLeader,
+    all_specs,
+    optimal_states,
+    protocol_for,
+    table1_cell,
+    table1_rows,
+)
+from repro.engine import (
+    Configuration,
+    CountingProblem,
+    NamingProblem,
+    Population,
+    PopulationProtocol,
+    SimulationResult,
+    Simulator,
+    Trace,
+    run_protocol,
+    verify_protocol,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleSpecError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    VerificationError,
+)
+from repro.schedulers import (
+    EventuallyFairScheduler,
+    HomonymPreservingScheduler,
+    MatchingScheduler,
+    RandomPairScheduler,
+    RoundRobinScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SINK_STATE",
+    "AsymmetricNamingProtocol",
+    "CellResult",
+    "Configuration",
+    "ConfigurationError",
+    "ConvergenceError",
+    "CountingProblem",
+    "CountingProtocol",
+    "EventuallyFairScheduler",
+    "Fairness",
+    "GlobalNamingProtocol",
+    "HomonymPreservingScheduler",
+    "InfeasibleSpecError",
+    "LeaderKind",
+    "LeaderUniformNamingProtocol",
+    "MatchingScheduler",
+    "MobileInit",
+    "ModelSpec",
+    "NamingProblem",
+    "Population",
+    "PopulationProtocol",
+    "ProtocolError",
+    "RandomPairScheduler",
+    "ReproError",
+    "RoundRobinScheduler",
+    "SchedulerError",
+    "SelfStabilizingNamingProtocol",
+    "SimulationError",
+    "SimulationResult",
+    "Simulator",
+    "Symmetry",
+    "SymmetricGlobalNamingProtocol",
+    "Trace",
+    "VerificationError",
+    "WithIdleLeader",
+    "all_specs",
+    "optimal_states",
+    "protocol_for",
+    "run_protocol",
+    "table1_cell",
+    "table1_rows",
+    "verify_protocol",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Verification and analysis toolkit: reachability graphs, exact model
+checkers for both fairness notions, exhaustive lower-bound enumeration,
+proof potentials and convergence statistics."""
+
+from repro.analysis.enumeration import (
+    EnumerationResult,
+    EnumLeaderState,
+    asymmetric_leaderless_protocols,
+    protocol_solves_naming,
+    search,
+    symmetric_leaderless_protocols,
+    symmetric_leadered_protocols,
+)
+from repro.analysis.counterexample import (
+    WeakCounterexample,
+    synthesize_weak_counterexample,
+    verify_counterexample,
+)
+from repro.analysis.fairness_audit import FairnessAudit, audit_scheduler
+from repro.analysis.monitors import (
+    CompositeMonitor,
+    CountMonitor,
+    InvariantViolation,
+    PotentialMonitor,
+    StateSpaceMonitor,
+)
+from repro.analysis.parallelism import (
+    ParallelismReport,
+    analyze_trace,
+    greedy_rounds,
+)
+from repro.analysis.markov import (
+    ExpectedTime,
+    absorption_probability,
+    expected_convergence_time,
+    naming_absorbing,
+)
+from repro.analysis.model_checker import (
+    GlobalFairnessVerdict,
+    check_naming_global,
+    sink_components,
+    strongly_connected_components,
+)
+from repro.analysis.potential import (
+    hole_distance,
+    hole_distance_of_agent,
+    holes,
+    potential,
+    potential_upper_bound,
+)
+from repro.analysis.quotient import (
+    QuotientEdge,
+    QuotientGraph,
+    QuotientVerdict,
+    arbitrary_quotient_initials,
+    check_naming_global_quotient,
+    explore_quotient,
+    quotient_of,
+)
+from repro.analysis.reachability import (
+    ConfigurationGraph,
+    Edge,
+    arbitrary_initial_configurations,
+    explore,
+    one_step_edges,
+    uniform_initial_configurations,
+)
+from repro.analysis.sink import (
+    HomonymChain,
+    homonym_chain,
+    is_reduced,
+    reduce_homonyms,
+    sink_states,
+    unique_sink,
+)
+from repro.analysis.stats import Summary, convergence_sample, quantile, summarize
+from repro.analysis.surgery import (
+    HiddenAgentDemo,
+    hidden_agent_demo,
+    replay_rule_trace,
+    rule_trace_of,
+)
+from repro.analysis.weak_fairness import (
+    WeakFairnessVerdict,
+    check_naming_weak,
+    failing_components,
+)
+
+__all__ = [
+    "CompositeMonitor",
+    "ConfigurationGraph",
+    "CountMonitor",
+    "Edge",
+    "EnumLeaderState",
+    "EnumerationResult",
+    "ExpectedTime",
+    "FairnessAudit",
+    "GlobalFairnessVerdict",
+    "InvariantViolation",
+    "HiddenAgentDemo",
+    "HomonymChain",
+    "ParallelismReport",
+    "PotentialMonitor",
+    "QuotientEdge",
+    "QuotientGraph",
+    "QuotientVerdict",
+    "StateSpaceMonitor",
+    "Summary",
+    "WeakCounterexample",
+    "WeakFairnessVerdict",
+    "absorption_probability",
+    "analyze_trace",
+    "arbitrary_initial_configurations",
+    "arbitrary_quotient_initials",
+    "check_naming_global_quotient",
+    "explore_quotient",
+    "quotient_of",
+    "asymmetric_leaderless_protocols",
+    "audit_scheduler",
+    "check_naming_global",
+    "check_naming_weak",
+    "convergence_sample",
+    "expected_convergence_time",
+    "explore",
+    "failing_components",
+    "greedy_rounds",
+    "hidden_agent_demo",
+    "hole_distance",
+    "hole_distance_of_agent",
+    "holes",
+    "homonym_chain",
+    "is_reduced",
+    "naming_absorbing",
+    "one_step_edges",
+    "potential",
+    "potential_upper_bound",
+    "protocol_solves_naming",
+    "quantile",
+    "reduce_homonyms",
+    "replay_rule_trace",
+    "rule_trace_of",
+    "search",
+    "sink_components",
+    "sink_states",
+    "strongly_connected_components",
+    "summarize",
+    "symmetric_leaderless_protocols",
+    "synthesize_weak_counterexample",
+    "verify_counterexample",
+    "symmetric_leadered_protocols",
+    "uniform_initial_configurations",
+    "unique_sink",
+]

@@ -1,0 +1,311 @@
+"""Exhaustive protocol enumeration: machine-verifying the lower bounds.
+
+The paper's negative results (Propositions 1, 2, 4; Theorem 11) quantify
+over *all* protocols, which testing cannot reproduce in general - but for
+tiny state counts the space of deterministic protocols is finite and can be
+enumerated outright.  This module generates every deterministic protocol of
+a given shape (symmetric/asymmetric, leaderless/leadered) and model-checks
+each one, so that e.g. "no 2-state symmetric leaderless protocol names 2
+arbitrarily initialized agents under global fairness" becomes a theorem
+checked by exhaustion, exactly matching Proposition 2's ``P``-state claim
+at ``P = 2`` (and ``P = 3`` in the benchmark suite).
+
+The same machinery confirms the positive side: enumerating *asymmetric*
+leaderless protocols finds solvers - among them exactly the rule of
+Proposition 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, product
+from typing import Callable, Iterator, Sequence
+
+from repro.analysis.model_checker import check_naming_global
+from repro.analysis.weak_fairness import check_naming_weak
+from repro.core.spec import Fairness, MobileInit
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.protocol import TableProtocol
+from repro.engine.state import LeaderState, State
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class EnumLeaderState(LeaderState):
+    """Leader states for enumerated protocols: a bare integer tag."""
+
+    value: int
+
+
+@dataclass
+class EnumerationResult:
+    """Outcome of an exhaustive search over a protocol family."""
+
+    total: int
+    solving: list[TableProtocol] = field(default_factory=list)
+    checked_sizes: tuple[int, ...] = ()
+
+    @property
+    def any_solves(self) -> bool:
+        return bool(self.solving)
+
+
+# ----------------------------------------------------------------------
+# Protocol family generators
+# ----------------------------------------------------------------------
+
+
+def symmetric_leaderless_protocols(
+    num_states: int,
+) -> Iterator[TableProtocol]:
+    """All deterministic symmetric leaderless protocols on
+    ``{0, ..., num_states - 1}``.
+
+    A symmetric protocol is determined by (a) for each state ``s`` the
+    common output of ``(s, s)`` and (b) for each unordered pair ``{s, t}``
+    the ordered output of ``(s, t)`` (the swapped rule is forced).
+    """
+    states = list(range(num_states))
+    diag_choices = [states] * num_states  # output value of (s, s)
+    off_pairs = list(combinations(states, 2))
+    pair_outputs = list(product(states, states))
+    off_choices = [pair_outputs] * len(off_pairs)
+    for diag in product(*diag_choices):
+        base: dict[tuple[State, State], tuple[State, State]] = {}
+        for s, out in zip(states, diag):
+            if out != s:
+                base[(s, s)] = (out, out)
+        for off in product(*off_choices):
+            table = dict(base)
+            for (s, t), (a, b) in zip(off_pairs, off):
+                if (a, b) != (s, t):
+                    table[(s, t)] = (a, b)
+                    table[(t, s)] = (b, a)
+            yield TableProtocol(
+                table,
+                states,
+                symmetric=True,
+                display_name=f"enum-sym-{num_states}",
+            )
+
+
+def asymmetric_leaderless_protocols(
+    num_states: int,
+) -> Iterator[TableProtocol]:
+    """All deterministic (possibly asymmetric) leaderless protocols on
+    ``{0, ..., num_states - 1}``.
+
+    Exponentially larger than the symmetric family; use for tiny state
+    counts only (``num_states = 2`` gives 65536 protocols).
+    """
+    states = list(range(num_states))
+    inputs = list(product(states, states))
+    outputs = list(product(states, states))
+    for assignment in product(outputs, repeat=len(inputs)):
+        table = {
+            inp: out
+            for inp, out in zip(inputs, assignment)
+            if inp != out
+        }
+        yield TableProtocol(
+            table,
+            states,
+            symmetric=False,
+            display_name=f"enum-asym-{num_states}",
+        )
+
+
+def symmetric_leadered_protocols(
+    num_states: int, num_leader_states: int
+) -> Iterator[TableProtocol]:
+    """All deterministic symmetric protocols with ``num_states`` mobile
+    states and a leader over ``num_leader_states`` states.
+
+    Mobile-mobile rules are symmetric as above; leader-mobile rules
+    ``(l, s) -> (l', s')`` are free (their mirrored orientation is forced
+    by symmetry and handled by :class:`TableProtocol` storing both)."""
+    states = list(range(num_states))
+    leaders = [EnumLeaderState(v) for v in range(num_leader_states)]
+    # Mobile-mobile part.
+    mm_protocols = list(symmetric_leaderless_protocols(num_states))
+    # Leader-mobile part.
+    lm_inputs = [(l, s) for l in leaders for s in states]
+    lm_outputs = [(l, s) for l in leaders for s in states]
+    for mm in mm_protocols:
+        mm_table = mm.table
+        for assignment in product(lm_outputs, repeat=len(lm_inputs)):
+            table = dict(mm_table)
+            identity = True
+            for (l, s), (l2, s2) in zip(lm_inputs, assignment):
+                if (l2, s2) != (l, s):
+                    identity = False
+                    table[(l, s)] = (l2, s2)
+                    table[(s, l)] = (s2, l2)
+            if identity and not mm_table:
+                # The all-null protocol is still a valid member.
+                pass
+            yield TableProtocol(
+                table,
+                states,
+                leader_states=leaders,
+                symmetric=True,
+                display_name=f"enum-sym-{num_states}-L{num_leader_states}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Search
+# ----------------------------------------------------------------------
+
+
+def _initial_sets(
+    protocol: TableProtocol,
+    population: Population,
+    mobile_init: MobileInit,
+    leader_inits: Sequence[State] | None,
+) -> list[list[Configuration]]:
+    """The alternative initial-configuration sets the designer may choose.
+
+    Arbitrary init: one set containing every configuration.  Uniform init:
+    one set per candidate initial value (the designer picks the best);
+    with a leader, initial-leader choices multiply the alternatives when
+    ``leader_inits`` lists more than one option.
+    """
+    mobile_space = sorted(protocol.mobile_state_space())
+    leaders: list[State | None]
+    if population.has_leader:
+        leaders = list(
+            leader_inits
+            if leader_inits is not None
+            else sorted(protocol.leader_state_space(), key=repr)
+        )
+    else:
+        leaders = [None]
+
+    if mobile_init is MobileInit.ARBITRARY:
+        sets = []
+        for leader in leaders:
+            configs = [
+                Configuration.from_states(population, mobiles, leader)
+                for mobiles in product(
+                    mobile_space, repeat=population.n_mobile
+                )
+            ]
+            sets.append(configs)
+        if len(sets) == 1:
+            return sets
+        # Arbitrary mobile init with a *choice* of leader init: the
+        # designer picks the leader state, the adversary the mobiles.
+        return sets
+    # Uniform: designer picks one value (and one leader state).
+    return [
+        [Configuration.uniform(population, value, leader)]
+        for value in mobile_space
+        for leader in leaders
+    ]
+
+
+def protocol_solves_naming(
+    protocol: TableProtocol,
+    sizes: Sequence[int],
+    fairness: Fairness,
+    mobile_init: MobileInit = MobileInit.ARBITRARY,
+    leader_inits: Sequence[State] | None = None,
+    arbitrary_leader: bool = False,
+) -> bool:
+    """Whether a protocol solves naming for every population size in
+    ``sizes`` under the given assumptions.
+
+    ``leader_inits``/``arbitrary_leader`` select the leader model:
+    ``arbitrary_leader=True`` requires correctness from *every* leader
+    state simultaneously (non-initialized leader); otherwise the designer
+    may pick any single leader state from ``leader_inits`` (defaulting to
+    the whole leader space) - the initialized-leader model.
+    """
+    check: Callable = (
+        check_naming_global if fairness is Fairness.GLOBAL else check_naming_weak
+    )
+    has_leader = bool(protocol.leader_state_space())
+
+    if arbitrary_leader and has_leader:
+        # Merge all leader choices into one obligatory initial set.
+        def initial_alternatives(population: Population):
+            leader_space = sorted(protocol.leader_state_space(), key=repr)
+            mobile_space = sorted(protocol.mobile_state_space())
+            if mobile_init is MobileInit.ARBITRARY:
+                return [
+                    [
+                        Configuration.from_states(population, mobiles, leader)
+                        for mobiles in product(
+                            mobile_space, repeat=population.n_mobile
+                        )
+                        for leader in leader_space
+                    ]
+                ]
+            return [
+                [
+                    Configuration.uniform(population, value, leader)
+                    for leader in leader_space
+                ]
+                for value in mobile_space
+            ]
+
+    else:
+
+        def initial_alternatives(population: Population):
+            return _initial_sets(
+                protocol, population, mobile_init, leader_inits
+            )
+
+    # The designer commits to ONE alternative that must work for ALL sizes.
+    populations = [Population(n, has_leader) for n in sizes]
+    alternative_lists = [initial_alternatives(pop) for pop in populations]
+    n_alternatives = {len(alts) for alts in alternative_lists}
+    if len(n_alternatives) != 1:
+        raise VerificationError(
+            "initial-configuration alternatives must align across sizes"
+        )
+    for choice in range(n_alternatives.pop()):
+        if all(
+            check(protocol, pop, alts[choice]).solves
+            for pop, alts in zip(populations, alternative_lists)
+        ):
+            return True
+    return False
+
+
+def search(
+    protocols: Iterator[TableProtocol],
+    sizes: Sequence[int],
+    fairness: Fairness,
+    mobile_init: MobileInit = MobileInit.ARBITRARY,
+    leader_inits: Sequence[State] | None = None,
+    arbitrary_leader: bool = False,
+    stop_after: int | None = None,
+    collect_limit: int = 8,
+) -> EnumerationResult:
+    """Run :func:`protocol_solves_naming` over a protocol family.
+
+    ``stop_after`` truncates the enumeration (for sampling in quick test
+    runs); ``collect_limit`` caps how many solving protocols are retained.
+    """
+    total = 0
+    solving: list[TableProtocol] = []
+    for protocol in protocols:
+        total += 1
+        if protocol_solves_naming(
+            protocol,
+            sizes,
+            fairness,
+            mobile_init=mobile_init,
+            leader_inits=leader_inits,
+            arbitrary_leader=arbitrary_leader,
+        ):
+            if len(solving) < collect_limit:
+                solving.append(protocol)
+        if stop_after is not None and total >= stop_after:
+            break
+    return EnumerationResult(
+        total=total, solving=solving, checked_sizes=tuple(sizes)
+    )

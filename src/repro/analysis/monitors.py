@@ -1,0 +1,112 @@
+"""Runtime invariant monitors.
+
+The proofs rest on run-time invariants (the Prop. 12 potential strictly
+decreases; Protocol 1's guess never decreases nor overshoots).  These
+monitors plug into the simulator's observer hook and raise the moment an
+invariant breaks, turning every simulation - including the randomized,
+fault-injected ones - into a continuous check of the proof obligations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.potential import potential
+from repro.engine.configuration import Configuration
+from repro.errors import VerificationError
+
+
+class InvariantViolation(VerificationError):
+    """A monitored run-time invariant broke."""
+
+
+@dataclass
+class PotentialMonitor:
+    """Asserts the Prop. 12 potential strictly decreases on every change.
+
+    Attach to simulations of :class:`AsymmetricNamingProtocol`; any
+    non-null interaction there changes mobile states, so every observer
+    call must see a strictly smaller potential.
+    """
+
+    bound: int
+    last: tuple[int, int] | None = None
+    observations: int = 0
+
+    def __call__(self, interaction: int, config: Configuration) -> None:
+        current = potential(config.mobile_states, self.bound)
+        if self.last is not None and current >= self.last:
+            raise InvariantViolation(
+                f"potential did not decrease at interaction {interaction}: "
+                f"{self.last} -> {current}"
+            )
+        self.last = current
+        self.observations += 1
+
+
+@dataclass
+class CountMonitor:
+    """Asserts Protocol 1's guess is monotone and bounded by the true
+    population size (Theorem 15's run-time shape)."""
+
+    true_size: int
+    last: int = 0
+    observations: int = 0
+
+    def __call__(self, interaction: int, config: Configuration) -> None:
+        guess = (
+            getattr(config.leader_state, "n", None)
+            if config.has_leader
+            else None
+        )
+        if guess is None:
+            raise InvariantViolation(
+                "CountMonitor attached to a protocol without a count"
+            )
+        if guess < self.last:
+            raise InvariantViolation(
+                f"guess decreased at interaction {interaction}: "
+                f"{self.last} -> {guess}"
+            )
+        if guess > self.true_size:
+            raise InvariantViolation(
+                f"guess overshot the population at interaction "
+                f"{interaction}: {guess} > {self.true_size}"
+            )
+        self.last = guess
+        self.observations += 1
+
+
+@dataclass
+class StateSpaceMonitor:
+    """Asserts every agent stays inside the protocol's declared spaces -
+    the run-time face of :func:`repro.engine.protocol.verify_closure`."""
+
+    mobile_space: frozenset
+    leader_space: frozenset
+    observations: int = 0
+
+    def __call__(self, interaction: int, config: Configuration) -> None:
+        for state in config.mobile_states:
+            if state not in self.mobile_space:
+                raise InvariantViolation(
+                    f"mobile state {state!r} escaped the declared space "
+                    f"at interaction {interaction}"
+                )
+        if config.has_leader and config.leader_state not in self.leader_space:
+            raise InvariantViolation(
+                f"leader state {config.leader_state!r} escaped the "
+                f"declared space at interaction {interaction}"
+            )
+        self.observations += 1
+
+
+@dataclass
+class CompositeMonitor:
+    """Run several monitors off one observer hook."""
+
+    monitors: list = field(default_factory=list)
+
+    def __call__(self, interaction: int, config: Configuration) -> None:
+        for monitor in self.monitors:
+            monitor(interaction, config)

@@ -1,0 +1,70 @@
+"""The hole / hole-distance potential of Proposition 12's proof.
+
+For the asymmetric protocol ``(s, s) -> (s, s + 1 mod P)`` the paper
+defines, for a configuration ``C`` over states ``{0, ..., P-1}``:
+
+* a *hole* is a value ``i`` no agent holds in ``C``;
+* the *hole distance* of an agent in state ``i`` is the least ``j`` such
+  that ``i + j mod P`` is a hole (0 if there is no hole);
+* ``f(C) = (number of holes, sum of agents' hole distances)``.
+
+Every non-null transition strictly decreases ``f`` lexicographically, and
+``f`` is bounded, so executions terminate in silent configurations - which
+must have all-distinct states.  The property-based tests drive random
+executions and assert the strict decrease, turning the proof's invariant
+into an executable oracle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.errors import VerificationError
+
+
+def holes(states: Sequence[int], bound: int) -> set[int]:
+    """The values in ``{0, ..., bound-1}`` that no agent holds."""
+    present = set(states)
+    out_of_range = present.difference(range(bound))
+    if out_of_range:
+        raise VerificationError(
+            f"states {sorted(out_of_range)} outside {{0,...,{bound - 1}}}"
+        )
+    return set(range(bound)) - present
+
+
+def hole_distance_of_agent(state: int, hole_set: set[int], bound: int) -> int:
+    """Minimum ``j >= 0`` with ``state + j mod bound`` a hole; 0 if none."""
+    if not hole_set:
+        return 0
+    for j in range(bound):
+        if (state + j) % bound in hole_set:
+            return j
+    raise AssertionError("non-empty hole set must be hit within bound steps")
+
+
+def hole_distance(states: Sequence[int], bound: int) -> int:
+    """Sum of the agents' hole distances in the configuration."""
+    hole_set = holes(states, bound)
+    counts = Counter(states)
+    return sum(
+        hole_distance_of_agent(s, hole_set, bound) * c
+        for s, c in counts.items()
+    )
+
+
+def potential(states: Sequence[int], bound: int) -> tuple[int, int]:
+    """The paper's lexicographic potential ``f(C)``."""
+    hole_set = holes(states, bound)
+    counts = Counter(states)
+    distance = sum(
+        hole_distance_of_agent(s, hole_set, bound) * c
+        for s, c in counts.items()
+    )
+    return (len(hole_set), distance)
+
+
+def potential_upper_bound(bound: int) -> tuple[int, int]:
+    """The paper's bound ``(P, P(P-1))`` dominating every ``f(C)``."""
+    return (bound, bound * (bound - 1))

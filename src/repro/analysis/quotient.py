@@ -1,0 +1,296 @@
+"""Quotient (multiset) model checking for global fairness.
+
+Population protocols are *uniform*: agents are interchangeable, so the
+transition system factors through the multiset abstraction - a node is
+(multiset of mobile states, leader state) instead of a labelled vector.
+The quotient graph is exponentially smaller (multisets instead of tuples),
+which pushes exact verification to larger instances: Proposition 13 at
+``N = P = 6`` or Protocol 3 at ``N = P = 5`` become checkable.
+
+Equivalence (proved by the uniform-lifting argument, exercised by the test
+suite against the labelled checker): a protocol solves naming under global
+fairness iff every reachable *quotient* sink SCC (i) contains no
+mobile-changing edge - crucially including multiset-preserving self-loops
+such as name swaps ``(s, t) -> (t, s)`` - and (ii) consists of
+duplicate-free multisets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Callable, Hashable, Iterable
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State
+from repro.errors import VerificationError
+
+#: A quotient node: (sorted tuple of mobile states, leader state or None).
+QuotientNode = tuple
+
+
+def quotient_of(config: Configuration) -> QuotientNode:
+    """The quotient node of a labelled configuration."""
+    mobile = tuple(sorted(config.mobile_states, key=repr))
+    leader = config.leader_state if config.has_leader else None
+    return (mobile, leader)
+
+
+@dataclass(frozen=True, slots=True)
+class QuotientEdge:
+    """One realizable interaction between quotient nodes."""
+
+    source: QuotientNode
+    target: QuotientNode
+    changes_mobile: bool
+
+
+@dataclass
+class QuotientGraph:
+    """The reachable quotient transition system."""
+
+    nodes: set[QuotientNode] = field(default_factory=set)
+    edges: dict[QuotientNode, list[QuotientEdge]] = field(default_factory=dict)
+    initial: set[QuotientNode] = field(default_factory=set)
+
+    def successors(self, node: QuotientNode) -> Iterable[QuotientNode]:
+        """Distinct one-step successors of ``node``."""
+        seen: set[QuotientNode] = set()
+        for edge in self.edges.get(node, []):
+            if edge.target not in seen:
+                seen.add(edge.target)
+                yield edge.target
+
+
+def _node_edges(
+    protocol: PopulationProtocol,
+    node: QuotientNode,
+    project: Callable[[object], object] = lambda state: state,
+) -> list[QuotientEdge]:
+    """All realizable non-null interactions out of a quotient node.
+
+    ``project`` maps a mobile state to its name; ``changes_mobile`` is
+    computed on projected names.
+    """
+    mobile, leader = node
+    counts = Counter(mobile)
+    edges: list[QuotientEdge] = []
+
+    def mobile_target(remove: tuple, add: tuple) -> tuple:
+        updated = counts.copy()
+        for s in remove:
+            updated[s] -= 1
+        for s in add:
+            updated[s] += 1
+        return tuple(
+            sorted(
+                (s for s, c in updated.items() for _ in range(c)), key=repr
+            )
+        )
+
+    # Mobile-mobile meetings: ordered pairs of states with availability.
+    ordered: list[tuple[State, State]] = list(permutations(counts, 2))
+    ordered.extend((s, s) for s, c in counts.items() if c >= 2)
+    for p, q in ordered:
+        p2, q2 = protocol.transition(p, q)
+        if (p2, q2) == (p, q):
+            continue
+        target = (mobile_target((p, q), (p2, q2)), leader)
+        changes = project(p2) != project(p) or project(q2) != project(q)
+        edges.append(QuotientEdge(node, target, changes))
+
+    # Leader-mobile meetings, both orientations.
+    if leader is not None:
+        for s in counts:
+            for args in ((leader, s), (s, leader)):
+                out = protocol.transition(*args)
+                if out == args:
+                    continue
+                if args[0] == leader:
+                    leader2, s2 = out
+                else:
+                    s2, leader2 = out
+                target = (mobile_target((s,), (s2,)), leader2)
+                edges.append(
+                    QuotientEdge(node, target, project(s2) != project(s))
+                )
+    return edges
+
+
+def explore_quotient(
+    protocol: PopulationProtocol,
+    initial: Iterable[QuotientNode],
+    max_nodes: int = 5_000_000,
+    name_of: Callable[[object], object] | None = None,
+) -> QuotientGraph:
+    """Breadth-first exploration of the quotient graph."""
+    project = name_of if name_of is not None else lambda state: state
+    graph = QuotientGraph()
+    queue: deque[QuotientNode] = deque()
+    for node in initial:
+        if node not in graph.nodes:
+            graph.nodes.add(node)
+            graph.initial.add(node)
+            queue.append(node)
+    if not graph.nodes:
+        raise VerificationError("no initial quotient nodes supplied")
+    while queue:
+        node = queue.popleft()
+        edges = _node_edges(protocol, node, project)
+        graph.edges[node] = edges
+        for edge in edges:
+            if edge.target not in graph.nodes:
+                if len(graph.nodes) >= max_nodes:
+                    raise VerificationError(
+                        f"quotient graph exceeded {max_nodes} nodes"
+                    )
+                graph.nodes.add(edge.target)
+                queue.append(edge.target)
+    return graph
+
+
+def _tarjan(
+    nodes: Iterable[Hashable], successors
+) -> list[list[Hashable]]:
+    """Generic iterative Tarjan over an explicit successor function."""
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    components: list[list] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work = [(root, iter(list(successors(root))))]
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(list(successors(succ)))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+@dataclass
+class QuotientVerdict:
+    """Outcome of a quotient global-fairness check."""
+
+    solves: bool
+    explored_nodes: int
+    counterexample: QuotientNode | None = None
+    reason: str = ""
+
+
+def check_naming_global_quotient(
+    protocol: PopulationProtocol,
+    initial: Iterable[QuotientNode],
+    max_nodes: int = 5_000_000,
+    name_of: Callable[[object], object] | None = None,
+) -> QuotientVerdict:
+    """Exact global-fairness naming check on the quotient graph.
+
+    ``name_of`` projects a mobile state to its name (see
+    :func:`repro.analysis.model_checker.check_naming_global`).
+    """
+    project = name_of if name_of is not None else lambda state: state
+    graph = explore_quotient(
+        protocol, initial, max_nodes=max_nodes, name_of=project
+    )
+    components = _tarjan(graph.nodes, graph.successors)
+    membership: dict[QuotientNode, int] = {}
+    for i, component in enumerate(components):
+        for node in component:
+            membership[node] = i
+    for i, component in enumerate(components):
+        members = set(component)
+        is_sink = all(
+            membership[target] == i
+            for node in component
+            for target in graph.successors(node)
+        )
+        if not is_sink:
+            continue
+        for node in component:
+            for edge in graph.edges.get(node, []):
+                if edge.changes_mobile and edge.target in members:
+                    return QuotientVerdict(
+                        solves=False,
+                        explored_nodes=len(graph.nodes),
+                        counterexample=node,
+                        reason=(
+                            "a fair execution keeps changing mobile states "
+                            "in a recurrent component (names never "
+                            "stabilize)"
+                        ),
+                    )
+        mobile, _ = component[0]
+        names = tuple(project(s) for s in mobile)
+        if len(set(names)) != len(names):
+            return QuotientVerdict(
+                solves=False,
+                explored_nodes=len(graph.nodes),
+                counterexample=component[0],
+                reason=(
+                    f"a fair execution stabilizes on duplicates: {names}"
+                ),
+            )
+    return QuotientVerdict(solves=True, explored_nodes=len(graph.nodes))
+
+
+def arbitrary_quotient_initials(
+    protocol: PopulationProtocol,
+    n_mobile: int,
+    leader_states: Iterable[State] | None = None,
+) -> list[QuotientNode]:
+    """All quotient nodes of arbitrary mobile initialization.
+
+    Multisets instead of tuples: C(|Q| + N - 1, N) nodes rather than
+    |Q|^N.
+    """
+    from itertools import combinations_with_replacement
+
+    mobile_space = sorted(protocol.mobile_state_space())
+    if protocol.requires_leader:
+        if leader_states is None:
+            leaders: list[State | None] = sorted(
+                protocol.leader_state_space(), key=repr
+            )
+        else:
+            leaders = list(leader_states)
+    else:
+        leaders = [None]
+    return [
+        (tuple(sorted(mobiles, key=repr)), leader)
+        for mobiles in combinations_with_replacement(mobile_space, n_mobile)
+        for leader in leaders
+    ]

@@ -1,0 +1,167 @@
+"""Sink-state analysis - the Section 3.1 machinery.
+
+For a symmetric protocol, repeatedly letting two agents in the same state
+``s`` interact walks a deterministic chain ``(s,s) -> (s1,s1) -> ...``
+through the (finite) state space, so it must enter a cycle.  Section 3.1
+proves that any ``P``-state symmetric naming protocol has exactly one such
+cyclic state ``m`` - the *sink* - with ``(m, m) ->* (m, m)``, that the
+sink's self-loop is immediate (Proposition 6), and builds *reduced
+executions* where homonym pairs are immediately driven into the sink.
+
+This module computes homonym chains, detects sink states for arbitrary
+symmetric protocols, and performs the homonym-reduction used in the proofs
+of Lemmas 8-10 and Theorem 11 - letting tests replay the paper's
+constructions on the concrete protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State, is_leader_state
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class HomonymChain:
+    """The deterministic chain of repeated same-state interactions.
+
+    ``states`` starts at the seed state; ``cycle_start`` is the index where
+    the chain first revisits a state (the entry into its terminal cycle).
+    """
+
+    states: tuple[State, ...]
+    cycle_start: int
+
+    @property
+    def cycle(self) -> tuple[State, ...]:
+        """The states forming the terminal cycle."""
+        return self.states[self.cycle_start :]
+
+    @property
+    def entered_cycle_state(self) -> State:
+        """The first state of the terminal cycle."""
+        return self.states[self.cycle_start]
+
+
+def homonym_chain(protocol: PopulationProtocol, seed: State) -> HomonymChain:
+    """Follow ``(s, s) -> (s', s')`` from ``seed`` until a state repeats.
+
+    Raises :class:`VerificationError` if the protocol is not symmetric on
+    the chain (two equal states must map to two equal states).
+    """
+    seen: dict[State, int] = {}
+    chain: list[State] = []
+    state = seed
+    while state not in seen:
+        seen[state] = len(chain)
+        chain.append(state)
+        p2, q2 = protocol.transition(state, state)
+        if p2 != q2:
+            raise VerificationError(
+                f"{protocol.display_name}: rule ({state!r}, {state!r}) -> "
+                f"({p2!r}, {q2!r}) is not symmetric"
+            )
+        state = p2
+    return HomonymChain(tuple(chain), seen[state])
+
+
+def sink_states(protocol: PopulationProtocol) -> set[State]:
+    """All mobile states ``m`` with ``(m, m) ->* (m, m)`` via non-empty
+    chains - i.e. states on a homonym-interaction cycle.
+
+    Section 3.1 (Proposition 6) shows a correct ``P``-state symmetric
+    naming protocol has exactly one, whose cycle is the immediate self-loop.
+    """
+    sinks: set[State] = set()
+    for state in protocol.mobile_state_space():
+        chain = homonym_chain(protocol, state)
+        sinks.update(chain.cycle)
+    return sinks
+
+
+def unique_sink(protocol: PopulationProtocol) -> State:
+    """The protocol's unique sink state.
+
+    Raises :class:`VerificationError` when the sink is not unique or its
+    cycle is not the immediate self-loop ``(m, m) -> (m, m)``.
+    """
+    sinks = sink_states(protocol)
+    if len(sinks) != 1:
+        raise VerificationError(
+            f"{protocol.display_name}: expected a unique sink state, "
+            f"found {sorted(sinks, key=repr)}"
+        )
+    (sink,) = sinks
+    if protocol.transition(sink, sink) != (sink, sink):
+        raise VerificationError(
+            f"{protocol.display_name}: sink {sink!r} lacks the immediate "
+            "self-loop required by Proposition 6"
+        )
+    return sink
+
+
+def reduce_homonyms(
+    protocol: PopulationProtocol,
+    config: Configuration,
+    sink: State,
+) -> tuple[Configuration, list[tuple[int, int]]]:
+    """Drive every non-sink homonym pair into the sink (Section 3.1's
+    *reducing sequences*), returning the reduced configuration and the
+    sequence of agent pairs interacted.
+
+    A configuration is *reduced* when its only homonyms are sink-state
+    agents.
+    """
+    config_now = config
+    interactions: list[tuple[int, int]] = []
+    guard = 0
+    limit = 4 * len(config) * max(1, len(protocol.mobile_state_space())) ** 2
+    while True:
+        guard += 1
+        if guard > limit:
+            raise VerificationError(
+                f"{protocol.display_name}: homonym reduction did not "
+                "terminate; the protocol has no proper sink behaviour"
+            )
+        by_state: dict[State, list[int]] = {}
+        for agent, state in enumerate(config_now.states):
+            if is_leader_state(state) or state == sink:
+                continue
+            by_state.setdefault(state, []).append(agent)
+        pair = next(
+            (
+                (agents[0], agents[1])
+                for agents in by_state.values()
+                if len(agents) >= 2
+            ),
+            None,
+        )
+        if pair is None:
+            return config_now, interactions
+        x, y = pair
+        # Walk the homonym chain until both agents reach the sink; a chain
+        # longer than the state space means the cycle avoids the sink.
+        steps = 0
+        while (
+            config_now.state_of(x) != sink
+            and config_now.state_of(x) == config_now.state_of(y)
+        ):
+            steps += 1
+            if steps > len(protocol.mobile_state_space()) + 1:
+                raise VerificationError(
+                    f"{protocol.display_name}: homonym chain from "
+                    f"{config_now.state_of(x)!r} never reaches the sink "
+                    f"{sink!r}"
+                )
+            p = config_now.state_of(x)
+            outcome = protocol.transition(p, p)
+            config_now = config_now.apply(x, y, outcome)
+            interactions.append((x, y))
+
+
+def is_reduced(config: Configuration, sink: State) -> bool:
+    """Whether the only homonyms in ``config`` are sink-state agents."""
+    return all(s == sink for s in config.homonym_states())

@@ -1,0 +1,99 @@
+"""Convergence statistics over repeated simulation runs.
+
+The paper makes no time-complexity claims (it is an exact *space* study),
+but any reproduction should still report how expensive convergence is; the
+supplementary experiments use these helpers to aggregate interaction counts
+across seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.engine.simulator import SimulationResult
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample of interaction counts."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: int
+    median: float
+    p90: float
+    maximum: int
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f} sd={self.stdev:.1f} "
+            f"min={self.minimum} med={self.median:.1f} "
+            f"p90={self.p90:.1f} max={self.maximum}"
+        )
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values."""
+    if not sorted_values:
+        raise VerificationError("cannot take a quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise VerificationError(f"quantile must be in [0, 1], got {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = q * (len(sorted_values) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(sorted_values[low])
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Sequence[int]) -> Summary:
+    """Summary statistics for a sample of interaction counts."""
+    if not values:
+        raise VerificationError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = (
+        sum((v - mean) ** 2 for v in ordered) / (n - 1) if n > 1 else 0.0
+    )
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        median=quantile(ordered, 0.5),
+        p90=quantile(ordered, 0.9),
+        maximum=ordered[-1],
+    )
+
+
+def convergence_sample(
+    run: Callable[[int], SimulationResult],
+    seeds: Sequence[int],
+    require_convergence: bool = True,
+) -> list[int]:
+    """Run ``run(seed)`` per seed and collect convergence interactions.
+
+    ``run`` builds and executes one simulation; non-converged runs raise
+    (when ``require_convergence``) or are skipped otherwise.
+    """
+    sample: list[int] = []
+    for seed in seeds:
+        result = run(seed)
+        if not result.converged:
+            if require_convergence:
+                raise VerificationError(
+                    f"run with seed {seed} did not converge within "
+                    f"{result.interactions} interactions"
+                )
+            continue
+        assert result.convergence_interaction is not None
+        sample.append(result.convergence_interaction)
+    return sample

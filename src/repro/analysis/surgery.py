@@ -1,0 +1,197 @@
+"""Execution surgery: the Section 3.1 proof machinery, mechanized.
+
+The paper's hardest negative results (Lemma 5, Lemma 8, Theorem 11) argue
+by *rewriting executions*: because agents are anonymous and uniform, an
+execution is really a trace of transition **rules**, and the same rule
+trace can be replayed with different agents playing each role.  Two
+constructions carry the proofs:
+
+* **Rerouting (Lemma 8).**  In a population with at least two agents in
+  the sink state, any reduced execution can be replayed so that one chosen
+  sink agent never interacts, reaching an *equivalent* configuration
+  (same multiset, same leader state).
+
+* **The hidden agent (Lemma 5).**  An execution of a ``P``-state protocol
+  on ``N`` agents in which one agent sits in the sink also *is* a valid
+  prefix of an execution on ``N + 1`` agents - the extra agent idles in
+  the sink, indistinguishable to everyone else.  This is why ``P`` states
+  cannot name ``P`` arbitrarily initialized agents: the adversary keeps
+  one agent hidden until the protocol has committed.
+
+Both are implemented as concrete trace transformations and exercised on
+Protocol 1, turning the lower-bound intuition into runnable artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import AgentId, Population
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State, is_leader_state
+from repro.errors import VerificationError
+
+#: A rule trace entry: the ordered state pair consumed by an interaction.
+RuleStep = tuple[State, State]
+
+
+def rule_trace_of(
+    protocol: PopulationProtocol,
+    initial: Configuration,
+    meetings: list[tuple[AgentId, AgentId]],
+) -> list[RuleStep]:
+    """Replay agent-level meetings and record the rule trace
+    (the ordered state pairs consumed, null meetings skipped)."""
+    config = initial
+    steps: list[RuleStep] = []
+    for x, y in meetings:
+        p, q = config.state_of(x), config.state_of(y)
+        p2, q2 = protocol.transition(p, q)
+        if (p2, q2) != (p, q):
+            steps.append((p, q))
+            config = config.apply(x, y, (p2, q2))
+    return steps
+
+
+def replay_rule_trace(
+    protocol: PopulationProtocol,
+    population: Population,
+    initial: Configuration,
+    steps: list[RuleStep],
+    avoid: AgentId | None = None,
+) -> tuple[Configuration, list[tuple[AgentId, AgentId]]]:
+    """Replay a rule trace, choosing at every step *which* agents play the
+    two roles - never picking ``avoid`` (Lemma 8's rerouting).
+
+    Returns the final configuration and the realized meetings.  Raises
+    :class:`VerificationError` when some step cannot be cast without
+    ``avoid`` (the paper's lemma guarantees castability exactly when a
+    second agent shares ``avoid``'s state whenever its state is demanded).
+    """
+    config = initial
+    meetings: list[tuple[AgentId, AgentId]] = []
+    for p, q in steps:
+        x = _find_agent(population, config, p, exclude=(avoid,))
+        y = _find_agent(population, config, q, exclude=(avoid, x))
+        if x is None or y is None:
+            raise VerificationError(
+                f"rule ({p!r}, {q!r}) cannot be cast without agent {avoid}"
+            )
+        p2, q2 = protocol.transition(p, q)
+        if (p2, q2) == (p, q):
+            raise VerificationError(
+                f"rule trace contains the null rule ({p!r}, {q!r})"
+            )
+        config = config.apply(x, y, (p2, q2))
+        meetings.append((x, y))
+    return config, meetings
+
+
+def _find_agent(
+    population: Population,
+    config: Configuration,
+    state: State,
+    exclude: tuple[AgentId | None, ...],
+) -> AgentId | None:
+    for agent in population.agents:
+        if agent in exclude:
+            continue
+        if config.state_of(agent) == state:
+            return agent
+    return None
+
+
+@dataclass
+class HiddenAgentDemo:
+    """Outcome of the Lemma 5 hidden-agent construction.
+
+    ``visible_final`` is where the N-agent execution converged;
+    ``padded_final`` is the same execution replayed among ``N + 1`` agents
+    with the extra agent frozen in the sink; ``fooled`` reports whether
+    the leader's knowledge is identical in both (it must be: the hidden
+    agent is invisible); ``recovered_count`` is the leader's count after
+    the hidden agent finally interacts and weak fairness resumes.
+    """
+
+    visible_final: Configuration
+    padded_final: Configuration
+    fooled: bool
+    recovered_count: int | None = None
+
+
+def hidden_agent_demo(
+    protocol_factory,
+    bound: int,
+    n_visible: int,
+    sink: State,
+    seed: int = 0,
+    budget: int = 500_000,
+) -> HiddenAgentDemo:
+    """Run the Lemma 5 construction against a leader-based protocol.
+
+    1. Converge ``protocol_factory(bound)`` on ``n_visible`` agents from a
+       uniform sink start (recording meetings).
+    2. Replay the identical rule trace on ``n_visible + 1`` agents, the
+       extra agent parked in the sink and never cast.
+    3. Check the leader cannot distinguish the two worlds (same state).
+    4. Resume fair scheduling in the padded world and report the leader's
+       corrected count - Protocol 1 recovers *because* weak fairness
+       eventually unmasks the hidden agent.
+    """
+    from repro.engine.problems import CountingProblem
+    from repro.engine.simulator import Simulator
+    from repro.engine.trace import Trace
+    from repro.schedulers.round_robin import RoundRobinScheduler
+
+    protocol = protocol_factory(bound)
+    population = Population(n_visible, has_leader=True)
+    scheduler = RoundRobinScheduler(population, seed=seed)
+    simulator = Simulator(
+        protocol, population, scheduler, CountingProblem(n_visible)
+    )
+    trace = Trace(capacity=None, record_null=True)
+    initial = Configuration.uniform(
+        population, sink, protocol.initial_leader_state()
+    )
+    result = simulator.run(initial, max_interactions=budget, trace=trace)
+    if not result.converged:
+        raise VerificationError("the visible world failed to converge")
+
+    meetings = [(r.initiator, r.responder) for r in trace.records]
+    steps = rule_trace_of(protocol, initial, meetings)
+
+    padded_population = Population(n_visible + 1, has_leader=True)
+    padded_initial = Configuration.uniform(
+        padded_population, sink, protocol.initial_leader_state()
+    )
+    hidden = n_visible  # the extra mobile agent's id
+    padded_final, _ = replay_rule_trace(
+        protocol, padded_population, padded_initial, steps, avoid=hidden
+    )
+
+    fooled = (
+        padded_final.leader_state == result.final_configuration.leader_state
+        and padded_final.state_of(hidden) == sink
+    )
+
+    # Resume fair scheduling: the hidden agent must now meet everyone.
+    padded_scheduler = RoundRobinScheduler(padded_population, seed=seed)
+    padded_simulator = Simulator(
+        protocol,
+        padded_population,
+        padded_scheduler,
+        CountingProblem(n_visible + 1),
+    )
+    resumed = padded_simulator.run(padded_final, max_interactions=budget)
+    recovered = (
+        getattr(resumed.final_configuration.leader_state, "n", None)
+        if resumed.converged
+        else None
+    )
+    return HiddenAgentDemo(
+        visible_final=result.final_configuration,
+        padded_final=padded_final,
+        fooled=fooled,
+        recovered_count=recovered,
+    )

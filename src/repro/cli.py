@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``        regenerate the paper's Table 1 (the headline experiment)
+``convergence``   supplementary exp-s1: convergence cost vs population size
+``recovery``      supplementary exp-s2: self-stabilizing fault recovery
+``ablation``      supplementary exp-s4: scheduler ablation matrix
+``lower-bounds``  supplementary exp-s3: exhaustive lower-bound verification
+``simulate``      run one naming protocol chosen by model parameters
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.registry import protocol_for
+from repro.core.spec import (
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    ModelSpec,
+    Symmetry,
+    table1_cell,
+)
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.engine.trace import Trace
+from repro.errors import InfeasibleSpecError
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+_FAIRNESS = {f.value: f for f in Fairness}
+_SYMMETRY = {s.value: s for s in Symmetry}
+_LEADER = {
+    "none": LeaderKind.NONE,
+    "non-initialized": LeaderKind.NON_INITIALIZED,
+    "initialized": LeaderKind.INITIALIZED,
+}
+_INIT = {i.value: i for i in MobileInit}
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.reporting.rules import render_rules
+
+    spec = ModelSpec(
+        _FAIRNESS[args.fairness],
+        _SYMMETRY[args.symmetry],
+        _LEADER[args.leader],
+        _INIT[args.init],
+    )
+    try:
+        protocol = protocol_for(spec, args.bound)
+    except InfeasibleSpecError as exc:
+        print(f"infeasible model: {exc}")
+        return 2
+    cell = table1_cell(spec)
+    print(f"model : {spec.describe()}")
+    print(f"paper : {cell.protocol_ref}, optimal "
+          f"{cell.optimal_states(args.bound)} states")
+    print()
+    print(render_rules(protocol, max_rules=args.max_rules))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import random
+
+    spec = ModelSpec(
+        _FAIRNESS[args.fairness],
+        _SYMMETRY[args.symmetry],
+        _LEADER[args.leader],
+        _INIT[args.init],
+    )
+    try:
+        protocol = protocol_for(spec, args.bound)
+    except InfeasibleSpecError as exc:
+        print(f"infeasible model: {exc}")
+        return 2
+    cell = table1_cell(spec)
+    population = Population(args.n, protocol.requires_leader)
+    if spec.fairness is Fairness.WEAK:
+        scheduler = RoundRobinScheduler(
+            population, seed=args.seed, shuffle_each_cycle=True
+        )
+    else:
+        scheduler = RandomPairScheduler(population, seed=args.seed)
+
+    rng = random.Random(args.seed)
+    mobile_space = sorted(protocol.mobile_state_space())
+    if spec.mobile_init is MobileInit.UNIFORM:
+        value = protocol.initial_mobile_state()
+        mobiles = [value if value is not None else mobile_space[0]] * args.n
+    else:
+        mobiles = [rng.choice(mobile_space) for _ in range(args.n)]
+    leader = None
+    if population.has_leader:
+        if spec.leader is LeaderKind.INITIALIZED:
+            leader = protocol.initial_leader_state()
+        else:
+            leader = rng.choice(
+                sorted(protocol.leader_state_space(), key=repr)
+            )
+    initial = Configuration.from_states(population, mobiles, leader)
+
+    trace = Trace(capacity=args.trace) if args.trace else None
+    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    result = simulator.run(
+        initial, max_interactions=args.budget, trace=trace
+    )
+
+    print(f"model     : {spec.describe()}")
+    print(f"protocol  : {protocol.display_name} ({cell.protocol_ref})")
+    print(
+        f"states    : {protocol.num_mobile_states} per mobile agent "
+        f"(paper optimum: {cell.optimal_states(args.bound)})"
+    )
+    print(f"population: N = {args.n}, P = {args.bound}")
+    print(f"start     : {initial.mobile_states}")
+    print(f"result    : {result}")
+    if trace is not None:
+        print()
+        print(trace.describe(limit=args.trace))
+    return 0 if result.converged else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (``python -m repro``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Space-Optimal Naming in Population "
+            "Protocols' (Burman, Beauquier, Sohier; PODC 2018)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", add_help=False)
+    sub.add_parser("convergence", add_help=False)
+    sub.add_parser("recovery", add_help=False)
+    sub.add_parser("ablation", add_help=False)
+    sub.add_parser("lower-bounds", add_help=False)
+    sub.add_parser("scaling", add_help=False)
+    sub.add_parser("time-study", add_help=False)
+    sub.add_parser("tradeoffs", add_help=False)
+    sub.add_parser("report", add_help=False)
+    sub.add_parser("exact-times", add_help=False)
+
+    show = sub.add_parser(
+        "show", help="print a protocol's transition rules by model"
+    )
+    show.add_argument(
+        "--fairness", choices=sorted(_FAIRNESS), default="global"
+    )
+    show.add_argument(
+        "--symmetry", choices=sorted(_SYMMETRY), default="symmetric"
+    )
+    show.add_argument("--leader", choices=sorted(_LEADER), default="none")
+    show.add_argument("--init", choices=sorted(_INIT), default="arbitrary")
+    show.add_argument("--bound", "-P", type=int, default=4)
+    show.add_argument("--max-rules", type=int, default=60)
+
+    simulate = sub.add_parser(
+        "simulate", help="run one naming protocol by model parameters"
+    )
+    simulate.add_argument(
+        "--fairness", choices=sorted(_FAIRNESS), default="global"
+    )
+    simulate.add_argument(
+        "--symmetry", choices=sorted(_SYMMETRY), default="symmetric"
+    )
+    simulate.add_argument(
+        "--leader", choices=sorted(_LEADER), default="none"
+    )
+    simulate.add_argument(
+        "--init", choices=sorted(_INIT), default="arbitrary"
+    )
+    simulate.add_argument("--bound", "-P", type=int, default=8)
+    simulate.add_argument("--n", "-N", type=int, default=6)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--budget", type=int, default=2_000_000)
+    simulate.add_argument(
+        "--trace",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print the last K non-null interactions",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: dispatch to experiments or the simulate/show
+    commands; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = build_parser()
+    known_commands = {
+        "table1",
+        "convergence",
+        "recovery",
+        "ablation",
+        "lower-bounds",
+        "scaling",
+        "time-study",
+        "tradeoffs",
+        "report",
+        "exact-times",
+        "simulate",
+        "show",
+    }
+    if argv and argv[0] in known_commands and argv[0] not in (
+        "simulate",
+        "show",
+    ):
+        # Delegate to the experiment module's own argparse CLI.
+        command, rest = argv[0], argv[1:]
+        if command == "table1":
+            from repro.experiments.table1 import main as run
+
+            return run(rest)
+        if command == "convergence":
+            from repro.experiments.convergence import main as run
+
+            return run(rest)
+        if command == "recovery":
+            from repro.experiments.recovery import main as run
+
+            return run(rest)
+        if command == "ablation":
+            from repro.experiments.ablation import main as run
+
+            return run(rest)
+        if command == "scaling":
+            from repro.experiments.scaling import main as run
+
+            return run(rest)
+        if command == "time-study":
+            from repro.experiments.time_study import main as run
+
+            return run(rest)
+        if command == "tradeoffs":
+            from repro.experiments.tradeoffs import main as run
+
+            return run(rest)
+        if command == "report":
+            from repro.experiments.full_report import main as run
+
+            return run(rest)
+        if command == "exact-times":
+            from repro.experiments.exact_times import main as run
+
+            return run(rest)
+        from repro.experiments.lower_bounds import main as run
+
+        return run(rest)
+    args = parser.parse_args(argv)
+    if args.command == "show":
+        return _cmd_show(args)
+    return _cmd_simulate(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

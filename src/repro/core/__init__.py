@@ -1,0 +1,85 @@
+"""The paper's protocols, model specifications and the Table 1 oracle."""
+
+from repro.core.adapters import IdleLeaderState, WithIdleLeader
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.counting import (
+    SINK_STATE,
+    CountingLeaderState,
+    CountingProtocol,
+)
+from repro.core.global_naming import GlobalLeaderState, GlobalNamingProtocol
+from repro.core.leader_uniform import (
+    CounterLeaderState,
+    LeaderUniformNamingProtocol,
+)
+from repro.core.leader_election import (
+    LEADER_NAME,
+    LeaderElectionProblem,
+    NamingLeaderElectionProtocol,
+    elected_agents,
+)
+from repro.core.registry import optimal_states, protocol_for
+from repro.core.transformer import ProjectedNamingProblem, SymmetrizedProtocol
+from repro.core.selfstab_naming import (
+    SelfStabLeaderState,
+    SelfStabilizingNamingProtocol,
+)
+from repro.core.spec import (
+    CellResult,
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    ModelSpec,
+    Symmetry,
+    all_specs,
+    table1_cell,
+    table1_rows,
+)
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.core.usequence import (
+    first_occurrence,
+    iter_u,
+    occurrences,
+    sequence_length,
+    u_element,
+    u_sequence,
+)
+
+__all__ = [
+    "SINK_STATE",
+    "AsymmetricNamingProtocol",
+    "CellResult",
+    "CounterLeaderState",
+    "CountingLeaderState",
+    "CountingProtocol",
+    "Fairness",
+    "GlobalLeaderState",
+    "GlobalNamingProtocol",
+    "IdleLeaderState",
+    "LEADER_NAME",
+    "LeaderElectionProblem",
+    "LeaderKind",
+    "LeaderUniformNamingProtocol",
+    "NamingLeaderElectionProtocol",
+    "ProjectedNamingProblem",
+    "SymmetrizedProtocol",
+    "elected_agents",
+    "MobileInit",
+    "ModelSpec",
+    "SelfStabLeaderState",
+    "SelfStabilizingNamingProtocol",
+    "Symmetry",
+    "SymmetricGlobalNamingProtocol",
+    "WithIdleLeader",
+    "all_specs",
+    "first_occurrence",
+    "iter_u",
+    "occurrences",
+    "optimal_states",
+    "protocol_for",
+    "sequence_length",
+    "table1_cell",
+    "table1_rows",
+    "u_element",
+    "u_sequence",
+]

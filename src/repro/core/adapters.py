@@ -1,0 +1,65 @@
+"""Protocol adapters.
+
+The paper sometimes places a protocol in a model richer than it needs -
+e.g. Table 1 cites the *leaderless* Propositions 12 and 13 for cells whose
+model includes a leader (the protocol simply ignores it).  The adapter
+below makes that literal: it wraps a leaderless protocol with a one-state
+idle leader whose interactions are all null, so the wrapped protocol runs
+on a leadered population without changing any mobile behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import LeaderState, State, is_leader_state
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class IdleLeaderState(LeaderState):
+    """The single state of an idle (ignored) leader."""
+
+
+class WithIdleLeader(PopulationProtocol):
+    """Run a leaderless protocol in a population that has a leader.
+
+    The leader holds the unique :class:`IdleLeaderState` and every
+    interaction involving it is null; mobile-mobile interactions defer to
+    the wrapped protocol.  Symmetry is inherited (null leader rules are
+    trivially symmetric).
+    """
+
+    def __init__(self, inner: PopulationProtocol) -> None:
+        if inner.requires_leader:
+            raise ProtocolError(
+                f"{inner.display_name} already uses a leader; "
+                "WithIdleLeader only wraps leaderless protocols"
+            )
+        self._inner = inner
+        self.display_name = f"{inner.display_name} + idle leader"
+        self.symmetric = inner.symmetric
+        self.requires_leader = True
+
+    @property
+    def inner(self) -> PopulationProtocol:
+        """The wrapped leaderless protocol."""
+        return self._inner
+
+    def transition(self, p: State, q: State) -> tuple[State, State]:
+        if is_leader_state(p) or is_leader_state(q):
+            return p, q
+        return self._inner.transition(p, q)
+
+    def mobile_state_space(self) -> frozenset[State]:
+        return self._inner.mobile_state_space()
+
+    def leader_state_space(self) -> frozenset[State]:
+        return frozenset({IdleLeaderState()})
+
+    def initial_mobile_state(self) -> State | None:
+        return self._inner.initial_mobile_state()
+
+    def initial_leader_state(self) -> State:
+        return IdleLeaderState()

@@ -1,0 +1,54 @@
+"""Proposition 12: asymmetric, leaderless, self-stabilizing naming.
+
+One asymmetric rule suffices:
+
+    ``(s, s) -> (s, s + 1 mod P)``
+
+Starting from *any* configuration of at most ``P`` agents, every weakly or
+globally fair execution converges to distinct names.  The proof defines a
+lexicographic potential - the pair (number of *holes*, total *hole
+distance*) - that strictly decreases with every non-null transition; the
+potential lives in :mod:`repro.analysis.potential` and is exercised by the
+property-based tests.
+
+This is space optimal (``P`` states for at most ``P`` agents is the trivial
+lower bound) and needs no leader and no initialization under either
+fairness: the strongest positive cell of Table 1 for asymmetric rules.
+"""
+
+from __future__ import annotations
+
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State
+from repro.errors import ProtocolError
+
+
+class AsymmetricNamingProtocol(PopulationProtocol):
+    """The single-rule asymmetric naming protocol of Proposition 12.
+
+    Mobile states are ``{0, ..., P-1}``; when two homonyms meet, the
+    responder advances by one modulo ``P``.
+
+    Parameters
+    ----------
+    bound:
+        The known upper bound ``P`` on the population size.
+    """
+
+    display_name = "asymmetric naming (Prop. 12)"
+    symmetric = False
+    requires_leader = False
+
+    def __init__(self, bound: int) -> None:
+        if bound < 1:
+            raise ProtocolError(f"the bound P must be positive, got {bound}")
+        self.bound = bound
+        self._states = frozenset(range(bound))
+
+    def transition(self, p: State, q: State) -> tuple[State, State]:
+        if p == q:
+            return p, (q + 1) % self.bound
+        return p, q
+
+    def mobile_state_space(self) -> frozenset[State]:
+        return self._states

@@ -1,0 +1,84 @@
+"""Self-stabilizing leader election as a by-product of naming.
+
+The paper's introduction observes that naming is "frequently performed as
+a by-product or as an important design module" of other self-stabilizing
+tasks, leader election among them; conversely, Cai-Izumi-Wada [19] prove
+that self-stabilizing leader election needs exactly ``N`` states and the
+exact knowledge of ``N`` - the same ``N`` states the asymmetric naming
+protocol uses when ``P = N``.
+
+This module makes the reduction concrete: run Proposition 12's naming rule
+with ``P = N`` (exact size knowledge, as [19] requires), and read "I hold
+name 0" as "I am the leader".  Once names stabilize they are a permutation
+of ``{0, ..., N-1}``, so exactly one agent ever holds 0 - a space-optimal
+(``N``-state) self-stabilizing leader election, matching [19]'s bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import Problem, is_silent
+from repro.engine.protocol import PopulationProtocol
+from repro.errors import ProtocolError
+
+#: The name designating the elected leader.
+LEADER_NAME = 0
+
+
+class NamingLeaderElectionProtocol(AsymmetricNamingProtocol):
+    """Proposition 12's rule used for leader election with exact size
+    knowledge (``P = N``), after [19].
+
+    The transition structure is identical; only the interpretation
+    changes: :meth:`is_elected` reads the leadership predicate off a
+    state.
+    """
+
+    display_name = "naming-based leader election ([19] via Prop. 12)"
+
+    def __init__(self, population_size: int) -> None:
+        if population_size < 1:
+            raise ProtocolError(
+                f"population size must be positive, got {population_size}"
+            )
+        super().__init__(bound=population_size)
+
+    @staticmethod
+    def is_elected(state: int) -> bool:
+        """Whether an agent in ``state`` considers itself the leader."""
+        return state == LEADER_NAME
+
+
+class LeaderElectionProblem(Problem):
+    """Exactly one agent elected, forever.
+
+    Satisfied when exactly one mobile agent holds :data:`LEADER_NAME`;
+    stable when the configuration is silent (for the naming-based
+    protocol, silence coincides with all-distinct names).
+    """
+
+    display_name = "leader election"
+
+    def is_satisfied(self, config: Configuration) -> bool:
+        elected = sum(
+            1 for s in config.mobile_states if s == LEADER_NAME
+        )
+        return elected == 1
+
+    def is_stable(
+        self, protocol: PopulationProtocol, config: Configuration
+    ) -> bool:
+        return is_silent(protocol, config)
+
+
+def elected_agents(
+    population: Population, config: Configuration
+) -> list[int]:
+    """Ids of the mobile agents currently claiming leadership."""
+    return [
+        agent
+        for agent in population.mobile_agents
+        if config.state_of(agent) == LEADER_NAME
+    ]

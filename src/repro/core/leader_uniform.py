@@ -1,0 +1,82 @@
+"""Proposition 14: symmetric naming with an initialized leader and
+uniformly initialized mobile agents - ``P`` states, weak fairness.
+
+Mobile agents start in the designated state ``P``; the leader carries a
+counter initialized to 1.  Whenever the leader meets an agent still in
+state ``P`` and the counter is below ``P``, the agent takes the counter as
+its name and the counter advances.  The ``k``-th renamed agent is named
+``k``; for ``N = P`` the last agent keeps the name ``P`` itself, so all
+names are distinct with only ``P`` states per mobile agent.
+
+This beats the ``P + 1`` lower bound of the non-initialized cases
+(Theorem 11) precisely because uniform initialization removes the "hidden
+homonym" adversary, and it shows the initialization exception discussed
+with Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import LeaderState, State, is_leader_state
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class CounterLeaderState(LeaderState):
+    """The leader's single variable: the next name to hand out."""
+
+    counter: int
+
+
+class LeaderUniformNamingProtocol(PopulationProtocol):
+    """The initialized-leader, uniform-start protocol of Proposition 14.
+
+    Mobile states ``{1, ..., P}``; the uniform initial mobile state is
+    ``P`` and the leader starts with counter 1.  Correct under weak (hence
+    also global) fairness for any ``N <= P``.
+    """
+
+    display_name = "leader + uniform init naming (Prop. 14)"
+    symmetric = True
+    requires_leader = True
+
+    def __init__(self, bound: int) -> None:
+        if bound < 1:
+            raise ProtocolError(f"the bound P must be positive, got {bound}")
+        self.bound = bound
+        self._mobile = frozenset(range(1, bound + 1))
+        self._leader = frozenset(
+            CounterLeaderState(c) for c in range(1, bound + 1)
+        )
+
+    def transition(self, p: State, q: State) -> tuple[State, State]:
+        if is_leader_state(p) and not is_leader_state(q):
+            leader, mobile = p, q
+            leader2, mobile2 = self._leader_rule(leader, mobile)
+            return leader2, mobile2
+        if is_leader_state(q) and not is_leader_state(p):
+            mobile, leader = p, q
+            leader2, mobile2 = self._leader_rule(leader, mobile)
+            return mobile2, leader2
+        return p, q  # mobile-mobile meetings are all null
+
+    def _leader_rule(
+        self, leader: CounterLeaderState, mobile: int
+    ) -> tuple[CounterLeaderState, int]:
+        if mobile == self.bound and leader.counter < self.bound:
+            return CounterLeaderState(leader.counter + 1), leader.counter
+        return leader, mobile
+
+    def mobile_state_space(self) -> frozenset[State]:
+        return self._mobile
+
+    def leader_state_space(self) -> frozenset[State]:
+        return self._leader
+
+    def initial_mobile_state(self) -> State:
+        return self.bound
+
+    def initial_leader_state(self) -> State:
+        return CounterLeaderState(1)

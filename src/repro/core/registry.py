@@ -1,0 +1,84 @@
+"""Mapping every feasible model specification to its space-optimal protocol.
+
+This is the library's front door: given a :class:`~repro.core.spec.ModelSpec`
+and the bound ``P``, :func:`protocol_for` returns the paper's space-optimal
+naming protocol for that cell of Table 1, or raises
+:class:`~repro.errors.InfeasibleSpecError` citing the impossibility result.
+"""
+
+from __future__ import annotations
+
+from repro.core.adapters import WithIdleLeader
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.leader_uniform import LeaderUniformNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.spec import (
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    ModelSpec,
+    Symmetry,
+    table1_cell,
+)
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.protocol import PopulationProtocol
+from repro.errors import InfeasibleSpecError
+
+
+def protocol_for(spec: ModelSpec, bound: int) -> PopulationProtocol:
+    """The paper's space-optimal naming protocol for ``spec`` with bound
+    ``P = bound``.
+
+    Raises
+    ------
+    InfeasibleSpecError
+        For the impossible cell (symmetric rules, weak fairness, no
+        leader), citing Proposition 1.
+    """
+    cell = table1_cell(spec)
+    if not cell.feasible:
+        raise InfeasibleSpecError(
+            f"naming is impossible for: {spec.describe()} "
+            f"(paper: {cell.lower_bound_ref})",
+            proposition=cell.lower_bound_ref or "",
+        )
+
+    if spec.symmetry is Symmetry.ASYMMETRIC:
+        protocol: PopulationProtocol = AsymmetricNamingProtocol(bound)
+        if spec.leader is not LeaderKind.NONE:
+            protocol = WithIdleLeader(protocol)
+        return protocol
+
+    if spec.leader is LeaderKind.NONE:
+        # Symmetric + global fairness (weak is infeasible, handled above).
+        return SymmetricGlobalNamingProtocol(bound)
+
+    if spec.leader is LeaderKind.NON_INITIALIZED:
+        if spec.fairness is Fairness.WEAK:
+            return SelfStabilizingNamingProtocol(bound)
+        # Global fairness: the paper reuses the leaderless Prop. 13
+        # protocol, the leader being ignored.
+        return WithIdleLeader(SymmetricGlobalNamingProtocol(bound))
+
+    # Initialized leader.
+    if spec.fairness is Fairness.WEAK:
+        if spec.mobile_init is MobileInit.UNIFORM:
+            return LeaderUniformNamingProtocol(bound)
+        return SelfStabilizingNamingProtocol(bound)
+    return GlobalNamingProtocol(bound)
+
+
+def optimal_states(spec: ModelSpec, bound: int) -> int:
+    """The paper's optimal number of states per mobile agent for ``spec``.
+
+    Raises :class:`InfeasibleSpecError` for the impossible cell.
+    """
+    cell = table1_cell(spec)
+    states = cell.optimal_states(bound)
+    if states is None:
+        raise InfeasibleSpecError(
+            f"naming is impossible for: {spec.describe()}",
+            proposition=cell.lower_bound_ref or "",
+        )
+    return states

@@ -1,0 +1,172 @@
+"""Model specifications and the Table 1 feasibility oracle.
+
+The paper analyses naming under every combination of four model parameters
+(Section 1.2, Table 1).  :class:`ModelSpec` names one combination;
+:func:`table1_cell` returns the paper's verdict for it - feasible or not,
+the exact optimal number of states per mobile agent, and the propositions
+establishing the protocol and the matching lower bound.
+
+The oracle is *data*, transcribed from the paper; the experiment harness
+(:mod:`repro.experiments.table1`) regenerates the same verdicts
+empirically, which is the reproduction's headline check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class Fairness(enum.Enum):
+    """The scheduler's fairness guarantee."""
+
+    WEAK = "weak"
+    GLOBAL = "global"
+
+
+class Symmetry(enum.Enum):
+    """Whether transition rules may distinguish initiator from responder."""
+
+    SYMMETRIC = "symmetric"
+    ASYMMETRIC = "asymmetric"
+
+
+class LeaderKind(enum.Enum):
+    """Presence and initialization of the distinguishable agent."""
+
+    NONE = "no leader"
+    NON_INITIALIZED = "non-initialized leader"
+    INITIALIZED = "initialized leader"
+
+
+class MobileInit(enum.Enum):
+    """Initialization assumption on the mobile agents."""
+
+    ARBITRARY = "arbitrary"  # self-stabilizing setting
+    UNIFORM = "uniform"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One combination of the paper's four model parameters."""
+
+    fairness: Fairness
+    symmetry: Symmetry
+    leader: LeaderKind
+    mobile_init: MobileInit
+
+    def describe(self) -> str:
+        """One-line human-readable description of the combination."""
+        return (
+            f"{self.symmetry.value} rules, {self.fairness.value} fairness, "
+            f"{self.leader.value}, {self.mobile_init.value} mobile init"
+        )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The paper's verdict for one :class:`ModelSpec`.
+
+    ``extra_states`` is the optimal state count minus ``P`` (0 or 1);
+    ``None`` when naming is infeasible.
+    """
+
+    feasible: bool
+    extra_states: int | None
+    protocol_ref: str | None
+    lower_bound_ref: str | None
+    notes: str = ""
+
+    def optimal_states(self, bound: int) -> int | None:
+        """Optimal states per mobile agent for upper bound ``P = bound``."""
+        if self.extra_states is None:
+            return None
+        return bound + self.extra_states
+
+
+def table1_cell(spec: ModelSpec) -> CellResult:
+    """The paper's Table 1 verdict for ``spec``."""
+    if spec.symmetry is Symmetry.ASYMMETRIC:
+        # Right-hand column: one asymmetric rule suffices everywhere.
+        return CellResult(
+            feasible=True,
+            extra_states=0,
+            protocol_ref="Proposition 12",
+            lower_bound_ref="trivial (P names need P states)",
+            notes="self-stabilizing, leaderless, weak or global fairness",
+        )
+
+    if spec.leader is LeaderKind.NONE:
+        if spec.fairness is Fairness.WEAK:
+            return CellResult(
+                feasible=False,
+                extra_states=None,
+                protocol_ref=None,
+                lower_bound_ref="Proposition 1",
+                notes="no symmetric protocol can break symmetry without a "
+                "leader under weak fairness",
+            )
+        return CellResult(
+            feasible=True,
+            extra_states=1,
+            protocol_ref="Proposition 13",
+            lower_bound_ref="Proposition 2",
+            notes="requires N > 2; self-stabilizing",
+        )
+
+    if spec.leader is LeaderKind.NON_INITIALIZED:
+        if spec.fairness is Fairness.WEAK:
+            return CellResult(
+                feasible=True,
+                extra_states=1,
+                protocol_ref="Proposition 16",
+                lower_bound_ref="Proposition 4",
+                notes="self-stabilizing (leader included)",
+            )
+        return CellResult(
+            feasible=True,
+            extra_states=1,
+            protocol_ref="Proposition 13",
+            lower_bound_ref="Proposition 4",
+            notes="paper reuses the leaderless protocol; requires N > 2",
+        )
+
+    # Initialized leader.
+    if spec.fairness is Fairness.WEAK:
+        if spec.mobile_init is MobileInit.UNIFORM:
+            return CellResult(
+                feasible=True,
+                extra_states=0,
+                protocol_ref="Proposition 14",
+                lower_bound_ref="trivial (P names need P states)",
+                notes="the Table 1 initialization exception",
+            )
+        return CellResult(
+            feasible=True,
+            extra_states=1,
+            protocol_ref="Proposition 16",
+            lower_bound_ref="Theorem 11",
+            notes="the paper's most intricate lower bound",
+        )
+    return CellResult(
+        feasible=True,
+        extra_states=0,
+        protocol_ref="Proposition 17",
+        lower_bound_ref="trivial (P names need P states)",
+        notes="ordered-sweep protocol; N = P case needs global fairness",
+    )
+
+
+def all_specs() -> Iterator[ModelSpec]:
+    """Every combination of the four model parameters (24 in total)."""
+    for fairness in Fairness:
+        for symmetry in Symmetry:
+            for leader in LeaderKind:
+                for init in MobileInit:
+                    yield ModelSpec(fairness, symmetry, leader, init)
+
+
+def table1_rows() -> list[tuple[ModelSpec, CellResult]]:
+    """All specs with their verdicts, in a stable presentation order."""
+    return [(spec, table1_cell(spec)) for spec in all_specs()]

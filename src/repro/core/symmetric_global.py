@@ -1,0 +1,69 @@
+"""Proposition 13: symmetric, leaderless, self-stabilizing naming under
+global fairness with ``P + 1`` states.
+
+The protocol's three rule families over states ``{0, ..., P}`` (``P`` is
+the extra non-name state):
+
+1. ``s != P:  (s, P) -> (s, s + 1 mod P)``  - a ``P``-agent adopts the
+   successor of a named agent's name;
+2. ``s != P:  (s, s) -> (P, P)``            - homonyms dissolve to ``P``;
+3. ``        (P, P) -> (1, 1)``             - two ``P``-agents restart at 1.
+
+Under global fairness a correct naming configuration (all names in
+``{0, ..., P-1}`` distinct, nobody in state ``P``) is reachable from every
+configuration and is silent, hence eventually reached.  The paper requires
+``N > 2``: with exactly two agents the uniform configurations ``(s, s)``,
+``(P, P)`` and ``(1, 1)`` form a closed cycle that never breaks symmetry
+(the test suite demonstrates this failure).
+
+By Proposition 2, ``P + 1`` states are necessary here, so the protocol is
+space optimal.
+"""
+
+from __future__ import annotations
+
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State
+from repro.errors import ProtocolError
+
+
+class SymmetricGlobalNamingProtocol(PopulationProtocol):
+    """The leaderless symmetric protocol of Proposition 13.
+
+    Mobile states ``{0, ..., P}``; ``P`` is the non-name "reset" state.
+    Valid for populations of size ``2 < N <= P`` under global fairness,
+    from arbitrary initial states (self-stabilizing).
+    """
+
+    display_name = "symmetric leaderless naming (Prop. 13)"
+    symmetric = True
+    requires_leader = False
+
+    def __init__(self, bound: int) -> None:
+        if bound < 2:
+            raise ProtocolError(
+                f"the bound P must be at least 2 for rule 3 to make sense, "
+                f"got {bound}"
+            )
+        self.bound = bound
+        self._states = frozenset(range(bound + 1))
+
+    @property
+    def reset_state(self) -> int:
+        """The extra non-name state (called ``P`` in the paper)."""
+        return self.bound
+
+    def transition(self, p: State, q: State) -> tuple[State, State]:
+        reset = self.bound
+        if p == reset and q == reset:  # rule 3
+            return 1, 1
+        if p == q:  # rule 2 (p, q != P here)
+            return reset, reset
+        if q == reset:  # rule 1, responder adopts successor of p
+            return p, (p + 1) % self.bound
+        if p == reset:  # rule 1, symmetric orientation
+            return (q + 1) % self.bound, q
+        return p, q
+
+    def mobile_state_space(self) -> frozenset[State]:
+        return self._states

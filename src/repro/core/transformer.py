@@ -1,0 +1,137 @@
+"""The asymmetric-to-symmetric transformer (paper footnote 5, after [17]).
+
+Footnote 5 notes that an asymmetric protocol can be transformed into a
+symmetric one at the price of *doubling* the state space and *requiring
+global fairness* - which is exactly why the transformer is "frequently
+inadequate for obtaining a space efficient symmetric solution": naming a
+``P``-bound population through it costs ``2P`` states where Proposition 13
+pays only ``P + 1``.
+
+Construction.  Each mobile state ``q`` is tagged with a coin bit:
+``(q, 0)`` or ``(q, 1)``.
+
+* Agents meeting with *equal* bits cannot elect an initiator; they both
+  flip their coin (a symmetric rule) and wait for a luckier meeting.
+* Agents meeting with *different* bits use the bit as the tie-breaker: the
+  0-tagged agent plays the initiator of the wrapped asymmetric protocol,
+  both keep their bits.
+
+Under global fairness every pair reaches a differing-bit meeting from any
+recurrent configuration, so the wrapped protocol's transitions keep firing
+until it converges.  Like Proposition 13's protocol, the construction
+breaks down for ``N = 2`` started fully symmetric (two agents flipping in
+lock-step never diverge) - the test suite demonstrates both this failure
+and the ``N > 2`` success with the exact model checker, reproducing the
+footnote's space comparison quantitatively.
+"""
+
+from __future__ import annotations
+
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State
+from repro.errors import ProtocolError
+
+#: Tagged states are pairs ``(inner_state, coin_bit)``.
+TaggedState = tuple
+
+
+class SymmetrizedProtocol(PopulationProtocol):
+    """Run a leaderless asymmetric protocol with symmetric rules, paying a
+    factor-two state blow-up and a global-fairness requirement.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped (typically asymmetric) leaderless protocol.
+    """
+
+    symmetric = True
+    requires_leader = False
+
+    def __init__(self, inner: PopulationProtocol) -> None:
+        if inner.requires_leader:
+            raise ProtocolError(
+                "the transformer of [17] is defined for leaderless protocols"
+            )
+        self._inner = inner
+        self.display_name = f"symmetrized({inner.display_name})"
+
+    @property
+    def inner(self) -> PopulationProtocol:
+        """The wrapped asymmetric protocol."""
+        return self._inner
+
+    def transition(self, p: State, q: State) -> tuple[State, State]:
+        (ps, pb) = p
+        (qs, qb) = q
+        if pb == qb:
+            # Equal coins: no initiator can be elected; both flip.
+            return (ps, 1 - pb), (qs, 1 - qb)
+        # Different coins: the 0-tagged agent initiates.
+        if pb == 0:
+            ps2, qs2 = self._inner.transition(ps, qs)
+        else:
+            qs2, ps2 = self._inner.transition(qs, ps)
+        return (ps2, pb), (qs2, qb)
+
+    def mobile_state_space(self) -> frozenset[State]:
+        return frozenset(
+            (s, bit)
+            for s in self._inner.mobile_state_space()
+            for bit in (0, 1)
+        )
+
+    def initial_mobile_state(self) -> State | None:
+        inner_initial = self._inner.initial_mobile_state()
+        if inner_initial is None:
+            return None
+        return (inner_initial, 0)
+
+    @staticmethod
+    def project(state: TaggedState) -> State:
+        """Strip the coin bit: the wrapped protocol's state (the name)."""
+        return state[0]
+
+
+class ProjectedNamingProblem:
+    """Naming on the *projected* states of a symmetrized protocol.
+
+    The coin bits keep flipping forever, so the raw configuration is never
+    silent; naming is judged on the inner states: they must be distinct
+    and be preserved by every realizable transition.
+    """
+
+    display_name = "naming (projected through the coin tag)"
+
+    def is_satisfied(self, config) -> bool:
+        """Whether the projected names are pairwise distinct."""
+        names = [SymmetrizedProtocol.project(s) for s in config.mobile_states]
+        return len(set(names)) == len(names)
+
+    def is_stable(self, protocol, config) -> bool:
+        """Names can never change again iff the *inner* protocol is null
+        on every ordered pair of inner states two distinct agents hold.
+
+        This is deliberately coin-agnostic: coin flips permute which
+        orientations are realizable right now, so a check over the tagged
+        pairs present in one configuration would not be a proof.  The
+        inner multiset itself is preserved by flips, hence checking all
+        ordered inner pairs once certifies stability forever.
+        """
+        inner = protocol.inner
+        names = [SymmetrizedProtocol.project(s) for s in config.mobile_states]
+        from collections import Counter
+        from itertools import permutations
+
+        counts = Counter(names)
+        for a, b in permutations(counts, 2):
+            if inner.transition(a, b) != (a, b):
+                return False
+        for a, c in counts.items():
+            if c >= 2 and inner.transition(a, a) != (a, a):
+                return False
+        return True
+
+    def is_solved(self, protocol, config) -> bool:
+        """Certified convergence: distinct projected names, stable."""
+        return self.is_satisfied(config) and self.is_stable(protocol, config)

@@ -1,0 +1,92 @@
+"""The universal naming sequence ``U*`` of Protocol 1 (from [11]).
+
+The counting/naming protocols assign names to zero-state agents one by one,
+following a fixed sequence defined recursively:
+
+    ``U_1 = 1``            and        ``U_n = U_{n-1}, n, U_{n-1}``
+
+so ``|U_n| = l_n = 2^n - 1``.  Protocol 1 (counting, ``P`` states) uses
+``U* = U_{P-1}``; Protocol 2 (self-stabilizing naming, ``P + 1`` states)
+uses ``U* = U_P``.
+
+Materializing ``U_P`` takes ``2^P - 1`` entries, which is hopeless for even
+moderate ``P``; but the sequence is exactly the *ruler function*: the
+``k``-th element (1-indexed) is one plus the number of trailing zeros in the
+binary representation of ``k``, i.e. the index of the lowest set bit.  The
+implementation below exploits that closed form, so indexed access is O(1)
+and no storage is needed; the recursive definition is kept (for small ``n``)
+as a cross-check used by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+def sequence_length(n: int) -> int:
+    """``l_n = 2^n - 1``, the length of ``U_n``."""
+    if n < 0:
+        raise ReproError(f"l_n is defined for n >= 0, got {n}")
+    return (1 << n) - 1
+
+
+def u_element(k: int) -> int:
+    """The ``k``-th (1-indexed) element of ``U_n`` for any ``n`` with
+    ``l_n >= k``.
+
+    By the recursive structure, ``U_n`` is a prefix-consistent family: the
+    first ``l_{n-1}`` entries of ``U_n`` are exactly ``U_{n-1}``, so the
+    value at position ``k`` does not depend on ``n``.  The closed form is
+    the ruler function: ``1 + (number of trailing zeros of k)``.
+    """
+    if k < 1:
+        raise ReproError(f"U* is 1-indexed, got k = {k}")
+    return (k & -k).bit_length()
+
+
+def u_sequence(n: int) -> list[int]:
+    """Materialize ``U_n`` from the recursive definition.
+
+    Exponential in ``n``; intended for tests and tiny ``n`` only.
+    """
+    if n < 0:
+        raise ReproError(f"U_n is defined for n >= 0, got {n}")
+    if n == 0:
+        return []
+    seq = [1]
+    for level in range(2, n + 1):
+        seq = seq + [level] + seq
+    return seq
+
+
+def iter_u(n: int) -> Iterator[int]:
+    """Iterate over ``U_n`` lazily (no exponential storage)."""
+    for k in range(1, sequence_length(n) + 1):
+        yield u_element(k)
+
+
+def occurrences(value: int, n: int) -> int:
+    """How many times ``value`` occurs in ``U_n``.
+
+    The value ``v`` occurs once in ``U_v`` and doubles with each further
+    level: ``2^{n - v}`` occurrences in ``U_n`` (0 when ``v > n``).
+    """
+    if value < 1:
+        raise ReproError(f"U_n contains only positive values, got {value}")
+    if value > n:
+        return 0
+    return 1 << (n - value)
+
+
+def first_occurrence(value: int) -> int:
+    """The 1-indexed position of the first occurrence of ``value``.
+
+    The middle of ``U_value``, i.e. ``2^{value-1}``; this is the position
+    ``l_{value-1} + 1`` the protocols jump to when evidence of a larger
+    population arrives (Protocol 1, line 6).
+    """
+    if value < 1:
+        raise ReproError(f"U_n contains only positive values, got {value}")
+    return 1 << (value - 1)

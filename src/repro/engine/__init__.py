@@ -1,0 +1,58 @@
+"""Simulation substrate: populations, configurations, protocols, the
+simulator and convergence criteria."""
+
+from repro.engine.configuration import Configuration
+from repro.engine.ensemble import EnsembleResult, run_ensemble
+from repro.engine.population import AgentId, Population
+from repro.engine.problems import (
+    CountingProblem,
+    NamingProblem,
+    Problem,
+    is_silent,
+)
+from repro.engine.protocol import (
+    PopulationProtocol,
+    TableProtocol,
+    asymmetric_witnesses,
+    verify_closure,
+    verify_protocol,
+    verify_symmetric,
+)
+from repro.engine.simulator import SimulationResult, Simulator, run_protocol
+from repro.engine.state import (
+    LeaderState,
+    MobileState,
+    State,
+    is_leader_state,
+    is_mobile_state,
+)
+from repro.engine.trace import InteractionRecord, Trace, replay
+
+__all__ = [
+    "AgentId",
+    "Configuration",
+    "CountingProblem",
+    "EnsembleResult",
+    "InteractionRecord",
+    "LeaderState",
+    "MobileState",
+    "NamingProblem",
+    "Population",
+    "PopulationProtocol",
+    "Problem",
+    "SimulationResult",
+    "Simulator",
+    "State",
+    "TableProtocol",
+    "Trace",
+    "asymmetric_witnesses",
+    "is_leader_state",
+    "is_mobile_state",
+    "is_silent",
+    "replay",
+    "run_ensemble",
+    "run_protocol",
+    "verify_closure",
+    "verify_protocol",
+    "verify_symmetric",
+]

@@ -1,0 +1,103 @@
+"""Ensemble runs: many seeds, one summary.
+
+The experiments repeatedly follow the same pattern - build a fresh
+scheduler per seed, run to certified convergence, aggregate.  This module
+makes that pattern a public API so downstream users measure their own
+protocols the same way the reproduction measures the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import Problem
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.simulator import SimulationResult, Simulator
+from repro.errors import ConvergenceError
+from repro.schedulers.base import Scheduler
+
+#: Builds a fresh scheduler for a seed.
+SchedulerFactory = Callable[[Population, int], Scheduler]
+
+#: Builds the initial configuration for a seed.
+InitialFactory = Callable[[Population, int], Configuration]
+
+
+@dataclass
+class EnsembleResult:
+    """Aggregated outcome of an ensemble of runs."""
+
+    results: list[SimulationResult] = field(default_factory=list)
+    seeds: list[int] = field(default_factory=list)
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of runs that reached certified convergence."""
+        if not self.results:
+            return 0.0
+        return sum(r.converged for r in self.results) / len(self.results)
+
+    def convergence_summary(self) -> Summary:
+        """Summary of interactions-to-convergence over converged runs.
+
+        Raises :class:`ConvergenceError` when no run converged.
+        """
+        sample = [
+            r.convergence_interaction
+            for r in self.results
+            if r.converged and r.convergence_interaction is not None
+        ]
+        if not sample:
+            raise ConvergenceError("no run in the ensemble converged")
+        return summarize(sample)
+
+    def failed_seeds(self) -> list[int]:
+        """Seeds whose runs did not converge."""
+        return [
+            seed
+            for seed, result in zip(self.seeds, self.results)
+            if not result.converged
+        ]
+
+
+def run_ensemble(
+    protocol: PopulationProtocol,
+    population: Population,
+    scheduler_factory: SchedulerFactory,
+    initial_factory: InitialFactory,
+    problem: Problem,
+    seeds: Sequence[int],
+    max_interactions: int = 1_000_000,
+    require_convergence: bool = False,
+) -> EnsembleResult:
+    """Run the protocol once per seed and aggregate.
+
+    Parameters
+    ----------
+    scheduler_factory, initial_factory:
+        Called with ``(population, seed)`` for every seed, so runs are
+        independent and reproducible.
+    require_convergence:
+        When true, the first non-converged run raises
+        :class:`ConvergenceError` (carrying the offending seed in its
+        message) instead of being recorded.
+    """
+    ensemble = EnsembleResult()
+    for seed in seeds:
+        scheduler = scheduler_factory(population, seed)
+        simulator = Simulator(protocol, population, scheduler, problem)
+        initial = initial_factory(population, seed)
+        result = simulator.run(initial, max_interactions=max_interactions)
+        if require_convergence and not result.converged:
+            raise ConvergenceError(
+                f"seed {seed} did not converge within "
+                f"{max_interactions} interactions",
+                interactions=result.interactions,
+            )
+        ensemble.results.append(result)
+        ensemble.seeds.append(seed)
+    return ensemble

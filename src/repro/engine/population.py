@@ -1,0 +1,96 @@
+"""Populations: collections of pairwise-interacting agents.
+
+A population consists of ``n_mobile`` anonymous mobile agents, indexed
+``0 .. n_mobile - 1``, plus optionally one distinguishable *leader* agent
+(the paper's base station, BST) which, when present, always carries the
+highest index ``n_mobile``.
+
+Agent indices exist only at the simulation level: the protocols themselves
+never see them (agents are anonymous), but schedulers and fairness
+definitions are phrased in terms of *pairs of agents*, so the engine needs
+stable identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+#: An agent identity within a population.
+AgentId = int
+
+
+@dataclass(frozen=True)
+class Population:
+    """An anonymous population of ``n_mobile`` agents plus an optional leader.
+
+    Parameters
+    ----------
+    n_mobile:
+        Number of mobile (non-leader) agents; the paper's ``N``.  Must be
+        at least 1.
+    has_leader:
+        Whether a distinguishable leader agent is present.
+    """
+
+    n_mobile: int
+    has_leader: bool = False
+    _mobile_ids: tuple[AgentId, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_mobile < 1:
+            raise ConfigurationError(
+                f"a population needs at least one mobile agent, got {self.n_mobile}"
+            )
+        object.__setattr__(self, "_mobile_ids", tuple(range(self.n_mobile)))
+
+    @property
+    def size(self) -> int:
+        """Total number of agents, leader included."""
+        return self.n_mobile + (1 if self.has_leader else 0)
+
+    @property
+    def leader(self) -> AgentId | None:
+        """The leader's agent id, or ``None`` when there is no leader."""
+        return self.n_mobile if self.has_leader else None
+
+    @property
+    def mobile_agents(self) -> tuple[AgentId, ...]:
+        """Ids of the mobile agents, in index order."""
+        return self._mobile_ids
+
+    @property
+    def agents(self) -> tuple[AgentId, ...]:
+        """Ids of all agents (mobile agents first, then the leader)."""
+        if self.has_leader:
+            return self._mobile_ids + (self.n_mobile,)
+        return self._mobile_ids
+
+    def is_leader(self, agent: AgentId) -> bool:
+        """Return ``True`` when ``agent`` is the leader's id."""
+        return self.has_leader and agent == self.n_mobile
+
+    def unordered_pairs(self) -> Iterator[tuple[AgentId, AgentId]]:
+        """All unordered pairs of distinct agents (weak fairness unit)."""
+        return combinations(self.agents, 2)
+
+    def ordered_pairs(self) -> Iterator[tuple[AgentId, AgentId]]:
+        """All ordered pairs of distinct agents (scheduler proposals)."""
+        for x, y in combinations(self.agents, 2):
+            yield (x, y)
+            yield (y, x)
+
+    def pair_count(self) -> int:
+        """Number of unordered agent pairs."""
+        n = self.size
+        return n * (n - 1) // 2
+
+    def validate_agent(self, agent: AgentId) -> None:
+        """Raise :class:`ConfigurationError` unless ``agent`` is a valid id."""
+        if not 0 <= agent < self.size:
+            raise ConfigurationError(
+                f"agent id {agent} out of range for population of size {self.size}"
+            )

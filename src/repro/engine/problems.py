@@ -1,0 +1,139 @@
+"""Problem definitions: what it means for an execution to have converged.
+
+A (static) problem is a predicate on configurations; a protocol solves it
+when every fair execution reaches and never leaves the predicate (paper,
+Section 2).  For simulation purposes each problem supplies:
+
+* :meth:`Problem.is_satisfied` - the predicate itself, and
+* :meth:`Problem.is_stable`   - a *sufficient*, locally checkable condition
+  guaranteeing the predicate can never be falsified from here on.
+
+The engine certifies convergence only when both hold, so a reported
+convergence is a proof, not a heuristic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+
+from repro.engine.configuration import Configuration
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State
+
+
+def distinct_state_pairs(
+    config: Configuration,
+) -> set[tuple[State, State]]:
+    """The ordered state pairs realizable by some agent pair in ``config``.
+
+    Works on the multiset of states, so the cost is bounded by the square of
+    the number of *distinct* states rather than of agents.
+    """
+    from collections import Counter
+
+    counts = Counter(config.states)
+    pairs: set[tuple[State, State]] = set()
+    distinct = list(counts)
+    for s, t in combinations(distinct, 2):
+        pairs.add((s, t))
+        pairs.add((t, s))
+    for s, c in counts.items():
+        if c >= 2:
+            pairs.add((s, s))
+    return pairs
+
+
+def is_silent(protocol: PopulationProtocol, config: Configuration) -> bool:
+    """``True`` when every realizable interaction in ``config`` is null.
+
+    A silent configuration is terminal: no execution can ever leave it, so
+    any predicate holding here holds forever.
+    """
+    return all(
+        protocol.is_null(p, q) for p, q in distinct_state_pairs(config)
+    )
+
+
+class Problem(ABC):
+    """A static problem: a configuration predicate plus a stability test."""
+
+    #: Human-readable problem name.
+    display_name: str = "problem"
+
+    @abstractmethod
+    def is_satisfied(self, config: Configuration) -> bool:
+        """The problem predicate on a single configuration."""
+
+    def is_stable(
+        self, protocol: PopulationProtocol, config: Configuration
+    ) -> bool:
+        """Sufficient condition for the predicate to hold forever.
+
+        The default requires the configuration to be silent, which is the
+        right notion for all the paper's naming protocols (they terminate
+        with only null transitions).  Subclasses may weaken it when they can
+        argue stability differently (see :class:`CountingProblem`).
+        """
+        return is_silent(protocol, config)
+
+    def is_solved(
+        self, protocol: PopulationProtocol, config: Configuration
+    ) -> bool:
+        """Certified convergence: predicate holds and is stable."""
+        return self.is_satisfied(config) and self.is_stable(protocol, config)
+
+
+class NamingProblem(Problem):
+    """The paper's naming problem: every mobile agent eventually holds a
+    name that never changes again, and no two agents share a name."""
+
+    display_name = "naming"
+
+    def is_satisfied(self, config: Configuration) -> bool:
+        return config.names_distinct()
+
+
+class CountingProblem(Problem):
+    """The counting problem of Beauquier et al. (the Protocol 1 substrate):
+    the leader's guess ``n`` must converge to the exact population size.
+
+    Parameters
+    ----------
+    expected:
+        The true number of mobile agents ``N``.
+    count_of:
+        Extracts the leader's current count from its state (protocols store
+        it under different attribute layouts).
+    """
+
+    display_name = "counting"
+
+    def __init__(self, expected: int) -> None:
+        self.expected = expected
+
+    def is_satisfied(self, config: Configuration) -> bool:
+        leader = config.leader_state
+        return getattr(leader, "n", None) == self.expected
+
+    def is_stable(
+        self, protocol: PopulationProtocol, config: Configuration
+    ) -> bool:
+        """The count is stable when no realizable interaction changes it.
+
+        For Protocol 1 the guess ``n`` is non-decreasing, so it suffices
+        that no single interaction from the current configuration increments
+        it, *and* that no interaction creates a mobile state that could
+        later cause an increment.  We conservatively require that no
+        reachable one-step successor changes ``n``; combined with monotone
+        ``n`` and the protocol's correctness theorem this certifies the
+        simulation-level check used in tests (which additionally run extra
+        interactions and assert stability empirically).
+        """
+        n0 = getattr(config.leader_state, "n", None)
+        for p, q in distinct_state_pairs(config):
+            p2, q2 = protocol.transition(p, q)
+            for s in (p2, q2):
+                if getattr(s, "n", n0) != n0 and hasattr(s, "n"):
+                    return False
+        return True

@@ -1,0 +1,227 @@
+"""The population-protocol abstraction.
+
+A protocol is a deterministic pairwise transition function over a finite
+state space (paper, Section 2).  Concrete protocols subclass
+:class:`PopulationProtocol` and implement :meth:`transition` plus the state
+space descriptors; validators below check the model-level well-formedness
+conditions (determinism is structural, range discipline and symmetry are
+checked by enumeration).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.engine.state import State, is_leader_state
+from repro.errors import ProtocolError
+
+
+class PopulationProtocol(ABC):
+    """A deterministic population protocol.
+
+    Subclasses must set :attr:`display_name` and :attr:`symmetric` and
+    implement the abstract methods.  ``transition`` must be a pure function:
+    the engine may call it any number of times for the same inputs.
+    """
+
+    #: Human-readable protocol name (used in reports and reprs).
+    display_name: str = "population protocol"
+
+    #: Whether the protocol *claims* symmetric transition rules.  Verified
+    #: against the actual transition function by :func:`verify_symmetric`.
+    symmetric: bool = False
+
+    #: Whether the protocol requires a leader agent in the population.
+    requires_leader: bool = False
+
+    @abstractmethod
+    def transition(self, p: State, q: State) -> tuple[State, State]:
+        """The transition rule ``(p, q) -> (p', q')``.
+
+        ``p`` is the initiator's state and ``q`` the responder's.  Null
+        transitions return ``(p, q)`` unchanged.
+        """
+
+    @abstractmethod
+    def mobile_state_space(self) -> frozenset[State]:
+        """The finite set of states a mobile agent may hold."""
+
+    def leader_state_space(self) -> frozenset[State]:
+        """The finite set of reachable leader states (empty if leaderless).
+
+        Protocols with a leader must override this; the default reflects a
+        leaderless protocol.
+        """
+        return frozenset()
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+
+    def initial_mobile_state(self) -> State | None:
+        """The designated uniform initial mobile state, if the protocol
+        relies on uniform initialization; ``None`` for self-stabilizing
+        protocols (any mobile state is a legal start)."""
+        return None
+
+    def initial_leader_state(self) -> State | None:
+        """The designated initial leader state, if the protocol relies on an
+        initialized leader; ``None`` otherwise."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def num_mobile_states(self) -> int:
+        """The paper's space-complexity measure: states per mobile agent."""
+        return len(self.mobile_state_space())
+
+    def is_null(self, p: State, q: State) -> bool:
+        """Whether the rule applied to ``(p, q)`` leaves both unchanged."""
+        return self.transition(p, q) == (p, q)
+
+    def all_states(self) -> frozenset[State]:
+        """Union of mobile and leader state spaces."""
+        return self.mobile_state_space() | self.leader_state_space()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.display_name!r} "
+            f"({self.num_mobile_states} mobile states)>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Validators
+# ----------------------------------------------------------------------
+
+
+def _state_pairs(protocol: PopulationProtocol) -> Iterable[tuple[State, State]]:
+    """Ordered state pairs the engine could ever feed to ``transition``.
+
+    Leader/leader pairs are excluded: a population has at most one leader.
+    """
+    mobile = sorted(protocol.mobile_state_space(), key=repr)
+    leader = sorted(protocol.leader_state_space(), key=repr)
+    yield from product(mobile, mobile)
+    for ls in leader:
+        for ms in mobile:
+            yield (ls, ms)
+            yield (ms, ls)
+
+
+def verify_closure(protocol: PopulationProtocol) -> None:
+    """Check that every transition stays inside the declared state spaces
+    and preserves the mobile/leader role of each position.
+
+    Raises :class:`ProtocolError` on the first violation.
+    """
+    mobile = protocol.mobile_state_space()
+    leader = protocol.leader_state_space()
+    for p, q in _state_pairs(protocol):
+        try:
+            p2, q2 = protocol.transition(p, q)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise ProtocolError(
+                f"{protocol.display_name}: transition({p!r}, {q!r}) raised {exc!r}"
+            ) from exc
+        for before, after in ((p, p2), (q, q2)):
+            if is_leader_state(before):
+                if after not in leader:
+                    raise ProtocolError(
+                        f"{protocol.display_name}: leader state {before!r} "
+                        f"mapped outside the leader space: {after!r}"
+                    )
+            elif after not in mobile:
+                raise ProtocolError(
+                    f"{protocol.display_name}: mobile state {before!r} "
+                    f"mapped outside the mobile space: {after!r}"
+                )
+
+
+def verify_symmetric(protocol: PopulationProtocol) -> None:
+    """Check the paper's symmetry condition on the transition function:
+    ``(p, q) -> (p', q')`` implies ``(q, p) -> (q', p')``.
+
+    Raises :class:`ProtocolError` on the first violating pair.
+    """
+    for p, q in _state_pairs(protocol):
+        p2, q2 = protocol.transition(p, q)
+        q3, p3 = protocol.transition(q, p)
+        if (p2, q2) != (p3, q3):
+            raise ProtocolError(
+                f"{protocol.display_name}: asymmetric rule detected: "
+                f"({p!r}, {q!r}) -> ({p2!r}, {q2!r}) but "
+                f"({q!r}, {p!r}) -> ({q3!r}, {p3!r})"
+            )
+
+
+def verify_protocol(protocol: PopulationProtocol) -> None:
+    """Run all applicable well-formedness checks on ``protocol``."""
+    if protocol.requires_leader and not protocol.leader_state_space():
+        raise ProtocolError(
+            f"{protocol.display_name}: requires a leader but declares an "
+            "empty leader state space"
+        )
+    verify_closure(protocol)
+    if protocol.symmetric:
+        verify_symmetric(protocol)
+
+
+def asymmetric_witnesses(
+    protocol: PopulationProtocol,
+) -> list[tuple[State, State]]:
+    """Return the ordered pairs on which the protocol behaves asymmetrically.
+
+    Useful for reporting; an empty list means the transition function is
+    symmetric regardless of the protocol's declaration.
+    """
+    witnesses: list[tuple[State, State]] = []
+    for p, q in _state_pairs(protocol):
+        p2, q2 = protocol.transition(p, q)
+        q3, p3 = protocol.transition(q, p)
+        if (p2, q2) != (p3, q3):
+            witnesses.append((p, q))
+    return witnesses
+
+
+class TableProtocol(PopulationProtocol):
+    """A protocol defined by an explicit transition table.
+
+    Used by the exhaustive-enumeration lower-bound machinery
+    (:mod:`repro.analysis.enumeration`) and handy for tests.  The table maps
+    ordered state pairs to ordered state pairs; missing entries are null.
+    """
+
+    def __init__(
+        self,
+        table: dict[tuple[State, State], tuple[State, State]],
+        mobile_states: Sequence[State],
+        leader_states: Sequence[State] = (),
+        symmetric: bool = False,
+        display_name: str = "table protocol",
+    ) -> None:
+        self._table = dict(table)
+        self._mobile = frozenset(mobile_states)
+        self._leader = frozenset(leader_states)
+        self.symmetric = symmetric
+        self.requires_leader = bool(self._leader)
+        self.display_name = display_name
+
+    def transition(self, p: State, q: State) -> tuple[State, State]:
+        return self._table.get((p, q), (p, q))
+
+    def mobile_state_space(self) -> frozenset[State]:
+        return self._mobile
+
+    def leader_state_space(self) -> frozenset[State]:
+        return self._leader
+
+    @property
+    def table(self) -> dict[tuple[State, State], tuple[State, State]]:
+        """A copy of the non-null entries of the transition table."""
+        return dict(self._table)

@@ -1,0 +1,258 @@
+"""The simulation loop.
+
+A :class:`Simulator` drives a protocol on a population under a scheduler:
+repeatedly ask the scheduler for an ordered pair, apply the protocol's rule,
+record the interaction, periodically test for certified convergence, and
+optionally apply injected faults.
+
+Convergence is *certified* (see :mod:`repro.engine.problems`): the reported
+result is a proof that the problem predicate holds and can no longer be
+falsified, never a "looks quiet" heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol as TypingProtocol
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import Problem
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.trace import InteractionRecord, Trace
+from repro.errors import ConvergenceError, SimulationError
+from repro.schedulers.base import Scheduler
+
+
+class FaultHook(TypingProtocol):
+    """Callable invoked before each interaction; may corrupt the
+    configuration by returning a replacement (or ``None`` to keep it)."""
+
+    def __call__(
+        self, interaction: int, config: Configuration
+    ) -> Configuration | None: ...
+
+
+class Observer(TypingProtocol):
+    """Callable invoked after every *non-null* interaction with the
+    interaction index and the new configuration; used by invariant
+    monitors (see :mod:`repro.analysis.monitors`).  Must not mutate."""
+
+    def __call__(self, interaction: int, config: Configuration) -> None: ...
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run.
+
+    ``interactions`` counts scheduler proposals (null interactions
+    included), the model's natural time unit; ``parallel_time`` is the
+    standard normalization ``interactions / N``.
+    """
+
+    converged: bool
+    interactions: int
+    non_null_interactions: int
+    final_configuration: Configuration
+    population: Population
+    trace: Trace | None = None
+    convergence_interaction: int | None = None
+    faults_injected: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by the number of agents."""
+        return self.interactions / self.population.size
+
+    def names(self) -> tuple:
+        """The mobile agents' final states (their names)."""
+        return self.final_configuration.mobile_states
+
+    def __str__(self) -> str:
+        status = "converged" if self.converged else "did not converge"
+        return (
+            f"{status} after {self.interactions} interactions "
+            f"({self.non_null_interactions} non-null); "
+            f"names = {self.names()}"
+        )
+
+
+class Simulator:
+    """Runs one protocol on one population under one scheduler.
+
+    Parameters
+    ----------
+    protocol, population, scheduler:
+        The three moving parts.  The population must have a leader exactly
+        when the protocol requires one.
+    problem:
+        The convergence criterion.  ``None`` disables convergence checking
+        (the run simply uses its whole interaction budget).
+    check_interval:
+        Convergence is tested every ``check_interval`` interactions and
+        after every non-null interaction burst; larger values trade
+        detection latency for speed.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        population: Population,
+        scheduler: Scheduler,
+        problem: Problem | None = None,
+        check_interval: int | None = None,
+    ) -> None:
+        if protocol.requires_leader and not population.has_leader:
+            raise SimulationError(
+                f"{protocol.display_name} requires a leader but the "
+                "population has none"
+            )
+        if not protocol.requires_leader and population.has_leader:
+            raise SimulationError(
+                f"{protocol.display_name} is leaderless but the population "
+                "has a leader"
+            )
+        if scheduler.population is not population:
+            raise SimulationError(
+                "scheduler was built for a different population"
+            )
+        self.protocol = protocol
+        self.population = population
+        self.scheduler = scheduler
+        self.problem = problem
+        self.check_interval = check_interval or max(population.size, 16)
+
+    def run(
+        self,
+        initial: Configuration,
+        max_interactions: int = 1_000_000,
+        trace: Trace | None = None,
+        fault_hook: FaultHook | None = None,
+        raise_on_timeout: bool = False,
+        observer: Observer | None = None,
+    ) -> SimulationResult:
+        """Execute until certified convergence or the budget is exhausted.
+
+        Parameters
+        ----------
+        initial:
+            Starting configuration (size must match the population).
+        max_interactions:
+            Interaction budget.
+        trace:
+            Optional trace buffer to fill.
+        fault_hook:
+            Optional fault injector consulted before every interaction.
+        raise_on_timeout:
+            When true, a budget exhaustion raises :class:`ConvergenceError`
+            instead of returning a non-converged result.
+        observer:
+            Optional callback fired after every non-null interaction with
+            ``(interaction_index, new_configuration)`` - the hook for
+            runtime invariant monitors.
+        """
+        if len(initial) != self.population.size:
+            raise SimulationError(
+                f"initial configuration has {len(initial)} agents, "
+                f"population has {self.population.size}"
+            )
+        config = initial
+        non_null = 0
+        faults = 0
+        converged_at: int | None = None
+        quiescent_since_check = True
+
+        # With a fault hook, interaction-0 faults must land before any
+        # convergence verdict, so the initial check is skipped.
+        if (
+            fault_hook is None
+            and self.problem is not None
+            and self.problem.is_solved(self.protocol, config)
+        ):
+            converged_at = 0
+
+        interaction = 0
+        while interaction < max_interactions and converged_at is None:
+            if fault_hook is not None:
+                replacement = fault_hook(interaction, config)
+                if replacement is not None:
+                    config = replacement
+                    faults += 1
+                    quiescent_since_check = False
+
+            initiator, responder = self.scheduler.next_pair(config)
+            p = config.state_of(initiator)
+            q = config.state_of(responder)
+            p2, q2 = self.protocol.transition(p, q)
+            changed = (p2, q2) != (p, q)
+            if changed:
+                config = config.apply(initiator, responder, (p2, q2))
+                non_null += 1
+                quiescent_since_check = False
+                if observer is not None:
+                    observer(interaction, config)
+            if trace is not None:
+                trace.record(
+                    InteractionRecord(
+                        interaction, initiator, responder, p, q, p2, q2
+                    )
+                )
+            interaction += 1
+
+            if (
+                self.problem is not None
+                and not quiescent_since_check
+                and interaction % self.check_interval == 0
+            ):
+                if self.problem.is_solved(self.protocol, config):
+                    converged_at = interaction
+                quiescent_since_check = True
+
+        # Final check: the budget may end mid check-interval.
+        if (
+            converged_at is None
+            and self.problem is not None
+            and self.problem.is_solved(self.protocol, config)
+        ):
+            converged_at = interaction
+
+        converged = converged_at is not None
+        if not converged and raise_on_timeout:
+            raise ConvergenceError(
+                f"{self.protocol.display_name} did not converge within "
+                f"{max_interactions} interactions",
+                interactions=interaction,
+            )
+        return SimulationResult(
+            converged=converged,
+            interactions=interaction,
+            non_null_interactions=non_null,
+            final_configuration=config,
+            population=self.population,
+            trace=trace,
+            convergence_interaction=converged_at,
+            faults_injected=faults,
+        )
+
+
+def run_protocol(
+    protocol: PopulationProtocol,
+    population: Population,
+    scheduler: Scheduler,
+    initial: Configuration,
+    problem: Problem,
+    max_interactions: int = 1_000_000,
+    trace: Trace | None = None,
+    fault_hook: Callable | None = None,
+    raise_on_timeout: bool = False,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(protocol, population, scheduler, problem)
+    return simulator.run(
+        initial,
+        max_interactions=max_interactions,
+        trace=trace,
+        fault_hook=fault_hook,
+        raise_on_timeout=raise_on_timeout,
+    )

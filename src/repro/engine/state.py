@@ -1,0 +1,40 @@
+"""State representations for population-protocol agents.
+
+The paper's mobile agents carry a single bounded integer (their *name*), so
+mobile states are plain ``int`` values.  The leader ("BST" in the paper) "can
+be as powerful as needed"; each protocol defines its leader state as a frozen
+dataclass deriving from :class:`LeaderState`, which keeps leader states
+hashable, immutable and easily distinguishable from mobile states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, TypeAlias
+
+#: Any agent state.  Mobile states are ``int``; leader states derive from
+#: :class:`LeaderState`.
+State: TypeAlias = Hashable
+
+#: A mobile-agent state (a name, or the special sink value).
+MobileState: TypeAlias = int
+
+
+@dataclass(frozen=True)
+class LeaderState:
+    """Base class for leader (base-station) states.
+
+    Subclasses are frozen dataclasses holding the leader's variables, e.g.
+    ``n`` and ``k`` for the counting protocol.  Deriving from a common base
+    lets generic code ask "is this agent the leader?" by state type alone.
+    """
+
+
+def is_leader_state(state: State) -> bool:
+    """Return ``True`` when ``state`` is a leader state."""
+    return isinstance(state, LeaderState)
+
+
+def is_mobile_state(state: State) -> bool:
+    """Return ``True`` when ``state`` is a mobile-agent state."""
+    return isinstance(state, int) and not isinstance(state, bool)

@@ -1,0 +1,142 @@
+"""Execution traces: bounded-memory records of what a simulation did.
+
+Traces record interaction events (who met whom, which rule fired) and are
+deliberately optional: long benchmark runs disable them, tests and the
+examples use them to explain executions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import AgentId
+from repro.engine.state import State
+
+
+@dataclass(frozen=True, slots=True)
+class InteractionRecord:
+    """One pairwise interaction.
+
+    ``step`` counts interactions from 0; ``initiator``/``responder`` are
+    agent ids; the remaining fields give the applied rule
+    ``(before_initiator, before_responder) -> (after_initiator,
+    after_responder)``.
+    """
+
+    step: int
+    initiator: AgentId
+    responder: AgentId
+    before_initiator: State
+    before_responder: State
+    after_initiator: State
+    after_responder: State
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the interaction left both agents unchanged."""
+        return (
+            self.before_initiator == self.after_initiator
+            and self.before_responder == self.after_responder
+        )
+
+    def rule(self) -> tuple[tuple[State, State], tuple[State, State]]:
+        """The transition rule applied, as ``((p, q), (p', q'))``."""
+        return (
+            (self.before_initiator, self.before_responder),
+            (self.after_initiator, self.after_responder),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.step}: agents ({self.initiator}, {self.responder}) "
+            f"({self.before_initiator!r}, {self.before_responder!r}) -> "
+            f"({self.after_initiator!r}, {self.after_responder!r})"
+        )
+
+
+class Trace:
+    """A bounded buffer of interaction records.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of records retained; older records are dropped.
+        ``None`` keeps everything (use only for short runs).
+    record_null:
+        Whether null interactions are recorded too.  Defaults to ``False``
+        because fair schedulers generate vast numbers of null meetings.
+    """
+
+    def __init__(
+        self, capacity: int | None = 10_000, record_null: bool = False
+    ) -> None:
+        self._records: deque[InteractionRecord] = deque(maxlen=capacity)
+        self._record_null = record_null
+        self._total_recorded = 0
+        self._total_non_null = 0
+
+    def record(self, record: InteractionRecord) -> None:
+        """Append a record, respecting the null-filtering policy."""
+        if not record.is_null:
+            self._total_non_null += 1
+        elif not self._record_null:
+            return
+        self._records.append(record)
+        self._total_recorded += 1
+
+    @property
+    def records(self) -> list[InteractionRecord]:
+        """The retained records, oldest first."""
+        return list(self._records)
+
+    @property
+    def total_recorded(self) -> int:
+        """Number of records ever offered and accepted (pre-eviction)."""
+        return self._total_recorded
+
+    @property
+    def total_non_null(self) -> int:
+        """Number of non-null interactions observed, recorded or not."""
+        return self._total_non_null
+
+    def __iter__(self) -> Iterator[InteractionRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def rules_fired(self) -> list[tuple[tuple[State, State], tuple[State, State]]]:
+        """The distinct non-null rules among retained records."""
+        seen: dict = {}
+        for rec in self._records:
+            if not rec.is_null:
+                seen.setdefault(rec.rule(), None)
+        return list(seen)
+
+    def describe(self, limit: int = 20) -> str:
+        """A human-readable summary of the most recent records."""
+        lines = [str(rec) for rec in list(self._records)[-limit:]]
+        header = (
+            f"trace: {len(self._records)} retained / "
+            f"{self._total_recorded} recorded, "
+            f"{self._total_non_null} non-null interactions"
+        )
+        return "\n".join([header, *lines])
+
+
+def replay(
+    initial: Configuration, records: list[InteractionRecord]
+) -> Configuration:
+    """Re-apply a list of records to a configuration.
+
+    Used by tests to confirm that traces faithfully describe executions.
+    """
+    config = initial
+    for rec in records:
+        config = config.apply(
+            rec.initiator, rec.responder, (rec.after_initiator, rec.after_responder)
+        )
+    return config

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers
+can catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ProtocolError(ReproError):
+    """A protocol definition is malformed (non-deterministic, out-of-range
+    states, broken symmetry, ...)."""
+
+
+class InfeasibleSpecError(ReproError):
+    """A model specification for which the paper proves naming impossible.
+
+    Attributes
+    ----------
+    proposition:
+        The label of the paper statement establishing impossibility
+        (e.g. ``"Proposition 1"``).
+    """
+
+    def __init__(self, message: str, proposition: str = "") -> None:
+        super().__init__(message)
+        self.proposition = proposition
+
+
+class ConfigurationError(ReproError):
+    """A configuration is inconsistent with the population it describes."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler was asked to do something it cannot
+    (e.g. schedule pairs in a population of size one)."""
+
+
+class SimulationError(ReproError):
+    """The simulation loop detected an inconsistency at run time."""
+
+
+class ConvergenceError(SimulationError):
+    """A simulation failed to converge within its interaction budget."""
+
+    def __init__(self, message: str, interactions: int = 0) -> None:
+        super().__init__(message)
+        self.interactions = interactions
+
+
+class VerificationError(ReproError):
+    """A model-checking or enumeration routine received invalid input."""

@@ -1,0 +1,185 @@
+"""Experiment ``exp-s1``: convergence cost versus population size.
+
+The paper is an exact *space* study and makes no time claims; this
+supplementary experiment measures what the space-optimal protocols cost in
+interactions, for each positive Table 1 cell, under the randomized
+scheduler (the standard cost model of the population-protocol literature).
+
+``python -m repro.experiments.convergence`` prints one series per protocol:
+mean/median/p90 interactions to certified convergence as ``N`` grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from dataclasses import dataclass
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.leader_uniform import LeaderUniformNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.simulator import Simulator
+from repro.errors import ConvergenceError
+from repro.experiments.report import render_table
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """Summary of one (protocol, N) cell."""
+
+    protocol: str
+    n_mobile: int
+    bound: int
+    summary: Summary
+
+
+def _initial_for(
+    protocol: PopulationProtocol,
+    population: Population,
+    rng: random.Random,
+    uniform: bool,
+) -> Configuration:
+    mobile_space = sorted(protocol.mobile_state_space())
+    leader = (
+        protocol.initial_leader_state() if population.has_leader else None
+    )
+    if uniform:
+        designated = protocol.initial_mobile_state()
+        value = designated if designated is not None else mobile_space[0]
+        return Configuration.uniform(population, value, leader)
+    mobiles = tuple(
+        rng.choice(mobile_space) for _ in range(population.n_mobile)
+    )
+    return Configuration.from_states(population, mobiles, leader)
+
+
+def measure(
+    protocol: PopulationProtocol,
+    n_mobile: int,
+    bound: int,
+    seeds: range,
+    budget: int,
+    uniform: bool = False,
+) -> SeriesPoint:
+    """Interactions-to-convergence sample for one protocol instance."""
+    sample: list[int] = []
+    problem = NamingProblem()
+    for seed in seeds:
+        rng = random.Random(seed)
+        population = Population(n_mobile, protocol.requires_leader)
+        scheduler = RandomPairScheduler(population, seed=seed)
+        simulator = Simulator(protocol, population, scheduler, problem)
+        initial = _initial_for(protocol, population, rng, uniform)
+        result = simulator.run(initial, max_interactions=budget)
+        if not result.converged:
+            raise ConvergenceError(
+                f"{protocol.display_name} (N={n_mobile}, seed={seed}) "
+                f"did not converge within {budget} interactions",
+                interactions=result.interactions,
+            )
+        assert result.convergence_interaction is not None
+        sample.append(result.convergence_interaction)
+    return SeriesPoint(
+        protocol=protocol.display_name,
+        n_mobile=n_mobile,
+        bound=bound,
+        summary=summarize(sample),
+    )
+
+
+def protocol_series(bound: int) -> list[tuple[PopulationProtocol, list[int], bool]]:
+    """The (protocol, sizes, uniform-start) series measured by default.
+
+    Protocol 3's ``N = P`` point is included only for small bounds (its
+    randomized cost grows super-exponentially; the paper makes no time
+    claims there).
+    """
+    sizes_full = list(range(2, bound + 1))
+    sizes_gt2 = [n for n in sizes_full if n > 2]
+    protocol3_sizes = [
+        n for n in sizes_full if n < bound or bound <= 3
+    ]
+    return [
+        (AsymmetricNamingProtocol(bound), sizes_full, False),
+        (SymmetricGlobalNamingProtocol(bound), sizes_gt2, False),
+        (LeaderUniformNamingProtocol(bound), sizes_full, True),
+        (SelfStabilizingNamingProtocol(bound), sizes_full, False),
+        (GlobalNamingProtocol(bound), protocol3_sizes, False),
+    ]
+
+
+def run_convergence(
+    bound: int = 8,
+    runs: int = 20,
+    budget: int = 2_000_000,
+) -> list[SeriesPoint]:
+    """Measure every default series; returns all points."""
+    points: list[SeriesPoint] = []
+    for protocol, sizes, uniform in protocol_series(bound):
+        for n in sizes:
+            points.append(
+                measure(
+                    protocol,
+                    n,
+                    bound,
+                    seeds=range(runs),
+                    budget=budget,
+                    uniform=uniform,
+                )
+            )
+    return points
+
+
+def render_points(points: list[SeriesPoint]) -> str:
+    """Render the convergence series as an aligned text table."""
+    rows = [
+        (
+            p.protocol,
+            p.n_mobile,
+            p.bound,
+            f"{p.summary.mean:.0f}",
+            f"{p.summary.median:.0f}",
+            f"{p.summary.p90:.0f}",
+            p.summary.maximum,
+        )
+        for p in points
+    ]
+    return render_table(
+        ("protocol", "N", "P", "mean", "median", "p90", "max"),
+        rows,
+        title="interactions to certified convergence (random scheduler)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run exp-s1 from the command line."""
+    parser = argparse.ArgumentParser(
+        description="Convergence cost of the naming protocols."
+    )
+    parser.add_argument("--bound", type=int, default=8)
+    parser.add_argument("--runs", type=int, default=20)
+    parser.add_argument("--budget", type=int, default=2_000_000)
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the series as JSON"
+    )
+    args = parser.parse_args(argv)
+    points = run_convergence(args.bound, args.runs, args.budget)
+    print(render_points(points))
+    if args.json:
+        from repro.reporting.jsonio import dump
+
+        dump(points, args.json)
+        print(f"\nJSON written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

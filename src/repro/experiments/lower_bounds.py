@@ -1,0 +1,167 @@
+"""Experiment ``exp-s3``: machine-verified lower bounds by exhaustion.
+
+For tiny state counts the space of deterministic protocols is finite;
+enumerating it verifies the paper's negative results outright on those
+instances:
+
+* Proposition 2 (no ``P``-state symmetric leaderless naming, either
+  fairness, even uniform init) at ``P = 2`` and ``P = 3``;
+* Proposition 1 via weak-fairness checking of the same families;
+* Proposition 4 / Theorem 11 at ``P = 2`` with bounded leader spaces
+  (``L = 1, 2``), under both leader-initialization models;
+* the positive contrast: *asymmetric* two-state protocols do solve naming
+  (Proposition 12's rule among them).
+
+``python -m repro.experiments.lower_bounds`` prints the verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.analysis.enumeration import (
+    EnumerationResult,
+    asymmetric_leaderless_protocols,
+    search,
+    symmetric_leaderless_protocols,
+    symmetric_leadered_protocols,
+)
+from repro.core.spec import Fairness, MobileInit
+from repro.experiments.report import check_mark, render_table
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One exhaustive verification row."""
+
+    claim: str
+    expect_solvers: bool
+    result: EnumerationResult
+    seconds: float
+
+    @property
+    def matches(self) -> bool:
+        return self.result.any_solves == self.expect_solvers
+
+
+def default_checks(include_p3: bool = True) -> list[BoundCheck]:
+    """Run the standard battery of exhaustive verifications."""
+    checks: list[BoundCheck] = []
+
+    def run(
+        claim: str, expect_solvers: bool, protocols, **kwargs
+    ) -> None:
+        start = time.perf_counter()
+        result = search(protocols, **kwargs)
+        checks.append(
+            BoundCheck(
+                claim, expect_solvers, result, time.perf_counter() - start
+            )
+        )
+
+    # Proposition 2 at P = 2: global fairness (the easier setting for a
+    # protocol - refuting it under global refutes it under weak too).
+    run(
+        "Prop. 2, P=2: no 2-state symmetric leaderless protocol (global)",
+        False,
+        symmetric_leaderless_protocols(2),
+        sizes=[2],
+        fairness=Fairness.GLOBAL,
+    )
+    run(
+        "Prop. 2, P=2: ... even with uniform initialization",
+        False,
+        symmetric_leaderless_protocols(2),
+        sizes=[2],
+        fairness=Fairness.GLOBAL,
+        mobile_init=MobileInit.UNIFORM,
+    )
+    # Proposition 1 flavour: weak fairness refutation of the same family.
+    run(
+        "Prop. 1, P=2: no 2-state symmetric leaderless protocol (weak)",
+        False,
+        symmetric_leaderless_protocols(2),
+        sizes=[2],
+        fairness=Fairness.WEAK,
+        mobile_init=MobileInit.UNIFORM,
+    )
+    # The asymmetric contrast (Proposition 12 exists).
+    run(
+        "Prop. 12 contrast: some 2-state ASYMMETRIC protocols do solve",
+        True,
+        asymmetric_leaderless_protocols(2),
+        sizes=[2],
+        fairness=Fairness.WEAK,
+    )
+    # Theorem 11 at P = 2 with a bounded leader: initialized leader,
+    # arbitrary mobile agents, weak fairness.
+    for leader_states in (1, 2):
+        run(
+            f"Thm. 11, P=2, L={leader_states}: no 2-state symmetric naming "
+            "with initialized leader (weak)",
+            False,
+            symmetric_leadered_protocols(2, leader_states),
+            sizes=[2],
+            fairness=Fairness.WEAK,
+        )
+    # Proposition 4 at P = 2: arbitrarily initialized leader, global.
+    run(
+        "Prop. 4, P=2, L=2: no 2-state symmetric naming with "
+        "NON-initialized leader (global)",
+        False,
+        symmetric_leadered_protocols(2, 2),
+        sizes=[2],
+        fairness=Fairness.GLOBAL,
+        arbitrary_leader=True,
+    )
+    if include_p3:
+        run(
+            "Prop. 2, P=3: no 3-state symmetric leaderless protocol "
+            "(global, N in {3, 2})",
+            False,
+            symmetric_leaderless_protocols(3),
+            sizes=[3, 2],
+            fairness=Fairness.GLOBAL,
+        )
+    return checks
+
+
+def render_checks(checks: list[BoundCheck]) -> str:
+    """Render the exhaustive-verification battery as a text table."""
+    rows = [
+        (
+            c.claim,
+            c.result.total,
+            len(c.result.solving),
+            f"{c.seconds:.1f}s",
+            check_mark(c.matches),
+        )
+        for c in checks
+    ]
+    return render_table(
+        ("claim", "protocols", "solvers", "time", "verdict"),
+        rows,
+        title="exhaustive lower-bound verification",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run exp-s3 from the command line."""
+    parser = argparse.ArgumentParser(
+        description="Machine-verify the paper's lower bounds by exhaustion."
+    )
+    parser.add_argument(
+        "--skip-p3",
+        action="store_true",
+        help="skip the (slow) 19683-protocol P=3 sweep",
+    )
+    args = parser.parse_args(argv)
+    checks = default_checks(include_p3=not args.skip_p3)
+    print(render_checks(checks))
+    return 0 if all(c.matches for c in checks) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

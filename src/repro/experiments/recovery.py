@@ -1,0 +1,227 @@
+"""Experiment ``exp-s2``: self-stabilizing recovery after transient faults.
+
+The paper motivates its exact space analysis with transient memory
+corruption: "the less volatile memory is used by a protocol, the less it is
+vulnerable to corruptions".  This experiment makes the claim concrete: each
+self-stabilizing protocol is run to certified convergence, its state is
+then corrupted (a few agents, all agents, or the leader's variables), and
+re-convergence is measured.
+
+``python -m repro.experiments.recovery`` prints the recovery costs.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.selfstab_naming import (
+    SelfStabilizingNamingProtocol,
+    SelfStabLeaderState,
+)
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.simulator import Simulator
+from repro.errors import ConvergenceError
+from repro.experiments.report import render_table
+from repro.faults.injection import (
+    Corruption,
+    corrupt_all_mobile_to,
+    corrupt_leader_to,
+    corrupt_random_mobile,
+)
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+@dataclass(frozen=True)
+class RecoveryPoint:
+    """Recovery cost for one (protocol, corruption) pair."""
+
+    protocol: str
+    corruption: str
+    n_mobile: int
+    summary: Summary
+
+
+def _converge(
+    protocol: PopulationProtocol,
+    population: Population,
+    seed: int,
+    budget: int,
+) -> Configuration:
+    """Run from an adversarial uniform start to certified convergence."""
+    scheduler = RandomPairScheduler(population, seed=seed)
+    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    mobile0 = sorted(protocol.mobile_state_space())[0]
+    leader = protocol.initial_leader_state() if population.has_leader else None
+    initial = Configuration.uniform(population, mobile0, leader)
+    result = simulator.run(initial, max_interactions=budget)
+    if not result.converged:
+        raise ConvergenceError(
+            f"{protocol.display_name} failed its pre-fault convergence",
+            interactions=result.interactions,
+        )
+    return result.final_configuration
+
+
+def measure_recovery(
+    protocol: PopulationProtocol,
+    population: Population,
+    corruption: Corruption,
+    label: str,
+    seeds: range,
+    budget: int,
+) -> RecoveryPoint:
+    """Corrupt a converged configuration and measure re-convergence."""
+    sample: list[int] = []
+    for seed in seeds:
+        converged = _converge(protocol, population, seed, budget)
+        corrupted = corruption(converged)
+        scheduler = RandomPairScheduler(population, seed=seed + 10_000)
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(corrupted, max_interactions=budget)
+        if not result.converged:
+            raise ConvergenceError(
+                f"{protocol.display_name} did not recover from {label}",
+                interactions=result.interactions,
+            )
+        assert result.convergence_interaction is not None
+        sample.append(result.convergence_interaction)
+    return RecoveryPoint(
+        protocol=protocol.display_name,
+        corruption=label,
+        n_mobile=population.n_mobile,
+        summary=summarize(sample),
+    )
+
+
+def run_recovery(
+    bound: int = 8,
+    n_mobile: int = 6,
+    runs: int = 15,
+    budget: int = 2_000_000,
+) -> list[RecoveryPoint]:
+    """The default recovery study over the self-stabilizing protocols."""
+    points: list[RecoveryPoint] = []
+
+    # Asymmetric protocol (Prop. 12): leaderless, self-stabilizing.
+    protocol: PopulationProtocol = AsymmetricNamingProtocol(bound)
+    population = Population(n_mobile)
+    for count in (1, n_mobile // 2, n_mobile):
+        label = f"corrupt {count} mobile agent(s)"
+        points.append(
+            measure_recovery(
+                protocol,
+                population,
+                corrupt_random_mobile(population, protocol, count, seed=99),
+                label,
+                range(runs),
+                budget,
+            )
+        )
+    points.append(
+        measure_recovery(
+            protocol,
+            population,
+            corrupt_all_mobile_to(population, 0),
+            "all mobile agents to one name",
+            range(runs),
+            budget,
+        )
+    )
+
+    # Symmetric leaderless protocol (Prop. 13).
+    protocol = SymmetricGlobalNamingProtocol(bound)
+    points.append(
+        measure_recovery(
+            protocol,
+            population,
+            corrupt_all_mobile_to(population, bound),
+            "all mobile agents to the reset state",
+            range(runs),
+            budget,
+        )
+    )
+
+    # Protocol 2 (Prop. 16): leader included in the fault model.
+    protocol = SelfStabilizingNamingProtocol(bound)
+    leadered = Population(n_mobile, has_leader=True)
+    points.append(
+        measure_recovery(
+            protocol,
+            leadered,
+            corrupt_all_mobile_to(leadered, 0),
+            "all mobile agents to the sink",
+            range(runs),
+            budget,
+        )
+    )
+    overflowed = SelfStabLeaderState(bound + 1, 2**bound)
+    points.append(
+        measure_recovery(
+            protocol,
+            leadered,
+            corrupt_leader_to(leadered, overflowed),
+            "leader guess overflowed (names untouched: benign)",
+            range(runs),
+            budget,
+        )
+    )
+    amnesia = SelfStabLeaderState(0, 0)
+    points.append(
+        measure_recovery(
+            protocol,
+            leadered,
+            corrupt_leader_to(leadered, amnesia),
+            "leader forgets its count (renames from scratch)",
+            range(runs),
+            budget,
+        )
+    )
+    return points
+
+
+def render_points(points: list[RecoveryPoint]) -> str:
+    """Render the recovery measurements as an aligned text table."""
+    rows = [
+        (
+            p.protocol,
+            p.corruption,
+            p.n_mobile,
+            f"{p.summary.mean:.0f}",
+            f"{p.summary.p90:.0f}",
+            p.summary.maximum,
+        )
+        for p in points
+    ]
+    return render_table(
+        ("protocol", "corruption", "N", "mean", "p90", "max"),
+        rows,
+        title="interactions to re-convergence after transient corruption",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run exp-s2 from the command line."""
+    parser = argparse.ArgumentParser(
+        description="Self-stabilizing recovery measurements."
+    )
+    parser.add_argument("--bound", type=int, default=8)
+    parser.add_argument("--n", type=int, default=6, dest="n_mobile")
+    parser.add_argument("--runs", type=int, default=15)
+    parser.add_argument("--budget", type=int, default=2_000_000)
+    args = parser.parse_args(argv)
+    points = run_recovery(args.bound, args.n_mobile, args.runs, args.budget)
+    print(render_points(points))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

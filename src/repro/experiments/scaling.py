@@ -1,0 +1,184 @@
+"""Experiment ``exp-s5``: exact-verification scaling.
+
+How far does each verification technique reach?  This experiment measures
+explored state-space sizes and wall-clock time for the labelled checker,
+the quotient checker and the weak-fairness checker across instance sizes,
+on the paper's protocols.  It quantifies the reproduction's verification
+story: the quotient abstraction buys roughly ``N!`` and pushes exact
+verification past everything simulation can certify (most strikingly
+Protocol 3 at ``N = P = 5``).
+
+``python -m repro.experiments.scaling`` prints the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.analysis.model_checker import check_naming_global
+from repro.analysis.quotient import (
+    arbitrary_quotient_initials,
+    check_naming_global_quotient,
+)
+from repro.analysis.reachability import arbitrary_initial_configurations
+from repro.analysis.weak_fairness import check_naming_weak
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.population import Population
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One (protocol, size, technique) measurement."""
+
+    protocol: str
+    n_mobile: int
+    bound: int
+    technique: str
+    nodes: int
+    seconds: float
+    solves: bool
+
+
+def _measure(label, protocol, n, bound, technique, check) -> ScalePoint:
+    start = time.perf_counter()
+    verdict = check()
+    return ScalePoint(
+        protocol=label,
+        n_mobile=n,
+        bound=bound,
+        technique=technique,
+        nodes=verdict.explored_nodes,
+        seconds=time.perf_counter() - start,
+        solves=verdict.solves,
+    )
+
+
+def run_scaling(max_quotient_n: int = 6) -> list[ScalePoint]:
+    """The default scaling study."""
+    points: list[ScalePoint] = []
+
+    # Proposition 13's protocol: labelled vs quotient, N = P.
+    for n in range(3, max_quotient_n + 1):
+        protocol = SymmetricGlobalNamingProtocol(n)
+        population = Population(n)
+        if n <= 4:  # labelled blow-up: (n+1)^n nodes
+            points.append(
+                _measure(
+                    "Prop. 13",
+                    protocol,
+                    n,
+                    n,
+                    "global (labelled)",
+                    lambda p=protocol, pop=population: check_naming_global(
+                        p, pop, arbitrary_initial_configurations(p, pop)
+                    ),
+                )
+            )
+        points.append(
+            _measure(
+                "Prop. 13",
+                protocol,
+                n,
+                n,
+                "global (quotient)",
+                lambda p=protocol, n_=n: check_naming_global_quotient(
+                    p, arbitrary_quotient_initials(p, n_)
+                ),
+            )
+        )
+
+    # Protocol 3: the N = P case nobody can simulate.
+    for n in range(2, min(max_quotient_n, 5) + 1):
+        protocol = GlobalNamingProtocol(n)
+        leaders = [protocol.initial_leader_state()]
+        if n <= 4:
+            population = Population(n, has_leader=True)
+            points.append(
+                _measure(
+                    "Protocol 3",
+                    protocol,
+                    n,
+                    n,
+                    "global (labelled)",
+                    lambda p=protocol, pop=population, ls=leaders: (
+                        check_naming_global(
+                            p,
+                            pop,
+                            arbitrary_initial_configurations(p, pop, ls),
+                        )
+                    ),
+                )
+            )
+        points.append(
+            _measure(
+                "Protocol 3",
+                protocol,
+                n,
+                n,
+                "global (quotient)",
+                lambda p=protocol, n_=n, ls=leaders: (
+                    check_naming_global_quotient(
+                        p, arbitrary_quotient_initials(p, n_, ls)
+                    )
+                ),
+            )
+        )
+
+    # Protocol 2 under the weak checker (self-stabilizing: full space).
+    for n in (2, 3):
+        protocol = SelfStabilizingNamingProtocol(n)
+        population = Population(n, has_leader=True)
+        points.append(
+            _measure(
+                "Protocol 2",
+                protocol,
+                n,
+                n,
+                "weak (labelled)",
+                lambda p=protocol, pop=population: check_naming_weak(
+                    p, pop, arbitrary_initial_configurations(p, pop)
+                ),
+            )
+        )
+    return points
+
+
+def render_points(points: list[ScalePoint]) -> str:
+    """Render the scaling measurements as an aligned text table."""
+    rows = [
+        (
+            p.protocol,
+            p.n_mobile,
+            p.technique,
+            p.nodes,
+            f"{p.seconds * 1000:.0f} ms",
+            "solves" if p.solves else "FAILS",
+        )
+        for p in points
+    ]
+    return render_table(
+        ("protocol", "N = P", "technique", "explored", "time", "verdict"),
+        rows,
+        title="exact-verification scaling (exp-s5)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run exp-s5 from the command line."""
+    parser = argparse.ArgumentParser(
+        description="Exact-verification scaling measurements."
+    )
+    parser.add_argument("--max-n", type=int, default=6)
+    args = parser.parse_args(argv)
+    points = run_scaling(max_quotient_n=args.max_n)
+    print(render_points(points))
+    return 0 if all(p.solves for p in points) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Transient-fault injection for self-stabilization experiments."""
+
+from repro.faults.injection import (
+    Corruption,
+    FaultEvent,
+    FaultPlan,
+    corrupt_agents,
+    corrupt_all_mobile_to,
+    corrupt_leader_to,
+    corrupt_random_mobile,
+    scramble_everything,
+)
+
+__all__ = [
+    "Corruption",
+    "FaultEvent",
+    "FaultPlan",
+    "corrupt_agents",
+    "corrupt_all_mobile_to",
+    "corrupt_leader_to",
+    "corrupt_random_mobile",
+    "scramble_everything",
+]

@@ -1,0 +1,154 @@
+"""Transient-fault injection.
+
+Self-stabilization (the paper's fault-tolerance notion) means convergence
+from *arbitrary* configurations - equivalently, recovery after transient
+memory corruption.  A :class:`FaultPlan` schedules corruption events along
+a simulation; each event rewrites part of the configuration.  The recovery
+experiments corrupt converged populations and measure how many further
+interactions re-convergence takes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State
+from repro.errors import ReproError
+
+#: A corruption: maps the configuration at the fault instant to a new one.
+Corruption = Callable[[Configuration], Configuration]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled corruption at a given interaction index."""
+
+    at_interaction: int
+    corruption: Corruption
+    label: str = "fault"
+
+
+@dataclass
+class FaultPlan:
+    """A set of corruption events, consumable as a simulator fault hook."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    applied: list[str] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> None:
+        """Schedule one corruption event (kept sorted by time)."""
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at_interaction)
+
+    def hook(
+        self, interaction: int, config: Configuration
+    ) -> Configuration | None:
+        """Simulator fault hook: apply all events due at this interaction."""
+        due = [e for e in self.events if e.at_interaction == interaction]
+        if not due:
+            return None
+        for event in due:
+            config = event.corruption(config)
+            self.applied.append(event.label)
+        return config
+
+    __call__ = hook
+
+
+# ----------------------------------------------------------------------
+# Corruption builders
+# ----------------------------------------------------------------------
+
+
+def corrupt_agents(
+    agents: Sequence[int], states: Sequence[State]
+) -> Corruption:
+    """Set the given agents to the given states."""
+    if len(agents) != len(states):
+        raise ReproError(
+            f"{len(agents)} agents but {len(states)} replacement states"
+        )
+    updates = dict(zip(agents, states))
+
+    def corruption(config: Configuration) -> Configuration:
+        return config.replace(updates)
+
+    return corruption
+
+
+def corrupt_all_mobile_to(
+    population: Population, state: State
+) -> Corruption:
+    """Adversarial worst case: every mobile agent collapses to one state."""
+
+    def corruption(config: Configuration) -> Configuration:
+        return config.replace(
+            {agent: state for agent in population.mobile_agents}
+        )
+
+    return corruption
+
+
+def corrupt_random_mobile(
+    population: Population,
+    protocol: PopulationProtocol,
+    count: int,
+    seed: int,
+) -> Corruption:
+    """Corrupt ``count`` randomly chosen mobile agents to random legal
+    states."""
+
+    def corruption(config: Configuration) -> Configuration:
+        rng = random.Random(seed)
+        space = sorted(protocol.mobile_state_space())
+        victims = rng.sample(population.mobile_agents, count)
+        return config.replace(
+            {agent: rng.choice(space) for agent in victims}
+        )
+
+    return corruption
+
+
+def corrupt_leader_to(population: Population, state: State) -> Corruption:
+    """Overwrite the leader's memory (e.g. a bogus count or pointer)."""
+    leader = population.leader
+    if leader is None:
+        raise ReproError("population has no leader to corrupt")
+
+    def corruption(config: Configuration) -> Configuration:
+        return config.replace({leader: state})
+
+    return corruption
+
+
+def scramble_everything(
+    population: Population,
+    protocol: PopulationProtocol,
+    seed: int,
+    leader_states: Sequence[State] | None = None,
+) -> Corruption:
+    """Replace every agent's state (leader included when possible) with a
+    uniformly random legal state - a total memory wipe."""
+
+    def corruption(config: Configuration) -> Configuration:
+        rng = random.Random(seed)
+        space = sorted(protocol.mobile_state_space())
+        updates: dict[int, State] = {
+            agent: rng.choice(space) for agent in population.mobile_agents
+        }
+        if population.has_leader:
+            leaders = (
+                list(leader_states)
+                if leader_states is not None
+                else sorted(protocol.leader_state_space(), key=repr)
+            )
+            if leaders:
+                updates[population.leader] = rng.choice(leaders)
+        return config.replace(updates)
+
+    return corruption

@@ -1,0 +1,12 @@
+"""Reporting helpers: rule-table rendering and JSON export."""
+
+from repro.reporting.jsonio import dump, dumps, to_jsonable
+from repro.reporting.rules import non_null_rules, render_rules
+
+__all__ = [
+    "dump",
+    "dumps",
+    "non_null_rules",
+    "render_rules",
+    "to_jsonable",
+]

@@ -1,0 +1,52 @@
+"""JSON export for experiment results.
+
+Every experiment's row type is a (possibly nested) dataclass; this module
+serializes them generically so harness outputs can be archived, diffed
+across runs or consumed by external plotting, via the experiments' CLI
+``--json`` options or programmatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment results into JSON-compatible data.
+
+    Handles dataclasses, enums, sets/frozensets (sorted), tuples and the
+    engine's configuration objects (rendered as state lists via ``repr``
+    for leader states).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted((to_jsonable(v) for v in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def dumps(value: Any, indent: int = 2) -> str:
+    """Serialize experiment results to a JSON string."""
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=True)
+
+
+def dump(value: Any, path: str | Path, indent: int = 2) -> Path:
+    """Write experiment results to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(dumps(value, indent=indent) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,75 @@
+"""Human-readable rendering of protocol transition tables.
+
+The paper presents protocols as lists of rules (``(s, P) -> (s, s+1 mod
+P)``) or as pseudo-code; this module renders any implemented protocol back
+into the rule-list form, for documentation, the ``show`` CLI command and
+debugging.  Only non-null rules are listed (null transitions are the
+default, as in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State, is_leader_state
+
+
+def _fmt(state: State) -> str:
+    if is_leader_state(state):
+        fields = getattr(state, "__dataclass_fields__", {})
+        if fields:
+            inner = ",".join(
+                f"{name}={getattr(state, name)}" for name in fields
+            )
+            return f"L({inner})"
+        return "L"
+    return repr(state)
+
+
+def non_null_rules(
+    protocol: PopulationProtocol,
+    max_leader_states: int | None = 32,
+) -> list[tuple[tuple[State, State], tuple[State, State]]]:
+    """All non-null rules over the protocol's declared state spaces.
+
+    Leader-state enumeration is capped (leader spaces can be exponential);
+    pass ``None`` to disable the cap.
+    """
+    mobile = sorted(protocol.mobile_state_space(), key=repr)
+    leaders = sorted(protocol.leader_state_space(), key=repr)
+    if max_leader_states is not None:
+        leaders = leaders[:max_leader_states]
+    rules = []
+    pairs = [(p, q) for p in mobile for q in mobile]
+    pairs += [(l, m) for l in leaders for m in mobile]
+    pairs += [(m, l) for l in leaders for m in mobile]
+    for p, q in pairs:
+        p2, q2 = protocol.transition(p, q)
+        if (p2, q2) != (p, q):
+            rules.append(((p, q), (p2, q2)))
+    return rules
+
+
+def render_rules(
+    protocol: PopulationProtocol,
+    max_rules: int = 200,
+    max_leader_states: int | None = 32,
+) -> str:
+    """Render the protocol's non-null rules, one per line."""
+    rules = non_null_rules(protocol, max_leader_states=max_leader_states)
+    lines = [
+        f"{protocol.display_name}",
+        f"mobile states : {protocol.num_mobile_states} "
+        f"({sorted(protocol.mobile_state_space(), key=repr)})",
+        f"symmetric     : {protocol.symmetric}",
+        f"needs leader  : {protocol.requires_leader}",
+        f"non-null rules ({len(rules)}"
+        f"{'+' if len(rules) > max_rules else ''} shown up to "
+        f"{max_rules}):",
+    ]
+    for (p, q), (p2, q2) in rules[:max_rules]:
+        lines.append(
+            f"  ({_fmt(p)}, {_fmt(q)}) -> ({_fmt(p2)}, {_fmt(q2)})"
+        )
+    if len(rules) > max_rules:
+        lines.append(f"  ... {len(rules) - max_rules} more")
+    return "\n".join(lines)

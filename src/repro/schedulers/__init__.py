@@ -1,0 +1,45 @@
+"""Schedulers: fair, randomized and adversarial interaction orders."""
+
+from repro.schedulers.adversarial import (
+    EventuallyFairScheduler,
+    FixedSequenceScheduler,
+    HomonymPreservingScheduler,
+)
+from repro.schedulers.base import FairnessMonitor, Scheduler
+from repro.schedulers.graph_restricted import (
+    GraphRestrictedScheduler,
+    complete_edges,
+    path_edges,
+    star_edges,
+    validate_edges,
+)
+from repro.schedulers.matching import MatchingScheduler, round_robin_matchings
+from repro.schedulers.random_matching import RandomMatchingScheduler
+from repro.schedulers.random_pair import (
+    LeaderBiasedScheduler,
+    RandomPairScheduler,
+)
+from repro.schedulers.round_robin import (
+    InterleavedRoundRobinScheduler,
+    RoundRobinScheduler,
+)
+
+__all__ = [
+    "EventuallyFairScheduler",
+    "FairnessMonitor",
+    "FixedSequenceScheduler",
+    "GraphRestrictedScheduler",
+    "HomonymPreservingScheduler",
+    "InterleavedRoundRobinScheduler",
+    "LeaderBiasedScheduler",
+    "MatchingScheduler",
+    "RandomMatchingScheduler",
+    "RandomPairScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "complete_edges",
+    "path_edges",
+    "round_robin_matchings",
+    "star_edges",
+    "validate_edges",
+]

@@ -1,0 +1,95 @@
+"""Scheduler abstraction.
+
+In the population-protocol model the order of interactions is chosen by an
+adversarial *scheduler* constrained only by a fairness condition.  Engine
+schedulers propose ordered agent pairs; the simulator applies the protocol's
+rule to each proposal.
+
+Schedulers may inspect the current configuration (the proofs' adversaries
+do) but must not mutate it.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import AgentId, Population
+from repro.errors import SchedulerError
+
+
+class Scheduler(ABC):
+    """Chooses which ordered pair of agents interacts next.
+
+    Parameters
+    ----------
+    population:
+        The population being scheduled; must have at least two agents.
+    seed:
+        Seed for the scheduler's private random source (unused by fully
+        deterministic schedulers but accepted uniformly so harnesses can
+        treat all schedulers alike).
+    """
+
+    #: Human-readable scheduler name.
+    display_name: str = "scheduler"
+
+    #: Whether every infinite schedule this class produces is weakly fair.
+    weakly_fair: bool = False
+
+    #: Whether infinite schedules are globally fair (with probability 1 for
+    #: randomized schedulers, per the paper's reading of global fairness).
+    globally_fair: bool = False
+
+    def __init__(self, population: Population, seed: int | None = None) -> None:
+        if population.size < 2:
+            raise SchedulerError(
+                "scheduling needs at least two agents, got "
+                f"population of size {population.size}"
+            )
+        self.population = population
+        self._rng = random.Random(seed)
+
+    @abstractmethod
+    def next_pair(self, config: Configuration) -> tuple[AgentId, AgentId]:
+        """Return the next ordered pair ``(initiator, responder)``."""
+
+    def reset(self) -> None:
+        """Restore any internal progress state (not the random seed)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.display_name!r}>"
+
+
+class FairnessMonitor:
+    """Tracks which unordered agent pairs have interacted.
+
+    Used in tests to confirm that schedulers deliver the fairness they
+    advertise, and by adversarial schedulers to honour weak-fairness
+    deadlines.
+    """
+
+    def __init__(self, population: Population) -> None:
+        self.population = population
+        self._pending: set[frozenset[AgentId]] = {
+            frozenset(p) for p in population.unordered_pairs()
+        }
+        self._all: frozenset[frozenset[AgentId]] = frozenset(self._pending)
+        self.rounds_completed = 0
+
+    def observe(self, initiator: AgentId, responder: AgentId) -> None:
+        """Record an interaction; completes a round when all pairs met."""
+        self._pending.discard(frozenset((initiator, responder)))
+        if not self._pending:
+            self.rounds_completed += 1
+            self._pending = set(self._all)
+
+    @property
+    def pending_pairs(self) -> set[frozenset[AgentId]]:
+        """Unordered pairs that have not met in the current round."""
+        return set(self._pending)
+
+    def round_complete(self) -> bool:
+        """Whether the current round has just been reset (all pairs met)."""
+        return not self._pending or self._pending == set(self._all)

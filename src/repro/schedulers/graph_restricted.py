@@ -1,0 +1,114 @@
+"""Interaction-graph-restricted scheduling.
+
+The paper (like the original population-protocol model it adopts) assumes
+*complete* interaction: any two agents may meet.  This module restricts
+meetings to the edges of an arbitrary undirected interaction graph, which
+makes the completeness assumption testable: Proposition 12's protocol
+relies on homonyms eventually meeting, so on a graph where two same-named
+agents share no edge the protocol silently fails - naming in the paper's
+space bounds genuinely needs the complete graph (cf. the paper's reference
+[52] for the graph-general, non-space-optimal setting).
+
+The scheduler remains weakly fair *relative to the graph*: every edge is
+scheduled infinitely often.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import AgentId, Population
+from repro.errors import SchedulerError
+from repro.schedulers.base import Scheduler
+
+#: An undirected interaction edge.
+Edge = tuple[AgentId, AgentId]
+
+
+def complete_edges(population: Population) -> list[Edge]:
+    """The complete interaction graph (the paper's assumption)."""
+    return list(population.unordered_pairs())
+
+
+def path_edges(population: Population) -> list[Edge]:
+    """A path graph over the agents, leader (if any) at the end."""
+    agents = population.agents
+    return [(agents[i], agents[i + 1]) for i in range(len(agents) - 1)]
+
+
+def star_edges(population: Population, center: AgentId = 0) -> list[Edge]:
+    """A star graph: every agent only meets ``center``."""
+    population.validate_agent(center)
+    return [
+        (min(center, a), max(center, a))
+        for a in population.agents
+        if a != center
+    ]
+
+
+def validate_edges(population: Population, edges: list[Edge]) -> None:
+    """Check the edge list names valid, distinct agents and is connected
+    (a disconnected population can never be jointly named)."""
+    if not edges:
+        raise SchedulerError("the interaction graph has no edges")
+    adjacency: dict[AgentId, set[AgentId]] = {
+        a: set() for a in population.agents
+    }
+    for x, y in edges:
+        population.validate_agent(x)
+        population.validate_agent(y)
+        if x == y:
+            raise SchedulerError(f"self-loop on agent {x}")
+        adjacency[x].add(y)
+        adjacency[y].add(x)
+    # Connectivity via BFS.
+    start = population.agents[0]
+    reached = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbour in adjacency[node]:
+            if neighbour not in reached:
+                reached.add(neighbour)
+                queue.append(neighbour)
+    if len(reached) != population.size:
+        missing = sorted(set(population.agents) - reached)
+        raise SchedulerError(
+            f"interaction graph is disconnected; unreachable: {missing}"
+        )
+
+
+class GraphRestrictedScheduler(Scheduler):
+    """Uniform-random meetings over the edges of an interaction graph.
+
+    With the complete edge set this is exactly
+    :class:`~repro.schedulers.random_pair.RandomPairScheduler`; with
+    anything sparser it models geographically constrained mobility and is
+    weakly fair *per edge* (every edge meets infinitely often, w.p. 1).
+    """
+
+    display_name = "graph-restricted random meetings"
+    weakly_fair = True  # per edge, with probability 1
+    globally_fair = True  # w.r.t. the restricted transition system
+
+    def __init__(
+        self,
+        population: Population,
+        edges: list[Edge],
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(population, seed)
+        validate_edges(population, edges)
+        self._edges = list(edges)
+
+    def next_pair(self, config: Configuration) -> tuple[AgentId, AgentId]:
+        x, y = self._rng.choice(self._edges)
+        if self._rng.random() < 0.5:
+            return x, y
+        return y, x
+
+    @property
+    def edges(self) -> list[Edge]:
+        """The interaction graph's edges."""
+        return list(self._edges)

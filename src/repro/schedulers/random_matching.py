@@ -1,0 +1,61 @@
+"""Random-matching scheduler: the randomized twin of Proposition 1's
+adversary.
+
+Each phase draws a fresh uniformly random (near-)perfect matching of the
+agents and plays its pairs one after another.  Every pair appears in
+infinitely many matchings with probability 1, so the schedule is weakly
+fair almost surely - yet it is *not* globally fair: matchings synchronize
+the population, and against any symmetric protocol started uniformly (even
+size, no leader) the population stays perfectly symmetric at every phase
+boundary *despite the randomness*.
+
+This demonstrates a subtle reading of Proposition 1: what blocks symmetric
+naming under weak fairness is not determinism of the schedule but its
+matching (round-synchronous) structure.  Randomized pair selection helps
+only because it breaks the rounds, not because it is random.
+"""
+
+from __future__ import annotations
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import AgentId, Population
+from repro.schedulers.base import Scheduler
+
+
+class RandomMatchingScheduler(Scheduler):
+    """Phases of uniformly random disjoint pairs (synchronous rounds)."""
+
+    display_name = "random matchings (synchronous rounds)"
+    weakly_fair = True  # with probability 1
+    globally_fair = False
+
+    def __init__(self, population: Population, seed: int | None = None) -> None:
+        super().__init__(population, seed)
+        self._phase: list[tuple[AgentId, AgentId]] = []
+        self._position = 0
+
+    def _draw_phase(self) -> None:
+        agents = list(self.population.agents)
+        self._rng.shuffle(agents)
+        if len(agents) % 2 == 1:
+            agents.pop()  # one agent rests this round
+        self._phase = [
+            (agents[i], agents[i + 1]) for i in range(0, len(agents), 2)
+        ]
+        self._position = 0
+
+    def next_pair(self, config: Configuration) -> tuple[AgentId, AgentId]:
+        if self._position >= len(self._phase):
+            self._draw_phase()
+        pair = self._phase[self._position]
+        self._position += 1
+        return pair
+
+    def reset(self) -> None:
+        self._phase = []
+        self._position = 0
+
+    @property
+    def phase_length(self) -> int:
+        """Interactions per phase (pairs in a matching)."""
+        return self.population.size // 2

@@ -1,0 +1,110 @@
+"""Tests for weakly fair counterexample synthesis."""
+
+import pytest
+
+from repro.analysis.counterexample import (
+    synthesize_weak_counterexample,
+    verify_counterexample,
+)
+from repro.analysis.reachability import arbitrary_initial_configurations
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import TableProtocol
+from repro.engine.simulator import Simulator
+from repro.errors import VerificationError
+from repro.schedulers.adversarial import FixedSequenceScheduler
+
+
+def all_starts(protocol, population, leaders=None):
+    return list(
+        arbitrary_initial_configurations(protocol, population, leaders)
+    )
+
+
+class TestLivelockSynthesis:
+    @pytest.fixture(scope="class")
+    def prop13_cex(self):
+        protocol = SymmetricGlobalNamingProtocol(3)
+        population = Population(3)
+        cex = synthesize_weak_counterexample(
+            protocol, population, all_starts(protocol, population)
+        )
+        return protocol, population, cex
+
+    def test_flagged_as_livelock(self, prop13_cex):
+        _, _, cex = prop13_cex
+        assert cex.livelock
+
+    def test_cycle_covers_all_pairs(self, prop13_cex):
+        _, population, cex = prop13_cex
+        met = {frozenset(m) for m in cex.cycle}
+        assert met >= {frozenset(p) for p in population.unordered_pairs()}
+
+    def test_verifies_by_replay(self, prop13_cex):
+        protocol, population, cex = prop13_cex
+        assert verify_counterexample(protocol, population, cex)
+
+    def test_simulator_replay_never_converges(self, prop13_cex):
+        protocol, population, cex = prop13_cex
+        scheduler = FixedSequenceScheduler(population, cex.cycle)
+        assert scheduler.weakly_fair  # the cycle covers every pair
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(cex.recurrent, max_interactions=60_000)
+        assert not result.converged
+
+    def test_schedule_concatenates(self, prop13_cex):
+        _, _, cex = prop13_cex
+        assert cex.schedule(2) == cex.prefix + cex.cycle + cex.cycle
+
+
+class TestQuietSynthesis:
+    def test_null_protocol_duplicates(self):
+        protocol = TableProtocol({}, mobile_states=[0, 1])
+        population = Population(2)
+        cex = synthesize_weak_counterexample(
+            protocol, population, [Configuration((0, 0))]
+        )
+        assert not cex.livelock
+        assert not cex.recurrent.names_distinct()
+        assert verify_counterexample(protocol, population, cex)
+
+    def test_protocol3_fails_weak_at_full_population(self):
+        """Theorem 11 watched live: Protocol 3 (P states) cannot name
+        N = P under weak fairness; the synthesizer produces the schedule."""
+        protocol = GlobalNamingProtocol(2)
+        population = Population(2, has_leader=True)
+        cex = synthesize_weak_counterexample(
+            protocol,
+            population,
+            all_starts(
+                protocol, population, [protocol.initial_leader_state()]
+            ),
+        )
+        assert verify_counterexample(protocol, population, cex)
+        scheduler = FixedSequenceScheduler(population, cex.cycle)
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(cex.recurrent, max_interactions=40_000)
+        assert not result.converged
+
+
+class TestNoCounterexample:
+    def test_correct_protocol_raises(self):
+        protocol = AsymmetricNamingProtocol(3)
+        population = Population(3)
+        with pytest.raises(VerificationError, match="solves naming"):
+            synthesize_weak_counterexample(
+                protocol, population, all_starts(protocol, population)
+            )
+
+    def test_empty_initials_rejected(self):
+        protocol = AsymmetricNamingProtocol(2)
+        with pytest.raises(VerificationError):
+            synthesize_weak_counterexample(protocol, Population(2), [])

@@ -1,0 +1,185 @@
+"""Tests for exhaustive protocol enumeration (the lower-bound machinery)."""
+
+import pytest
+
+from repro.analysis.enumeration import (
+    EnumLeaderState,
+    asymmetric_leaderless_protocols,
+    protocol_solves_naming,
+    search,
+    symmetric_leaderless_protocols,
+    symmetric_leadered_protocols,
+)
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.spec import Fairness, MobileInit
+from repro.engine.protocol import (
+    TableProtocol,
+    verify_protocol,
+    verify_symmetric,
+)
+
+
+class TestGenerators:
+    def test_symmetric_family_count_p2(self):
+        protocols = list(symmetric_leaderless_protocols(2))
+        # 2 diagonal choices per state (2 states) x 4 off-diagonal = 16.
+        assert len(protocols) == 16
+
+    def test_symmetric_family_count_p3(self):
+        # 3^3 diagonals x 9^3 off-diagonals = 19683.
+        count = sum(1 for _ in symmetric_leaderless_protocols(3))
+        assert count == 19683
+
+    def test_symmetric_family_members_are_symmetric(self):
+        for protocol in symmetric_leaderless_protocols(2):
+            verify_symmetric(protocol)
+            verify_protocol(protocol)
+
+    def test_asymmetric_family_count_p2(self):
+        assert sum(1 for _ in asymmetric_leaderless_protocols(2)) == 256
+
+    def test_asymmetric_family_contains_prop12_rule(self):
+        reference = AsymmetricNamingProtocol(2)
+        found = any(
+            all(
+                protocol.transition(p, q) == reference.transition(p, q)
+                for p in range(2)
+                for q in range(2)
+            )
+            for protocol in asymmetric_leaderless_protocols(2)
+        )
+        assert found
+
+    def test_leadered_family_count(self):
+        # 16 mobile tables x (4 inputs -> 4 outputs each) = 16 * 256.
+        count = sum(1 for _ in symmetric_leadered_protocols(2, 2))
+        assert count == 4096
+
+    def test_leadered_family_well_formed(self):
+        sample = list(symmetric_leadered_protocols(2, 1))
+        assert len(sample) == 16 * 4
+        for protocol in sample[:32]:
+            verify_protocol(protocol)
+
+
+class TestProtocolSolvesNaming:
+    def test_prop12_instance_solves(self):
+        reference = AsymmetricNamingProtocol(2)
+        table = {
+            (p, q): reference.transition(p, q)
+            for p in range(2)
+            for q in range(2)
+            if reference.transition(p, q) != (p, q)
+        }
+        protocol = TableProtocol(table, mobile_states=[0, 1])
+        assert protocol_solves_naming(
+            protocol, sizes=[2], fairness=Fairness.WEAK
+        )
+        assert protocol_solves_naming(
+            protocol, sizes=[2, 1], fairness=Fairness.GLOBAL
+        )
+
+    def test_null_protocol_fails_arbitrary_but_uniform_also_fails(self):
+        protocol = TableProtocol({}, mobile_states=[0, 1])
+        assert not protocol_solves_naming(
+            protocol, sizes=[2], fairness=Fairness.GLOBAL
+        )
+        assert not protocol_solves_naming(
+            protocol,
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+            mobile_init=MobileInit.UNIFORM,
+        )
+
+    def test_uniform_designer_choice_can_rescue(self):
+        """A protocol that works only from the all-zeros start: uniform
+        initialization (designer picks 0) accepts it, arbitrary rejects."""
+        # On two states: (0,0) -> (0,1); everything else null.
+        protocol = TableProtocol(
+            {(0, 0): (0, 1)}, mobile_states=[0, 1]
+        )
+        assert protocol_solves_naming(
+            protocol,
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+            mobile_init=MobileInit.UNIFORM,
+        )
+        assert not protocol_solves_naming(
+            protocol, sizes=[2], fairness=Fairness.GLOBAL
+        )
+
+
+class TestSearch:
+    def test_prop2_at_p2_no_symmetric_solver(self):
+        outcome = search(
+            symmetric_leaderless_protocols(2),
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+        )
+        assert outcome.total == 16
+        assert not outcome.any_solves
+
+    def test_prop2_uniform_variant(self):
+        outcome = search(
+            symmetric_leaderless_protocols(2),
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+            mobile_init=MobileInit.UNIFORM,
+        )
+        assert not outcome.any_solves
+
+    def test_asymmetric_solvers_exist_and_are_collected(self):
+        outcome = search(
+            asymmetric_leaderless_protocols(2),
+            sizes=[2],
+            fairness=Fairness.WEAK,
+        )
+        assert outcome.any_solves
+        assert len(outcome.solving) >= 1
+        for protocol in outcome.solving:
+            assert protocol_solves_naming(
+                protocol, sizes=[2], fairness=Fairness.WEAK
+            )
+
+    def test_stop_after_truncates(self):
+        outcome = search(
+            symmetric_leaderless_protocols(3),
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+            stop_after=50,
+        )
+        assert outcome.total == 50
+
+    def test_theorem11_at_p2_l1(self):
+        outcome = search(
+            symmetric_leadered_protocols(2, 1),
+            sizes=[2],
+            fairness=Fairness.WEAK,
+        )
+        assert outcome.total == 64
+        assert not outcome.any_solves
+
+    def test_prop4_arbitrary_leader_global(self):
+        outcome = search(
+            symmetric_leadered_protocols(2, 1),
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+            arbitrary_leader=True,
+        )
+        assert not outcome.any_solves
+
+    def test_checked_sizes_recorded(self):
+        outcome = search(
+            symmetric_leaderless_protocols(2),
+            sizes=[2],
+            fairness=Fairness.GLOBAL,
+        )
+        assert outcome.checked_sizes == (2,)
+
+
+class TestEnumLeaderState:
+    def test_is_leader_state(self):
+        from repro.engine.state import is_leader_state
+
+        assert is_leader_state(EnumLeaderState(0))
+        assert EnumLeaderState(0) != EnumLeaderState(1)

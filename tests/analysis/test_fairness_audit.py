@@ -1,0 +1,82 @@
+"""Tests for the fairness auditor - and empirical validation of each
+scheduler's advertised fairness."""
+
+import pytest
+
+from repro.analysis.fairness_audit import FairnessAudit, audit_scheduler
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.errors import VerificationError
+from repro.schedulers.matching import MatchingScheduler
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+
+class TestFairnessAudit:
+    def test_counts_and_gaps(self):
+        pop = Population(3)
+        audit = FairnessAudit(pop)
+        audit.observe(0, 1)
+        audit.observe(1, 2)
+        audit.observe(0, 1)
+        audit.finish()
+        assert audit.counts[frozenset((0, 1))] == 2
+        assert audit.counts[frozenset((0, 2))] == 0
+        assert audit.starving_pairs() == [frozenset((0, 2))]
+        assert audit.imbalance() == float("inf")
+
+    def test_orientation_ignored(self):
+        pop = Population(2)
+        audit = FairnessAudit(pop)
+        audit.observe(1, 0)
+        assert audit.counts[frozenset((0, 1))] == 1
+
+    def test_rejects_foreign_pairs(self):
+        audit = FairnessAudit(Population(2))
+        with pytest.raises(VerificationError):
+            audit.observe(0, 5)
+
+    def test_gap_measurement(self):
+        pop = Population(2)
+        audit = FairnessAudit(pop)
+        for _ in range(5):
+            audit.observe(0, 1)
+        audit.finish()
+        assert audit.worst_gap() == 1
+
+    def test_trailing_gap_counted_on_finish(self):
+        pop = Population(3)
+        audit = FairnessAudit(pop)
+        audit.observe(0, 1)
+        for _ in range(9):
+            audit.observe(1, 2)
+        audit.finish()
+        # Pair (0,1) last met at meeting 0 of 10.
+        assert audit.max_gap[frozenset((0, 1))] == 10
+
+
+class TestSchedulerAudits:
+    def test_round_robin_is_perfectly_balanced(self):
+        pop = Population(4)
+        scheduler = RoundRobinScheduler(pop)
+        config = Configuration.uniform(pop, 0)
+        audit = audit_scheduler(scheduler, config, scheduler.cycle_length * 5)
+        assert audit.imbalance() == 1.0
+        assert audit.worst_gap() <= scheduler.cycle_length
+
+    def test_matching_scheduler_bounded_gaps(self):
+        pop = Population(6)
+        scheduler = MatchingScheduler(pop)
+        config = Configuration.uniform(pop, 0)
+        rotation = pop.pair_count()
+        audit = audit_scheduler(scheduler, config, rotation * 4)
+        assert not audit.starving_pairs()
+        assert audit.worst_gap() <= rotation + rotation  # one full rotation apart
+
+    def test_random_scheduler_statistically_fair(self):
+        pop = Population(4)
+        scheduler = RandomPairScheduler(pop, seed=8)
+        config = Configuration.uniform(pop, 0)
+        audit = audit_scheduler(scheduler, config, 6000)
+        assert not audit.starving_pairs()
+        assert audit.imbalance() < 1.3

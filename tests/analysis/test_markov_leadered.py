@@ -1,0 +1,105 @@
+"""Exact expected times for leader-based protocols (the leadered branch
+of the lumped chain)."""
+
+import pytest
+
+from repro.analysis.markov import expected_convergence_time, naming_absorbing
+from repro.core.leader_uniform import (
+    CounterLeaderState,
+    LeaderUniformNamingProtocol,
+)
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+class TestLeaderUniformExact:
+    def test_single_agent_coupon(self):
+        """One agent, one leader: every second draw is leader-first; the
+        renaming rule fires on either orientation, so E[T] = 1."""
+        protocol = LeaderUniformNamingProtocol(2)
+        start = ((2,), CounterLeaderState(1))
+        times = expected_convergence_time(
+            protocol, [start], naming_absorbing(protocol)
+        )
+        assert times[start] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_matches_simulation(self, n):
+        protocol = LeaderUniformNamingProtocol(n)
+        start = ((n,) * n, CounterLeaderState(1))
+        exact = expected_convergence_time(
+            protocol, [start], naming_absorbing(protocol)
+        )[start]
+
+        runs = 250
+        total = 0
+        population = Population(n, has_leader=True)
+        for seed in range(runs):
+            simulator = Simulator(
+                protocol,
+                population,
+                RandomPairScheduler(population, seed=seed),
+                NamingProblem(),
+                check_interval=1,
+            )
+            result = simulator.run(
+                Configuration.uniform(
+                    population, n, CounterLeaderState(1)
+                )
+            )
+            total += result.convergence_interaction
+        assert total / runs == pytest.approx(exact, rel=0.12)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_coupon_collector_closed_form(self, n):
+        """Prop. 14 at P = N admits a closed form.  With ``u`` unnamed
+        agents left, the leader draws one with probability
+        ``2u / (A(A-1))`` (``A = n + 1`` agents), and only ``n - 1``
+        renamings are needed - the last agent simply keeps the name P.
+        Hence ``E[T] = (A(A-1)/2) * (H_n - 1)``; the lumped-chain solve
+        must reproduce it exactly."""
+        protocol = LeaderUniformNamingProtocol(n)
+        start = ((n,) * n, CounterLeaderState(1))
+        exact = expected_convergence_time(
+            protocol, [start], naming_absorbing(protocol)
+        )[start]
+        agents = n + 1
+        harmonic_tail = sum(1 / u for u in range(2, n + 1))
+        closed_form = agents * (agents - 1) / 2 * harmonic_tail
+        assert exact == pytest.approx(closed_form)
+
+
+class TestProtocol2Exact:
+    def test_small_selfstab_instance(self):
+        """Protocol 2's leadered chain from the well-initialized start is
+        solvable exactly at P = N = 2 and agrees with simulation."""
+        protocol = SelfStabilizingNamingProtocol(2)
+        start = ((0, 0), protocol.initial_leader_state())
+        exact = expected_convergence_time(
+            protocol, [start], naming_absorbing(protocol),
+            max_nodes=50_000,
+        )[start]
+        assert exact > 0
+
+        runs = 300
+        total = 0
+        population = Population(2, has_leader=True)
+        for seed in range(runs):
+            simulator = Simulator(
+                protocol,
+                population,
+                RandomPairScheduler(population, seed=seed),
+                NamingProblem(),
+                check_interval=1,
+            )
+            result = simulator.run(
+                Configuration.uniform(
+                    population, 0, protocol.initial_leader_state()
+                )
+            )
+            total += result.convergence_interaction
+        assert total / runs == pytest.approx(exact, rel=0.12)

@@ -1,0 +1,124 @@
+"""Tests for runtime invariant monitors riding the observer hook."""
+
+import pytest
+
+from repro.analysis.monitors import (
+    CompositeMonitor,
+    CountMonitor,
+    InvariantViolation,
+    PotentialMonitor,
+    StateSpaceMonitor,
+)
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.counting import CountingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import CountingProblem, NamingProblem
+from repro.engine.simulator import Simulator
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+class TestPotentialMonitor:
+    def test_clean_run_passes(self):
+        bound = 6
+        protocol = AsymmetricNamingProtocol(bound)
+        pop = Population(6)
+        monitor = PotentialMonitor(bound)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=1), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, 0), observer=monitor
+        )
+        assert result.converged
+        assert monitor.observations == result.non_null_interactions
+
+    def test_violation_detected(self):
+        monitor = PotentialMonitor(4)
+        monitor(0, Configuration((0, 1, 2)))  # potential (1, 3)
+        with pytest.raises(InvariantViolation, match="did not decrease"):
+            monitor(1, Configuration((0, 0, 2)))  # strictly worse
+
+
+class TestCountMonitor:
+    def test_clean_counting_run_passes(self):
+        n, bound = 4, 6
+        protocol = CountingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        monitor = CountMonitor(true_size=n)
+        simulator = Simulator(
+            protocol,
+            pop,
+            RandomPairScheduler(pop, seed=2),
+            CountingProblem(n),
+        )
+        initial = Configuration.uniform(
+            pop, 1, protocol.initial_leader_state()
+        )
+        result = simulator.run(initial, observer=monitor)
+        assert result.converged
+        assert monitor.last == n
+        assert monitor.observations > 0
+
+    def test_decrease_detected(self):
+        from repro.core.counting import CountingLeaderState
+
+        monitor = CountMonitor(true_size=3)
+        monitor(0, Configuration((1, CountingLeaderState(2, 1)), leader_index=1))
+        with pytest.raises(InvariantViolation, match="decreased"):
+            monitor(
+                1,
+                Configuration((1, CountingLeaderState(1, 1)), leader_index=1),
+            )
+
+    def test_overshoot_detected(self):
+        from repro.core.counting import CountingLeaderState
+
+        monitor = CountMonitor(true_size=2)
+        with pytest.raises(InvariantViolation, match="overshot"):
+            monitor(
+                0,
+                Configuration((1, CountingLeaderState(3, 1)), leader_index=1),
+            )
+
+    def test_requires_a_counting_leader(self):
+        monitor = CountMonitor(true_size=2)
+        with pytest.raises(InvariantViolation, match="without a count"):
+            monitor(0, Configuration((1, 2)))
+
+
+class TestStateSpaceMonitor:
+    def test_clean_run_passes(self):
+        protocol = CountingProtocol(4)
+        pop = Population(3, has_leader=True)
+        monitor = StateSpaceMonitor(
+            protocol.mobile_state_space(), protocol.leader_state_space()
+        )
+        simulator = Simulator(
+            protocol,
+            pop,
+            RandomPairScheduler(pop, seed=3),
+            CountingProblem(3),
+        )
+        initial = Configuration.uniform(
+            pop, 2, protocol.initial_leader_state()
+        )
+        result = simulator.run(initial, observer=monitor)
+        assert result.converged
+        assert monitor.observations > 0
+
+    def test_escape_detected(self):
+        monitor = StateSpaceMonitor(frozenset({0, 1}), frozenset())
+        with pytest.raises(InvariantViolation, match="escaped"):
+            monitor(0, Configuration((0, 7)))
+
+
+class TestCompositeMonitor:
+    def test_fans_out(self):
+        bound = 4
+        a = PotentialMonitor(bound)
+        b = StateSpaceMonitor(frozenset(range(bound)), frozenset())
+        composite = CompositeMonitor([a, b])
+        composite(0, Configuration((0, 1, 2)))
+        assert a.observations == 1
+        assert b.observations == 1

@@ -1,0 +1,80 @@
+"""Tests for parallel-time analysis."""
+
+from repro.analysis.parallelism import (
+    ParallelismReport,
+    analyze_trace,
+    greedy_rounds,
+)
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.engine.trace import InteractionRecord, Trace
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+class TestGreedyRounds:
+    def test_disjoint_meetings_share_a_round(self):
+        rounds = greedy_rounds([(0, 1), (2, 3), (4, 5)])
+        assert rounds == [[(0, 1), (2, 3), (4, 5)]]
+
+    def test_conflicting_meetings_split_rounds(self):
+        rounds = greedy_rounds([(0, 1), (1, 2)])
+        assert rounds == [[(0, 1)], [(1, 2)]]
+
+    def test_order_preserved_across_conflicts(self):
+        # (0,1) then (2,3) then (0,2): the third conflicts with both.
+        rounds = greedy_rounds([(0, 1), (2, 3), (0, 2)])
+        assert rounds == [[(0, 1), (2, 3)], [(0, 2)]]
+
+    def test_empty(self):
+        assert greedy_rounds([]) == []
+
+    def test_all_meetings_kept(self):
+        meetings = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]
+        rounds = greedy_rounds(meetings)
+        flattened = [m for r in rounds for m in r]
+        assert flattened == meetings
+
+
+class TestAnalyzeTrace:
+    def _record(self, step, x, y, null=False):
+        if null:
+            return InteractionRecord(step, x, y, 0, 1, 0, 1)
+        return InteractionRecord(step, x, y, 5, 5, 5, 6)
+
+    def test_null_records_excluded(self):
+        records = [
+            self._record(0, 0, 1),
+            self._record(1, 2, 3, null=True),
+            self._record(2, 2, 3),
+        ]
+        report = analyze_trace(records, n_agents=4)
+        assert report.interactions == 2
+        assert report.rounds == 1  # (0,1) and (2,3) are disjoint
+
+    def test_normalized_time(self):
+        report = ParallelismReport(interactions=40, rounds=10, n_agents=8)
+        assert report.normalized_time == 5.0
+        assert report.speedup == 4.0
+
+    def test_degenerate_report(self):
+        report = ParallelismReport(0, 0, 0)
+        assert report.normalized_time == 0.0
+        assert report.speedup == 0.0
+
+    def test_real_execution_gets_a_speedup(self):
+        protocol = AsymmetricNamingProtocol(8)
+        pop = Population(8)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=5), NamingProblem()
+        )
+        trace = Trace(capacity=None)
+        result = simulator.run(
+            Configuration.uniform(pop, 0), trace=trace
+        )
+        assert result.converged
+        report = analyze_trace(trace.records, pop.size)
+        assert report.rounds <= report.interactions
+        assert report.speedup >= 1.0

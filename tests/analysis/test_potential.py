@@ -1,0 +1,69 @@
+"""Tests for the Proposition 12 potential function."""
+
+import pytest
+
+from repro.analysis.potential import (
+    hole_distance,
+    hole_distance_of_agent,
+    holes,
+    potential,
+    potential_upper_bound,
+)
+from repro.errors import VerificationError
+
+
+class TestHoles:
+    def test_full_occupancy_no_holes(self):
+        assert holes((0, 1, 2), 3) == set()
+
+    def test_missing_values_are_holes(self):
+        assert holes((0, 0, 2), 4) == {1, 3}
+
+    def test_rejects_out_of_range_states(self):
+        with pytest.raises(VerificationError):
+            holes((0, 5), 3)
+
+
+class TestHoleDistance:
+    def test_zero_when_no_holes(self):
+        assert hole_distance_of_agent(1, set(), 4) == 0
+
+    def test_distance_to_next_hole(self):
+        # Holes {3}: agent at 1 needs j = 2.
+        assert hole_distance_of_agent(1, {3}, 4) == 2
+
+    def test_wraps_modulo(self):
+        # Holes {0}: agent at 3 wraps, j = 1.
+        assert hole_distance_of_agent(3, {0}, 4) == 1
+
+    def test_configuration_distance_sums_agents(self):
+        # States (1, 1, 3), bound 4, holes {0, 2}:
+        # agents at 1: j=1 each; agent at 3: j=1. Total 3.
+        assert hole_distance((1, 1, 3), 4) == 3
+
+    def test_paper_example_bound(self):
+        assert potential_upper_bound(5) == (5, 20)
+
+    def test_potential_pairs(self):
+        assert potential((1, 1, 3), 4) == (2, 3)
+        assert potential((0, 1, 2, 3), 4) == (0, 0)
+
+
+class TestMonotonicity:
+    def test_rule_application_decreases_potential(self):
+        bound = 5
+        # Apply (s, s) -> (s, s+1) by hand on a concrete chain.
+        states = [0, 0, 0, 0]
+        current = potential(states, bound)
+        # A homonym advances: 0 -> 1.
+        for step in range(8):
+            dup = next(
+                (s for s in set(states) if states.count(s) > 1), None
+            )
+            if dup is None:
+                break
+            states[states.index(dup)] = (dup + 1) % bound
+            after = potential(states, bound)
+            assert after < current
+            current = after
+        assert len(set(states)) == len(states)

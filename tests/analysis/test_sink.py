@@ -1,0 +1,131 @@
+"""Tests for the sink-state analysis (Section 3.1 machinery)."""
+
+import pytest
+
+from repro.analysis.sink import (
+    homonym_chain,
+    is_reduced,
+    reduce_homonyms,
+    sink_states,
+    unique_sink,
+)
+from repro.core.counting import CountingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.protocol import TableProtocol
+from repro.errors import VerificationError
+
+
+class TestHomonymChain:
+    def test_chain_to_sink(self):
+        protocol = SelfStabilizingNamingProtocol(4)
+        chain = homonym_chain(protocol, 3)
+        assert chain.states == (3, 0)
+        assert chain.cycle == (0,)
+
+    def test_chain_from_sink_is_trivial(self):
+        protocol = SelfStabilizingNamingProtocol(4)
+        chain = homonym_chain(protocol, 0)
+        assert chain.states == (0,)
+        assert chain.cycle_start == 0
+
+    def test_prop13_has_longer_cycle(self):
+        protocol = SymmetricGlobalNamingProtocol(4)
+        chain = homonym_chain(protocol, 2)
+        # (2,2) -> (4,4) -> (1,1) -> (4,4): cycle {4, 1}.
+        assert set(chain.cycle) == {4, 1}
+
+    def test_asymmetric_on_chain_rejected(self):
+        protocol = TableProtocol({(0, 0): (0, 1)}, mobile_states=[0, 1])
+        with pytest.raises(VerificationError, match="not symmetric"):
+            homonym_chain(protocol, 0)
+
+
+class TestSinkStates:
+    @pytest.mark.parametrize(
+        "protocol_cls", [CountingProtocol, SelfStabilizingNamingProtocol,
+                         GlobalNamingProtocol]
+    )
+    def test_leader_protocols_have_unique_sink_zero(self, protocol_cls):
+        protocol = protocol_cls(4)
+        assert sink_states(protocol) == {0}
+        assert unique_sink(protocol) == 0
+
+    def test_prop13_protocol_has_no_unique_sink(self):
+        """Prop. 13's protocol uses P + 1 states exactly because its
+        homonym cycle is not a single sink (it alternates P <-> 1)."""
+        protocol = SymmetricGlobalNamingProtocol(4)
+        assert len(sink_states(protocol)) > 1
+        with pytest.raises(VerificationError, match="unique sink"):
+            unique_sink(protocol)
+
+    def test_cycle_without_self_loop_rejected(self):
+        # 0 -> 1 -> 0: states on a cycle but no immediate self-loop.
+        protocol = TableProtocol(
+            {(0, 0): (1, 1), (1, 1): (0, 0)},
+            mobile_states=[0, 1],
+            symmetric=True,
+        )
+        with pytest.raises(VerificationError):
+            unique_sink(protocol)
+
+
+class TestReduceHomonyms:
+    def test_reduces_all_non_sink_homonyms(self):
+        protocol = SelfStabilizingNamingProtocol(4)
+        pop = Population(5, has_leader=True)
+        config = Configuration.from_states(
+            pop, (2, 2, 3, 3, 1), protocol.initial_leader_state()
+        )
+        reduced, interactions = reduce_homonyms(protocol, config, sink=0)
+        assert is_reduced(reduced, sink=0)
+        assert reduced.mobile_states == (0, 0, 0, 0, 1)
+        assert len(interactions) == 2
+
+    def test_already_reduced_is_noop(self):
+        protocol = SelfStabilizingNamingProtocol(4)
+        pop = Population(3, has_leader=True)
+        config = Configuration.from_states(
+            pop, (0, 0, 2), protocol.initial_leader_state()
+        )
+        reduced, interactions = reduce_homonyms(protocol, config, sink=0)
+        assert reduced == config
+        assert interactions == []
+
+    def test_interactions_replay_to_reduced(self):
+        protocol = SelfStabilizingNamingProtocol(5)
+        pop = Population(4, has_leader=True)
+        config = Configuration.from_states(
+            pop, (4, 4, 4, 2), protocol.initial_leader_state()
+        )
+        reduced, interactions = reduce_homonyms(protocol, config, sink=0)
+        # Replaying the interactions from the start reaches `reduced`.
+        replayed = config
+        for x, y in interactions:
+            p, q = replayed.state_of(x), replayed.state_of(y)
+            replayed = replayed.apply(x, y, protocol.transition(p, q))
+        assert replayed == reduced
+
+    def test_unreachable_sink_detected(self):
+        protocol = TableProtocol(
+            {(1, 1): (2, 2), (2, 2): (1, 1)},
+            mobile_states=[0, 1, 2],
+            symmetric=True,
+        )
+        config = Configuration((1, 1, 0))
+        with pytest.raises(VerificationError, match="never reaches"):
+            reduce_homonyms(protocol, config, sink=0)
+
+
+class TestIsReduced:
+    def test_sink_homonyms_allowed(self):
+        assert is_reduced(Configuration((0, 0, 1)), sink=0)
+
+    def test_non_sink_homonyms_rejected(self):
+        assert not is_reduced(Configuration((2, 2, 0)), sink=0)
+
+    def test_distinct_names_are_reduced(self):
+        assert is_reduced(Configuration((1, 2, 3)), sink=0)

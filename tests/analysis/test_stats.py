@@ -1,0 +1,82 @@
+"""Tests for convergence statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import convergence_sample, quantile, summarize
+from repro.errors import VerificationError
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([1, 2, 3], 0.5) == 2
+
+    def test_median_even_interpolates(self):
+        assert quantile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        values = [3, 7, 9]
+        assert quantile(values, 0.0) == 3
+        assert quantile(values, 1.0) == 9
+
+    def test_single_value(self):
+        assert quantile([42], 0.9) == 42
+
+    def test_rejects_empty(self):
+        with pytest.raises(VerificationError):
+            quantile([], 0.5)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(VerificationError):
+            quantile([1], 1.5)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([2, 4, 4, 4, 5, 5, 7, 9])
+        assert summary.count == 8
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.minimum == 2
+        assert summary.maximum == 9
+        assert summary.median == pytest.approx(4.5)
+
+    def test_single_sample(self):
+        summary = summarize([10])
+        assert summary.stdev == 0.0
+        assert summary.p90 == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(VerificationError):
+            summarize([])
+
+    def test_str_mentions_fields(self):
+        text = str(summarize([1, 2, 3]))
+        assert "mean" in text and "p90" in text
+
+
+class TestConvergenceSample:
+    class _FakeResult:
+        def __init__(self, converged, at):
+            self.converged = converged
+            self.convergence_interaction = at
+            self.interactions = at or 100
+
+    def test_collects_convergence_points(self):
+        results = {1: self._FakeResult(True, 10), 2: self._FakeResult(True, 20)}
+        sample = convergence_sample(lambda s: results[s], seeds=[1, 2])
+        assert sample == [10, 20]
+
+    def test_raises_on_nonconvergence(self):
+        with pytest.raises(VerificationError):
+            convergence_sample(
+                lambda s: self._FakeResult(False, None), seeds=[1]
+            )
+
+    def test_skips_when_not_required(self):
+        results = {
+            1: self._FakeResult(True, 10),
+            2: self._FakeResult(False, None),
+        }
+        sample = convergence_sample(
+            lambda s: results[s], seeds=[1, 2], require_convergence=False
+        )
+        assert sample == [10]

@@ -1,0 +1,118 @@
+"""Tests for execution surgery (Lemma 5 / Lemma 8 mechanized)."""
+
+import pytest
+
+from repro.analysis.surgery import (
+    hidden_agent_demo,
+    replay_rule_trace,
+    rule_trace_of,
+)
+from repro.core.counting import CountingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.engine.trace import Trace
+from repro.errors import VerificationError
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+
+def converged_run(protocol, population, initial, budget=500_000):
+    scheduler = RoundRobinScheduler(population)
+    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    trace = Trace(capacity=None, record_null=True)
+    result = simulator.run(initial, max_interactions=budget, trace=trace)
+    assert result.converged
+    meetings = [(r.initiator, r.responder) for r in trace.records]
+    return result, meetings
+
+
+class TestRuleTrace:
+    def test_rule_trace_skips_null_meetings(self):
+        protocol = SelfStabilizingNamingProtocol(3)
+        population = Population(3, has_leader=True)
+        initial = Configuration.uniform(
+            population, 0, protocol.initial_leader_state()
+        )
+        result, meetings = converged_run(protocol, population, initial)
+        steps = rule_trace_of(protocol, initial, meetings)
+        assert 0 < len(steps) < len(meetings)
+        assert all(
+            protocol.transition(p, q) != (p, q) for p, q in steps
+        )
+
+    def test_replay_reproduces_multiset(self):
+        """Replaying the rule trace with *any* casting reaches an
+        equivalent configuration - uniformity in action."""
+        protocol = SelfStabilizingNamingProtocol(3)
+        population = Population(3, has_leader=True)
+        initial = Configuration.uniform(
+            population, 0, protocol.initial_leader_state()
+        )
+        result, meetings = converged_run(protocol, population, initial)
+        steps = rule_trace_of(protocol, initial, meetings)
+        replayed, realized = replay_rule_trace(
+            protocol, population, initial, steps
+        )
+        assert replayed.is_equivalent(result.final_configuration)
+        assert len(realized) == len(steps)
+
+    def test_replay_rejects_null_rules(self):
+        protocol = CountingProtocol(3)
+        population = Population(2, has_leader=True)
+        initial = Configuration.uniform(
+            population, 0, protocol.initial_leader_state()
+        )
+        # (0, 0) is castable here and null for Protocol 1.
+        with pytest.raises(VerificationError, match="null rule"):
+            replay_rule_trace(protocol, population, initial, [(0, 0)])
+
+    def test_replay_rejects_uncastable_rule(self):
+        protocol = CountingProtocol(3)
+        population = Population(1, has_leader=True)
+        initial = Configuration.uniform(
+            population, 0, protocol.initial_leader_state()
+        )
+        # The only 0-agent is the avoided one: the leader rule on a
+        # 0-agent cannot be cast.
+        leader = protocol.initial_leader_state()
+        with pytest.raises(VerificationError, match="cannot be cast"):
+            replay_rule_trace(
+                protocol, population, initial, [(leader, 0)], avoid=0
+            )
+
+
+class TestHiddenAgent:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return hidden_agent_demo(
+            CountingProtocol, bound=5, n_visible=3, sink=0
+        )
+
+    def test_leader_cannot_tell_the_worlds_apart(self, demo):
+        """Lemma 5's conclusion: after the visible run, the N-agent and
+        (N+1)-agent worlds carry identical leader states."""
+        assert demo.fooled
+        assert (
+            demo.visible_final.leader_state
+            == demo.padded_final.leader_state
+        )
+
+    def test_leader_undercounts_while_fooled(self, demo):
+        assert demo.padded_final.leader_state.n == 3  # true size is 4
+
+    def test_hidden_agent_still_in_sink(self, demo):
+        assert demo.padded_final.mobile_states[-1] == 0
+
+    def test_weak_fairness_unmasks_the_hidden_agent(self, demo):
+        """Why Protocol 1 is nevertheless correct: fairness eventually
+        forces the hidden agent to interact, and the guess is corrected."""
+        assert demo.recovered_count == 4
+
+    def test_construction_works_at_other_sizes(self):
+        demo = hidden_agent_demo(
+            CountingProtocol, bound=6, n_visible=4, sink=0, seed=3
+        )
+        assert demo.fooled
+        assert demo.recovered_count == 5

@@ -1,0 +1,144 @@
+"""Tests for the weak-fairness model checker."""
+
+import pytest
+
+from repro.analysis.reachability import arbitrary_initial_configurations
+from repro.analysis.weak_fairness import check_naming_weak, failing_components
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.leader_uniform import LeaderUniformNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.protocol import TableProtocol
+from repro.errors import VerificationError
+
+
+class TestPositiveVerdicts:
+    def test_asymmetric_protocol_solves_weak(self):
+        protocol = AsymmetricNamingProtocol(3)
+        pop = Population(3)
+        verdict = check_naming_weak(
+            protocol, pop, arbitrary_initial_configurations(protocol, pop)
+        )
+        assert verdict.solves
+
+    def test_protocol2_solves_weak_including_leader_garbage(self):
+        protocol = SelfStabilizingNamingProtocol(2)
+        pop = Population(2, has_leader=True)
+        verdict = check_naming_weak(
+            protocol, pop, arbitrary_initial_configurations(protocol, pop)
+        )
+        assert verdict.solves
+
+    def test_prop14_solves_weak_from_designated_start(self):
+        protocol = LeaderUniformNamingProtocol(3)
+        pop = Population(3, has_leader=True)
+        start = Configuration.uniform(
+            pop,
+            protocol.initial_mobile_state(),
+            protocol.initial_leader_state(),
+        )
+        verdict = check_naming_weak(protocol, pop, [start])
+        assert verdict.solves
+
+    def test_already_named_silent_population(self):
+        protocol = TableProtocol({}, mobile_states=[0, 1, 2])
+        pop = Population(3)
+        verdict = check_naming_weak(protocol, pop, [Configuration((0, 1, 2))])
+        assert verdict.solves
+
+
+class TestNegativeVerdicts:
+    def test_silent_duplicates_detected(self):
+        protocol = TableProtocol({}, mobile_states=[0, 1])
+        pop = Population(2)
+        verdict = check_naming_weak(protocol, pop, [Configuration((0, 0))])
+        assert not verdict.solves
+        assert "duplicate names" in verdict.reason
+
+    def test_prop13_protocol_fails_under_weak(self):
+        """Global-fairness protocols are not weak-fairness protocols: the
+        checker finds the livelock (this is the content of the Table 1
+        weak/global distinction)."""
+        protocol = SymmetricGlobalNamingProtocol(3)
+        pop = Population(3)
+        verdict = check_naming_weak(
+            protocol, pop, arbitrary_initial_configurations(protocol, pop)
+        )
+        assert not verdict.solves
+        assert "livelock" in verdict.reason
+
+    def test_swap_livelock_detected(self):
+        swap = TableProtocol(
+            {(0, 1): (1, 0), (1, 0): (0, 1)}, mobile_states=[0, 1]
+        )
+        pop = Population(2)
+        verdict = check_naming_weak(swap, pop, [Configuration((0, 1))])
+        assert not verdict.solves
+        assert "livelock" in verdict.reason
+
+    def test_counterexample_configuration_reported(self):
+        protocol = TableProtocol({}, mobile_states=[0])
+        pop = Population(2)
+        verdict = check_naming_weak(protocol, pop, [Configuration((0, 0))])
+        assert verdict.counterexample == Configuration((0, 0))
+
+
+class TestNullMeetingSubtlety:
+    def test_escapable_bad_state_still_fails_if_nulls_cover(self):
+        """A configuration with duplicate names where every pair *can* meet
+        null-ly is a counterexample even though progress is possible: the
+        weak adversary simply schedules the null orientation forever.
+
+        Rule: (0,0) -> (0,1) only when agent order is (initiator 0 first);
+        the reversed orientation is null. Pair {0,1} can thus meet without
+        changing anything, and weak fairness is satisfied.
+        """
+        protocol = TableProtocol(
+            {(0, 0): (0, 1)}, mobile_states=[0, 1], symmetric=False
+        )
+        pop = Population(2)
+        verdict = check_naming_weak(protocol, pop, [Configuration((0, 0))])
+        # (0,0) meeting IS non-null in both orders ((p,q)=(0,0) either
+        # way), so this protocol actually escapes - it must solve.
+        assert verdict.solves
+
+    def test_reachable_silent_duplicates_doom_a_protocol(self):
+        """A rule that *can* merge distinct names into silent duplicates is
+        fatal under weak fairness: the adversary simply fires it once and
+        parks there (the orientation (1, 0) stays null, so every pair can
+        keep meeting without change)."""
+        protocol = TableProtocol(
+            {(0, 1): (0, 0)},
+            mobile_states=[0, 1],
+        )
+        pop = Population(2)
+        verdict = check_naming_weak(protocol, pop, [Configuration((0, 1))])
+        assert not verdict.solves
+        assert verdict.counterexample == Configuration((0, 0))
+
+    def test_stalling_with_duplicates_fails(self):
+        # Same shape but the stallable configuration has duplicates:
+        # (1,1) -> only null meetings in some orientation? (1,1) is the
+        # same ordered pair both ways; make it null and make (0,1) the
+        # active rule: then (1,1) is silent with duplicates.
+        protocol = TableProtocol({(0, 1): (1, 1)}, mobile_states=[0, 1])
+        pop = Population(2)
+        verdict = check_naming_weak(protocol, pop, [Configuration((1, 1))])
+        assert not verdict.solves
+
+
+class TestDiagnostics:
+    def test_failing_components_lists_witnesses(self):
+        protocol = TableProtocol({}, mobile_states=[0])
+        pop = Population(2)
+        witnesses = failing_components(
+            protocol, pop, [Configuration((0, 0))]
+        )
+        assert witnesses == [Configuration((0, 0))]
+
+    def test_raises_without_initial(self):
+        protocol = AsymmetricNamingProtocol(2)
+        with pytest.raises(VerificationError):
+            check_naming_weak(protocol, Population(2), [])

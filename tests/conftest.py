@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Property tests drive whole simulations; wall-clock deadlines and
+# too-slow warnings only add flakiness on loaded machines.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.protocol import PopulationProtocol
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def random_configuration(
+    protocol: PopulationProtocol,
+    population: Population,
+    rng: random.Random,
+    leader_state: object | None = None,
+) -> Configuration:
+    """A uniformly random legal configuration for ``protocol``."""
+    mobile_space = sorted(protocol.mobile_state_space())
+    mobiles = tuple(
+        rng.choice(mobile_space) for _ in range(population.n_mobile)
+    )
+    if population.has_leader:
+        if leader_state is None:
+            leader_state = rng.choice(
+                sorted(protocol.leader_state_space(), key=repr)
+            )
+        return Configuration.from_states(population, mobiles, leader_state)
+    return Configuration.from_states(population, mobiles)
+
+
+def assert_distinct_names(names: tuple) -> None:
+    assert len(set(names)) == len(names), f"homonyms in {names}"

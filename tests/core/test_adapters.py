@@ -1,0 +1,71 @@
+"""Tests for the idle-leader adapter."""
+
+import pytest
+
+from repro.core.adapters import IdleLeaderState, WithIdleLeader
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.counting import CountingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import verify_protocol
+from repro.engine.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+class TestWrapping:
+    def test_rejects_leadered_inner(self):
+        with pytest.raises(ProtocolError):
+            WithIdleLeader(CountingProtocol(3))
+
+    def test_leader_interactions_null(self):
+        protocol = WithIdleLeader(AsymmetricNamingProtocol(3))
+        leader = IdleLeaderState()
+        for s in range(3):
+            assert protocol.is_null(leader, s)
+            assert protocol.is_null(s, leader)
+
+    def test_mobile_rules_delegate(self):
+        inner = AsymmetricNamingProtocol(3)
+        protocol = WithIdleLeader(inner)
+        assert protocol.transition(1, 1) == inner.transition(1, 1)
+
+    def test_single_leader_state(self):
+        protocol = WithIdleLeader(AsymmetricNamingProtocol(3))
+        assert protocol.leader_state_space() == {IdleLeaderState()}
+        assert protocol.initial_leader_state() == IdleLeaderState()
+
+    def test_mobile_space_unchanged(self):
+        inner = SymmetricGlobalNamingProtocol(4)
+        protocol = WithIdleLeader(inner)
+        assert protocol.mobile_state_space() == inner.mobile_state_space()
+        assert protocol.num_mobile_states == 5
+
+    def test_symmetry_inherited(self):
+        assert WithIdleLeader(SymmetricGlobalNamingProtocol(3)).symmetric
+        assert not WithIdleLeader(AsymmetricNamingProtocol(3)).symmetric
+
+    def test_requires_leader(self):
+        assert WithIdleLeader(AsymmetricNamingProtocol(3)).requires_leader
+
+    def test_well_formed(self):
+        verify_protocol(WithIdleLeader(SymmetricGlobalNamingProtocol(3)))
+
+    def test_display_name_mentions_idle_leader(self):
+        protocol = WithIdleLeader(AsymmetricNamingProtocol(3))
+        assert "idle leader" in protocol.display_name
+
+
+class TestBehaviour:
+    def test_wrapped_protocol_still_converges(self):
+        protocol = WithIdleLeader(AsymmetricNamingProtocol(5))
+        pop = Population(5, has_leader=True)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=4), NamingProblem()
+        )
+        initial = Configuration.uniform(pop, 0, IdleLeaderState())
+        result = simulator.run(initial, max_interactions=500_000)
+        assert result.converged
+        assert len(set(result.names())) == 5

@@ -1,0 +1,142 @@
+"""Tests for the asymmetric naming protocol (Proposition 12)."""
+
+import pytest
+
+from repro.analysis.potential import potential
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import verify_closure
+from repro.engine.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.schedulers.matching import MatchingScheduler
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from tests.conftest import assert_distinct_names, random_configuration
+
+
+class TestRule:
+    def test_single_rule_shape(self):
+        protocol = AsymmetricNamingProtocol(5)
+        assert protocol.transition(3, 3) == (3, 4)
+        assert protocol.transition(4, 4) == (4, 0)  # modular wrap
+
+    def test_distinct_states_null(self):
+        protocol = AsymmetricNamingProtocol(5)
+        for p in range(5):
+            for q in range(5):
+                if p != q:
+                    assert protocol.transition(p, q) == (p, q)
+
+    def test_closure(self):
+        verify_closure(AsymmetricNamingProtocol(6))
+
+    def test_state_count_is_exactly_p(self):
+        assert AsymmetricNamingProtocol(9).num_mobile_states == 9
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ProtocolError):
+            AsymmetricNamingProtocol(0)
+
+    def test_declared_asymmetric_and_leaderless(self):
+        protocol = AsymmetricNamingProtocol(3)
+        assert not protocol.symmetric
+        assert not protocol.requires_leader
+        assert protocol.initial_mobile_state() is None  # self-stabilizing
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n,bound", [(2, 2), (3, 5), (5, 5), (8, 8), (8, 12)])
+    def test_converges_from_uniform_start(self, n, bound):
+        protocol = AsymmetricNamingProtocol(bound)
+        pop = Population(n)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=n), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, 0), max_interactions=500_000
+        )
+        assert result.converged
+        assert_distinct_names(result.names())
+
+    def test_converges_from_random_starts(self, rng):
+        protocol = AsymmetricNamingProtocol(6)
+        pop = Population(6)
+        for _ in range(20):
+            initial = random_configuration(protocol, pop, rng)
+            simulator = Simulator(
+                protocol,
+                pop,
+                RandomPairScheduler(pop, seed=rng.randrange(10**6)),
+                NamingProblem(),
+            )
+            result = simulator.run(initial, max_interactions=500_000)
+            assert result.converged
+            assert_distinct_names(result.names())
+
+    def test_converges_under_weakly_fair_round_robin(self):
+        protocol = AsymmetricNamingProtocol(7)
+        pop = Population(7)
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, 3), max_interactions=500_000
+        )
+        assert result.converged
+
+    def test_converges_even_under_matching_adversary(self):
+        """Asymmetric rules defeat Proposition 1's adversary."""
+        protocol = AsymmetricNamingProtocol(6)
+        pop = Population(6)
+        simulator = Simulator(
+            protocol, pop, MatchingScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, 0), max_interactions=100_000
+        )
+        assert result.converged
+
+    def test_names_within_state_space(self):
+        protocol = AsymmetricNamingProtocol(4)
+        pop = Population(4)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=3), NamingProblem()
+        )
+        result = simulator.run(Configuration.uniform(pop, 2))
+        assert set(result.names()) <= set(range(4))
+
+
+class TestPotentialArgument:
+    """The proof's lexicographic potential strictly decreases with every
+    non-null transition."""
+
+    def test_potential_decreases_along_execution(self, rng):
+        bound = 6
+        protocol = AsymmetricNamingProtocol(bound)
+        pop = Population(5)
+        config = random_configuration(protocol, pop, rng)
+        current = potential(config.states, bound)
+        for _ in range(5000):
+            x, y = rng.sample(pop.agents, 2)
+            p, q = config.state_of(x), config.state_of(y)
+            p2, q2 = protocol.transition(p, q)
+            if (p2, q2) == (p, q):
+                continue
+            config = config.apply(x, y, (p2, q2))
+            after = potential(config.states, bound)
+            assert after < current
+            current = after
+
+    def test_silent_configurations_have_distinct_names(self):
+        """Once the potential bottoms out only null transitions remain,
+        which forces distinctness - the heart of the proof: exhaustively,
+        every configuration with a homonym pair has a non-null meeting."""
+        from itertools import product
+
+        protocol = AsymmetricNamingProtocol(4)
+        for states in product(range(4), repeat=4):
+            if len(set(states)) < len(states):
+                dup = next(s for s in states if states.count(s) > 1)
+                assert not protocol.is_null(dup, dup)

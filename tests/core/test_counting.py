@@ -1,0 +1,168 @@
+"""Tests for Protocol 1: space-optimal counting (the substrate from [11])."""
+
+import pytest
+
+from repro.core.counting import (
+    SINK_STATE,
+    CountingLeaderState,
+    CountingProtocol,
+    protocol1_leader_step,
+)
+from repro.core.usequence import sequence_length, u_element
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import CountingProblem, NamingProblem
+from repro.engine.protocol import verify_protocol
+from repro.engine.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.schedulers.adversarial import HomonymPreservingScheduler
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from tests.conftest import assert_distinct_names, random_configuration
+
+
+class TestLeaderStepCore:
+    def test_zero_agent_advances_pointer(self):
+        n, k, name = protocol1_leader_step(0, 0, 0, max_name=3, k_cap=8)
+        assert (n, k) == (1, 1)
+        assert name == u_element(1) == 1
+
+    def test_large_name_jumps_pointer(self):
+        # name > n: k jumps to l_n + 1 and the guess increments.
+        n, k, name = protocol1_leader_step(1, 0, 3, max_name=3, k_cap=8)
+        assert k == sequence_length(1) + 1 == 2
+        assert n == 2
+        assert name == u_element(2) == 2
+
+    def test_overflow_value_leaves_agent_unnamed(self):
+        # At the very end of U_{P-1} the ruler value exceeds max_name.
+        k_cap = sequence_length(3) + 1  # P = 4: cap 8
+        n, k, name = protocol1_leader_step(
+            3, sequence_length(3), 0, max_name=3, k_cap=k_cap
+        )
+        assert n == 4
+        assert name == SINK_STATE
+
+    def test_pointer_saturates_at_cap(self):
+        n, k, name = protocol1_leader_step(2, 8, 0, max_name=3, k_cap=8)
+        assert k == 8
+
+
+class TestRules:
+    def test_homonyms_dissolve_to_sink(self):
+        protocol = CountingProtocol(4)
+        assert protocol.transition(2, 2) == (0, 0)
+
+    def test_sink_pair_is_null(self):
+        protocol = CountingProtocol(4)
+        assert protocol.is_null(0, 0)
+
+    def test_distinct_mobile_names_null(self):
+        protocol = CountingProtocol(4)
+        assert protocol.is_null(1, 2)
+
+    def test_leader_ignores_small_consistent_names(self):
+        protocol = CountingProtocol(4)
+        leader = CountingLeaderState(2, 1)
+        assert protocol.is_null(leader, 1)
+
+    def test_leader_rule_symmetric_orientation(self):
+        protocol = CountingProtocol(4)
+        leader = CountingLeaderState(0, 0)
+        l2, m2 = protocol.transition(leader, 0)
+        m3, l3 = protocol.transition(0, leader)
+        assert (l2, m2) == (l3, m3)
+
+    def test_guess_frozen_at_p(self):
+        protocol = CountingProtocol(3)
+        leader = CountingLeaderState(3, 4)
+        assert protocol.is_null(leader, 0)
+
+    def test_well_formed_and_symmetric(self):
+        verify_protocol(CountingProtocol(4))
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ProtocolError):
+            CountingProtocol(0)
+
+    def test_initial_leader_state(self):
+        assert CountingProtocol(5).initial_leader_state() == (
+            CountingLeaderState(0, 0)
+        )
+
+
+class TestCountingConvergence:
+    @pytest.mark.parametrize("n,bound", [(1, 3), (2, 4), (3, 4), (4, 4), (5, 6)])
+    def test_count_reaches_exactly_n(self, n, bound, rng):
+        protocol = CountingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        initial = random_configuration(
+            protocol, pop, rng, leader_state=protocol.initial_leader_state()
+        )
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), CountingProblem(n)
+        )
+        result = simulator.run(initial, max_interactions=1_000_000)
+        assert result.converged
+        assert result.final_configuration.leader_state.n == n
+
+    def test_count_stable_after_convergence(self, rng):
+        """Run far beyond convergence: the guess must not drift past N."""
+        n, bound = 4, 5
+        protocol = CountingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        initial = random_configuration(
+            protocol, pop, rng, leader_state=protocol.initial_leader_state()
+        )
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=5), problem=None
+        )
+        result = simulator.run(initial, max_interactions=300_000)
+        assert result.final_configuration.leader_state.n == n
+
+    def test_counts_under_adversarial_scheduler(self, rng):
+        n, bound = 5, 5
+        protocol = CountingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        scheduler = HomonymPreservingScheduler(pop, protocol, seed=2)
+        initial = random_configuration(
+            protocol, pop, rng, leader_state=protocol.initial_leader_state()
+        )
+        simulator = Simulator(protocol, pop, scheduler, CountingProblem(n))
+        result = simulator.run(initial, max_interactions=1_000_000)
+        assert result.converged
+
+
+class TestNamingByproduct:
+    """Theorem 15: for N < P Protocol 1 also names the agents in
+    {1, ..., N}."""
+
+    @pytest.mark.parametrize("n,bound", [(2, 4), (3, 4), (4, 5), (5, 8)])
+    def test_names_one_to_n(self, n, bound, rng):
+        protocol = CountingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        initial = random_configuration(
+            protocol, pop, rng, leader_state=protocol.initial_leader_state()
+        )
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(initial, max_interactions=1_000_000)
+        assert result.converged
+        assert sorted(result.names()) == list(range(1, n + 1))
+
+    def test_full_population_counts_but_need_not_name(self):
+        """For N = P the count converges; naming is not promised (that is
+        Protocol 2/3's job)."""
+        n = bound = 4
+        protocol = CountingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        initial = Configuration.uniform(
+            pop, 1, protocol.initial_leader_state()
+        )
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=1), CountingProblem(n)
+        )
+        result = simulator.run(initial, max_interactions=1_000_000)
+        assert result.converged
+        assert result.final_configuration.leader_state.n == n

@@ -1,0 +1,136 @@
+"""Tests for Protocol 3: global-fairness naming with P states (Prop. 17)."""
+
+import pytest
+
+from repro.analysis.model_checker import check_naming_global
+from repro.analysis.reachability import arbitrary_initial_configurations
+from repro.analysis.weak_fairness import check_naming_weak
+from repro.core.global_naming import GlobalLeaderState, GlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import verify_protocol
+from repro.engine.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from tests.conftest import assert_distinct_names, random_configuration
+
+
+class TestRules:
+    def test_sweep_advances_on_matching_name(self):
+        protocol = GlobalNamingProtocol(3)
+        leader = GlobalLeaderState(3, 4, 1)
+        l2, name = protocol.transition(leader, 1)
+        assert l2.name_ptr == 2
+        assert name == 1
+
+    def test_sweep_renames_and_resets_on_mismatch(self):
+        protocol = GlobalNamingProtocol(3)
+        leader = GlobalLeaderState(3, 4, 2)
+        l2, name = protocol.transition(leader, 0)
+        assert l2.name_ptr == 0
+        assert name == 2  # the agent takes the old pointer value
+
+    def test_sweep_complete_is_silent(self):
+        protocol = GlobalNamingProtocol(3)
+        leader = GlobalLeaderState(3, 4, 3)  # name_ptr = P
+        for name in range(3):
+            assert protocol.is_null(leader, name)
+
+    def test_sweep_inactive_below_p(self):
+        protocol = GlobalNamingProtocol(3)
+        leader = GlobalLeaderState(2, 2, 0)
+        # n < P: the Protocol 1 core applies; named agent 1 <= n is null.
+        assert protocol.is_null(leader, 1)
+
+    def test_homonyms_dissolve(self):
+        protocol = GlobalNamingProtocol(3)
+        assert protocol.transition(2, 2) == (0, 0)
+
+    def test_well_formed_and_symmetric(self):
+        verify_protocol(GlobalNamingProtocol(3))
+
+    def test_exactly_p_states(self):
+        assert GlobalNamingProtocol(7).num_mobile_states == 7
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ProtocolError):
+            GlobalNamingProtocol(0)
+
+    def test_initial_leader_state(self):
+        assert GlobalNamingProtocol(4).initial_leader_state() == (
+            GlobalLeaderState(0, 0, 0)
+        )
+
+
+class TestSmallPopulations:
+    """N < P: Protocol 3 behaves exactly like Protocol 1 and names fast,
+    even under merely weakly fair schedulers."""
+
+    @pytest.mark.parametrize("n,bound", [(2, 4), (3, 4), (3, 6), (5, 8)])
+    def test_names_small_population(self, n, bound, rng):
+        protocol = GlobalNamingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        initial = random_configuration(
+            protocol, pop, rng, leader_state=protocol.initial_leader_state()
+        )
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(initial, max_interactions=1_000_000)
+        assert result.converged
+        assert sorted(result.names()) == list(range(1, n + 1))
+
+
+class TestFullPopulation:
+    """N = P: the ordered sweep names everyone with names {0, ..., P-1}.
+    Randomized cost grows super-exponentially in P, so simulations stay
+    tiny; the exact checker covers the rest."""
+
+    @pytest.mark.parametrize("bound", [2, 3])
+    def test_names_full_population_random_scheduler(self, bound, rng):
+        protocol = GlobalNamingProtocol(bound)
+        pop = Population(bound, has_leader=True)
+        initial = random_configuration(
+            protocol, pop, rng, leader_state=protocol.initial_leader_state()
+        )
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=17), NamingProblem()
+        )
+        result = simulator.run(initial, max_interactions=3_000_000)
+        assert result.converged
+        assert sorted(result.names()) == list(range(bound))
+
+    def test_sweep_requires_global_fairness(self):
+        """Under plain weak fairness the N = P case is impossible with P
+        states (Theorem 11); the exact weak checker must find the
+        counterexample for Protocol 3 itself."""
+        bound = 2
+        protocol = GlobalNamingProtocol(bound)
+        pop = Population(2, has_leader=True)
+        verdict = check_naming_weak(
+            protocol,
+            pop,
+            arbitrary_initial_configurations(
+                protocol, pop, leader_states=[protocol.initial_leader_state()]
+            ),
+        )
+        assert not verdict.solves
+
+
+class TestExactVerification:
+    """Machine-checked Proposition 17."""
+
+    @pytest.mark.parametrize("n,bound", [(2, 2), (2, 3), (3, 3), (4, 4)])
+    def test_solves_naming_under_global_fairness(self, n, bound):
+        protocol = GlobalNamingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        verdict = check_naming_global(
+            protocol,
+            pop,
+            arbitrary_initial_configurations(
+                protocol, pop, leader_states=[protocol.initial_leader_state()]
+            ),
+        )
+        assert verdict.solves, verdict.reason

@@ -1,0 +1,113 @@
+"""Tests for naming-based leader election (the [19] reduction)."""
+
+import pytest
+
+from repro.analysis.weak_fairness import check_naming_weak
+from repro.analysis.reachability import arbitrary_initial_configurations
+from repro.core.leader_election import (
+    LEADER_NAME,
+    LeaderElectionProblem,
+    NamingLeaderElectionProtocol,
+    elected_agents,
+)
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from tests.conftest import random_configuration
+
+
+class TestConstruction:
+    def test_uses_exactly_n_states(self):
+        """[19]'s lower bound: self-stabilizing leader election needs N
+        states; the reduction matches it."""
+        assert NamingLeaderElectionProtocol(7).num_mobile_states == 7
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ProtocolError):
+            NamingLeaderElectionProtocol(0)
+
+    def test_election_predicate(self):
+        assert NamingLeaderElectionProtocol.is_elected(LEADER_NAME)
+        assert not NamingLeaderElectionProtocol.is_elected(3)
+
+
+class TestElection:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_exactly_one_leader_elected(self, n, rng):
+        protocol = NamingLeaderElectionProtocol(n)
+        pop = Population(n)
+        for trial in range(5):
+            initial = random_configuration(protocol, pop, rng)
+            if n == 1:
+                result_config = initial
+            else:
+                simulator = Simulator(
+                    protocol,
+                    pop,
+                    RandomPairScheduler(pop, seed=trial),
+                    LeaderElectionProblem(),
+                )
+                result = simulator.run(initial, max_interactions=1_000_000)
+                assert result.converged
+                result_config = result.final_configuration
+            assert len(elected_agents(pop, result_config)) == 1
+
+    def test_self_stabilizing_from_all_leaders(self):
+        """Worst start: every agent believes it is the leader."""
+        n = 6
+        protocol = NamingLeaderElectionProtocol(n)
+        pop = Population(n)
+        simulator = Simulator(
+            protocol,
+            pop,
+            RoundRobinScheduler(pop),
+            LeaderElectionProblem(),
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, LEADER_NAME),
+            max_interactions=500_000,
+        )
+        assert result.converged
+        assert len(elected_agents(pop, result.final_configuration)) == 1
+
+    def test_election_stable_once_converged(self):
+        n = 5
+        protocol = NamingLeaderElectionProtocol(n)
+        pop = Population(n)
+        problem = LeaderElectionProblem()
+        config = Configuration(tuple(range(n)))
+        assert problem.is_solved(protocol, config)
+
+
+class TestExactVerification:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_names_all_distinct_under_weak_fairness(self, n):
+        """The underlying naming (hence the election) is exact-checked."""
+        protocol = NamingLeaderElectionProtocol(n)
+        pop = Population(n)
+        verdict = check_naming_weak(
+            protocol, pop, arbitrary_initial_configurations(protocol, pop)
+        )
+        assert verdict.solves
+
+    def test_silence_implies_unique_leader(self):
+        """With P = N, any silent configuration is a permutation of
+        {0, ..., N-1}: exactly one agent holds the leader name."""
+        from itertools import product
+
+        n = 3
+        protocol = NamingLeaderElectionProtocol(n)
+        problem = LeaderElectionProblem()
+        for states in product(range(n), repeat=n):
+            config = Configuration(states)
+            silent = all(
+                protocol.is_null(p, q)
+                for p in states
+                for q in states
+                if states.count(p) >= (2 if p == q else 1)
+            )
+            if silent and len(set(states)) == n:
+                assert problem.is_satisfied(config)

@@ -1,0 +1,141 @@
+"""Tests for the initialized-leader, uniform-start protocol (Prop. 14)."""
+
+import pytest
+
+from repro.analysis.weak_fairness import check_naming_weak
+from repro.core.leader_uniform import (
+    CounterLeaderState,
+    LeaderUniformNamingProtocol,
+)
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import verify_protocol
+from repro.engine.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.schedulers.adversarial import HomonymPreservingScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from tests.conftest import assert_distinct_names
+
+
+def uniform_start(protocol, population):
+    return Configuration.uniform(
+        population,
+        protocol.initial_mobile_state(),
+        protocol.initial_leader_state(),
+    )
+
+
+class TestRules:
+    def test_leader_names_fresh_agent(self):
+        protocol = LeaderUniformNamingProtocol(4)
+        leader = CounterLeaderState(1)
+        assert protocol.transition(leader, 4) == (CounterLeaderState(2), 1)
+
+    def test_rule_symmetric_orientation(self):
+        protocol = LeaderUniformNamingProtocol(4)
+        leader = CounterLeaderState(2)
+        assert protocol.transition(4, leader) == (2, CounterLeaderState(3))
+
+    def test_named_agents_untouched(self):
+        protocol = LeaderUniformNamingProtocol(4)
+        leader = CounterLeaderState(2)
+        assert protocol.is_null(leader, 1)
+
+    def test_counter_saturates_at_p(self):
+        protocol = LeaderUniformNamingProtocol(3)
+        leader = CounterLeaderState(3)
+        # Counter at P: the remaining P-state agent keeps name P.
+        assert protocol.is_null(leader, 3)
+
+    def test_mobile_meetings_all_null(self):
+        protocol = LeaderUniformNamingProtocol(3)
+        for p in (1, 2, 3):
+            for q in (1, 2, 3):
+                assert protocol.is_null(p, q)
+
+    def test_well_formed_and_symmetric(self):
+        verify_protocol(LeaderUniformNamingProtocol(5))
+
+    def test_exactly_p_states(self):
+        assert LeaderUniformNamingProtocol(5).num_mobile_states == 5
+
+    def test_initializations_designated(self):
+        protocol = LeaderUniformNamingProtocol(5)
+        assert protocol.initial_mobile_state() == 5
+        assert protocol.initial_leader_state() == CounterLeaderState(1)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ProtocolError):
+            LeaderUniformNamingProtocol(0)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n,bound", [(1, 1), (2, 4), (4, 4), (6, 9)])
+    def test_converges_under_round_robin(self, n, bound):
+        protocol = LeaderUniformNamingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(
+            uniform_start(protocol, pop), max_interactions=100_000
+        )
+        assert result.converged
+        assert_distinct_names(result.names())
+
+    def test_names_are_one_to_n_for_small_populations(self):
+        bound = 8
+        protocol = LeaderUniformNamingProtocol(bound)
+        pop = Population(5, has_leader=True)
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(uniform_start(protocol, pop))
+        assert sorted(result.names()) == [1, 2, 3, 4, 5]
+
+    def test_full_population_keeps_name_p(self):
+        bound = 4
+        protocol = LeaderUniformNamingProtocol(bound)
+        pop = Population(4, has_leader=True)
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(uniform_start(protocol, pop))
+        assert result.converged
+        assert sorted(result.names()) == [1, 2, 3, 4]
+
+    def test_converges_under_adversary(self):
+        protocol = LeaderUniformNamingProtocol(5)
+        pop = Population(5, has_leader=True)
+        scheduler = HomonymPreservingScheduler(pop, protocol, seed=1)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        result = simulator.run(
+            uniform_start(protocol, pop), max_interactions=200_000
+        )
+        assert result.converged
+
+
+class TestExactVerification:
+    """Machine-checked Proposition 14 under weak fairness."""
+
+    @pytest.mark.parametrize("n,bound", [(2, 2), (2, 3), (3, 3)])
+    def test_solves_naming_from_designated_start(self, n, bound):
+        protocol = LeaderUniformNamingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        verdict = check_naming_weak(
+            protocol, pop, [uniform_start(protocol, pop)]
+        )
+        assert verdict.solves
+
+    def test_needs_uniform_initialization(self):
+        """From arbitrary mobile states the P-state protocol cannot work
+        (Theorem 11's territory): exhibit a failing start."""
+        bound = 2
+        protocol = LeaderUniformNamingProtocol(bound)
+        pop = Population(2, has_leader=True)
+        bad_start = Configuration.from_states(
+            pop, (1, 1), protocol.initial_leader_state()
+        )
+        verdict = check_naming_weak(protocol, pop, [bad_start])
+        assert not verdict.solves

@@ -1,0 +1,151 @@
+"""Tests for the spec-to-protocol registry."""
+
+import pytest
+
+from repro.core.adapters import WithIdleLeader
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.leader_uniform import LeaderUniformNamingProtocol
+from repro.core.registry import optimal_states, protocol_for
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.spec import (
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    ModelSpec,
+    Symmetry,
+    all_specs,
+    table1_cell,
+)
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.protocol import verify_protocol
+from repro.errors import InfeasibleSpecError
+
+
+def spec(fairness, symmetry, leader, init=MobileInit.ARBITRARY):
+    return ModelSpec(fairness, symmetry, leader, init)
+
+
+class TestInfeasible:
+    def test_raises_with_proposition(self):
+        bad = spec(Fairness.WEAK, Symmetry.SYMMETRIC, LeaderKind.NONE)
+        with pytest.raises(InfeasibleSpecError) as excinfo:
+            protocol_for(bad, 5)
+        assert excinfo.value.proposition == "Proposition 1"
+
+    def test_optimal_states_raises_too(self):
+        bad = spec(Fairness.WEAK, Symmetry.SYMMETRIC, LeaderKind.NONE)
+        with pytest.raises(InfeasibleSpecError):
+            optimal_states(bad, 5)
+
+
+class TestSelection:
+    def test_asymmetric_cells_use_prop12(self):
+        protocol = protocol_for(
+            spec(Fairness.WEAK, Symmetry.ASYMMETRIC, LeaderKind.NONE), 5
+        )
+        assert isinstance(protocol, AsymmetricNamingProtocol)
+
+    def test_asymmetric_with_leader_wraps_idle(self):
+        protocol = protocol_for(
+            spec(Fairness.WEAK, Symmetry.ASYMMETRIC, LeaderKind.INITIALIZED),
+            5,
+        )
+        assert isinstance(protocol, WithIdleLeader)
+        assert isinstance(protocol.inner, AsymmetricNamingProtocol)
+
+    def test_symmetric_global_leaderless_uses_prop13(self):
+        protocol = protocol_for(
+            spec(Fairness.GLOBAL, Symmetry.SYMMETRIC, LeaderKind.NONE), 5
+        )
+        assert isinstance(protocol, SymmetricGlobalNamingProtocol)
+
+    def test_symmetric_global_noninit_leader_idles_it(self):
+        protocol = protocol_for(
+            spec(
+                Fairness.GLOBAL,
+                Symmetry.SYMMETRIC,
+                LeaderKind.NON_INITIALIZED,
+            ),
+            5,
+        )
+        assert isinstance(protocol, WithIdleLeader)
+        assert isinstance(protocol.inner, SymmetricGlobalNamingProtocol)
+
+    def test_weak_noninit_leader_uses_protocol2(self):
+        protocol = protocol_for(
+            spec(
+                Fairness.WEAK, Symmetry.SYMMETRIC, LeaderKind.NON_INITIALIZED
+            ),
+            5,
+        )
+        assert isinstance(protocol, SelfStabilizingNamingProtocol)
+
+    def test_weak_init_leader_uniform_uses_prop14(self):
+        protocol = protocol_for(
+            spec(
+                Fairness.WEAK,
+                Symmetry.SYMMETRIC,
+                LeaderKind.INITIALIZED,
+                MobileInit.UNIFORM,
+            ),
+            5,
+        )
+        assert isinstance(protocol, LeaderUniformNamingProtocol)
+
+    def test_weak_init_leader_arbitrary_uses_protocol2(self):
+        protocol = protocol_for(
+            spec(Fairness.WEAK, Symmetry.SYMMETRIC, LeaderKind.INITIALIZED),
+            5,
+        )
+        assert isinstance(protocol, SelfStabilizingNamingProtocol)
+
+    def test_global_init_leader_uses_protocol3(self):
+        protocol = protocol_for(
+            spec(Fairness.GLOBAL, Symmetry.SYMMETRIC, LeaderKind.INITIALIZED),
+            5,
+        )
+        assert isinstance(protocol, GlobalNamingProtocol)
+
+
+class TestConsistencyWithOracle:
+    @pytest.mark.parametrize(
+        "model_spec",
+        [s for s in all_specs() if table1_cell(s).feasible],
+        ids=lambda s: s.describe(),
+    )
+    def test_registry_matches_paper_state_counts(self, model_spec):
+        bound = 4
+        protocol = protocol_for(model_spec, bound)
+        assert protocol.num_mobile_states == optimal_states(model_spec, bound)
+
+    @pytest.mark.parametrize(
+        "model_spec",
+        [s for s in all_specs() if table1_cell(s).feasible],
+        ids=lambda s: s.describe(),
+    )
+    def test_registry_protocols_well_formed(self, model_spec):
+        verify_protocol(protocol_for(model_spec, 3))
+
+    @pytest.mark.parametrize(
+        "model_spec",
+        [s for s in all_specs() if table1_cell(s).feasible],
+        ids=lambda s: s.describe(),
+    )
+    def test_leader_presence_matches_spec(self, model_spec):
+        protocol = protocol_for(model_spec, 3)
+        expects_leader = model_spec.leader is not LeaderKind.NONE
+        assert protocol.requires_leader == expects_leader
+
+    @pytest.mark.parametrize(
+        "model_spec",
+        [
+            s
+            for s in all_specs()
+            if table1_cell(s).feasible
+            and s.symmetry is Symmetry.SYMMETRIC
+        ],
+        ids=lambda s: s.describe(),
+    )
+    def test_symmetric_cells_get_symmetric_protocols(self, model_spec):
+        assert protocol_for(model_spec, 3).symmetric

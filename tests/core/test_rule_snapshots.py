@@ -1,0 +1,106 @@
+"""Snapshot tests: the paper protocols' exact rule tables, pinned.
+
+Any accidental edit to a transition function (an off-by-one in the
+modular successor, a flipped guard) changes these literal tables and
+fails loudly, independent of whether the higher-level behaviour tests
+happen to notice.
+"""
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.counting import CountingLeaderState, CountingProtocol
+from repro.core.global_naming import GlobalLeaderState, GlobalNamingProtocol
+from repro.core.leader_uniform import (
+    CounterLeaderState,
+    LeaderUniformNamingProtocol,
+)
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.reporting.rules import non_null_rules
+
+
+class TestAsymmetricSnapshot:
+    def test_p3_rule_table(self):
+        rules = non_null_rules(AsymmetricNamingProtocol(3))
+        assert rules == [
+            ((0, 0), (0, 1)),
+            ((1, 1), (1, 2)),
+            ((2, 2), (2, 0)),
+        ]
+
+
+class TestProp13Snapshot:
+    def test_p3_rule_table(self):
+        rules = non_null_rules(SymmetricGlobalNamingProtocol(3))
+        assert rules == [
+            ((0, 0), (3, 3)),
+            ((0, 3), (0, 1)),
+            ((1, 1), (3, 3)),
+            ((1, 3), (1, 2)),
+            ((2, 2), (3, 3)),
+            ((2, 3), (2, 0)),
+            ((3, 0), (1, 0)),
+            ((3, 1), (2, 1)),
+            ((3, 2), (0, 2)),
+            ((3, 3), (1, 1)),
+        ]
+
+
+class TestProp14Snapshot:
+    def test_p2_rule_table(self):
+        rules = non_null_rules(
+            LeaderUniformNamingProtocol(2), max_leader_states=None
+        )
+        assert rules == [
+            (
+                (CounterLeaderState(1), 2),
+                (CounterLeaderState(2), 1),
+            ),
+            (
+                (2, CounterLeaderState(1)),
+                (1, CounterLeaderState(2)),
+            ),
+        ]
+
+
+class TestProtocol1Snapshot:
+    def test_p2_homonym_rule(self):
+        rules = dict(non_null_rules(CountingProtocol(2)))
+        assert rules[(1, 1)] == (0, 0)
+
+    def test_p2_fresh_leader_rules(self):
+        rules = dict(
+            non_null_rules(CountingProtocol(2), max_leader_states=None)
+        )
+        fresh = CountingLeaderState(0, 0)
+        # Meeting the sink: advance U* and name 1.
+        assert rules[(fresh, 0)] == (CountingLeaderState(1, 1), 1)
+        # Meeting an over-large name: same jump (l_0 + 1 = 1).
+        assert rules[(fresh, 1)] == (CountingLeaderState(1, 1), 1)
+        # Orientation mirror.
+        assert rules[(0, fresh)] == (1, CountingLeaderState(1, 1))
+
+    def test_p2_converged_leader_is_silent(self):
+        protocol = CountingProtocol(2)
+        done = CountingLeaderState(2, 2)
+        assert protocol.is_null(done, 0)
+        assert protocol.is_null(done, 1)
+
+
+class TestProtocol3Snapshot:
+    def test_sweep_rules_at_full_population(self):
+        protocol = GlobalNamingProtocol(2)
+        counting_done = GlobalLeaderState(2, 2, 0)
+        # Pointer matches the met agent: advance.
+        assert protocol.transition(counting_done, 0) == (
+            GlobalLeaderState(2, 2, 1),
+            0,
+        )
+        # Mismatch: rename to the pointer, reset it.
+        mid = GlobalLeaderState(2, 2, 1)
+        assert protocol.transition(mid, 0) == (
+            GlobalLeaderState(2, 2, 0),
+            1,
+        )
+        # Sweep complete: silent.
+        full = GlobalLeaderState(2, 2, 2)
+        assert protocol.is_null(full, 0)
+        assert protocol.is_null(full, 1)

@@ -1,0 +1,184 @@
+"""Tests for Protocol 2: self-stabilizing naming (Proposition 16)."""
+
+import pytest
+
+from repro.analysis.reachability import arbitrary_initial_configurations
+from repro.analysis.weak_fairness import check_naming_weak
+from repro.core.selfstab_naming import (
+    SelfStabLeaderState,
+    SelfStabilizingNamingProtocol,
+)
+from repro.core.usequence import sequence_length
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import verify_protocol
+from repro.engine.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.schedulers.adversarial import HomonymPreservingScheduler
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from tests.conftest import assert_distinct_names, random_configuration
+
+
+class TestRules:
+    def test_reset_when_guess_overflows(self):
+        protocol = SelfStabilizingNamingProtocol(3)
+        leader = SelfStabLeaderState(4, 7)  # n > P
+        l2, m2 = protocol.transition(leader, 0)
+        assert l2 == SelfStabLeaderState(0, 0)
+        assert m2 == 0  # the agent is left unnamed; renaming restarts
+
+    def test_no_reset_while_guess_in_range(self):
+        protocol = SelfStabilizingNamingProtocol(3)
+        leader = SelfStabLeaderState(3, 1)  # n = P still allowed (n <= P)
+        l2, _ = protocol.transition(leader, 0)
+        assert l2 != SelfStabLeaderState(0, 0)
+
+    def test_reset_only_via_sink_agents(self):
+        protocol = SelfStabilizingNamingProtocol(3)
+        leader = SelfStabLeaderState(4, 7)
+        assert protocol.is_null(leader, 2)  # named agent: no reset
+
+    def test_homonyms_dissolve(self):
+        protocol = SelfStabilizingNamingProtocol(3)
+        assert protocol.transition(2, 2) == (0, 0)
+
+    def test_uses_u_p_so_p_can_be_assigned(self):
+        protocol = SelfStabilizingNamingProtocol(3)
+        # After the guess reaches P the middle of U_P assigns name P.
+        leader = SelfStabLeaderState(3, sequence_length(2))
+        l2, name = protocol.transition(leader, 0)
+        assert name == 3  # = P
+
+    def test_well_formed_and_symmetric(self):
+        verify_protocol(SelfStabilizingNamingProtocol(3))
+
+    def test_uses_p_plus_one_states(self):
+        assert SelfStabilizingNamingProtocol(6).num_mobile_states == 7
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ProtocolError):
+            SelfStabilizingNamingProtocol(0)
+
+
+class TestSelfStabilization:
+    """Convergence from arbitrary states of *everything*, leader included,
+    under weakly fair schedulers."""
+
+    @pytest.mark.parametrize("n,bound", [(2, 2), (3, 4), (4, 4), (6, 6)])
+    def test_converges_from_random_garbage(self, n, bound, rng):
+        protocol = SelfStabilizingNamingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        for trial in range(5):
+            initial = random_configuration(protocol, pop, rng)
+            simulator = Simulator(
+                protocol,
+                pop,
+                RoundRobinScheduler(pop, seed=trial, shuffle_each_cycle=True),
+                NamingProblem(),
+            )
+            result = simulator.run(initial, max_interactions=2_000_000)
+            assert result.converged, initial
+            assert_distinct_names(result.names())
+
+    def test_converges_under_adversary_from_worst_start(self):
+        bound = 5
+        protocol = SelfStabilizingNamingProtocol(bound)
+        pop = Population(5, has_leader=True)
+        # Worst case: all homonyms plus a leader claiming it is done.
+        initial = Configuration.from_states(
+            pop, (3, 3, 3, 3, 3), SelfStabLeaderState(5, sequence_length(5))
+        )
+        scheduler = HomonymPreservingScheduler(pop, protocol, seed=0)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        result = simulator.run(initial, max_interactions=2_000_000)
+        assert result.converged
+        assert_distinct_names(result.names())
+
+    def test_names_full_population(self):
+        """Unlike Protocol 1, Protocol 2 names N = P agents (one extra
+        state buys the U_P sequence)."""
+        bound = 4
+        protocol = SelfStabilizingNamingProtocol(bound)
+        pop = Population(4, has_leader=True)
+        simulator = Simulator(
+            protocol,
+            pop,
+            RandomPairScheduler(pop, seed=9),
+            NamingProblem(),
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, 1, SelfStabLeaderState(0, 0)),
+            max_interactions=2_000_000,
+        )
+        assert result.converged
+        assert_distinct_names(result.names())
+
+    def test_leader_reset_happens_from_corrupt_state(self):
+        """A corrupted leader (overflowed guess) must pass through the
+        reset before renaming."""
+        bound = 3
+        protocol = SelfStabilizingNamingProtocol(bound)
+        pop = Population(3, has_leader=True)
+        initial = Configuration.from_states(
+            pop, (1, 1, 1), SelfStabLeaderState(bound + 1, 2**bound)
+        )
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(initial, max_interactions=500_000)
+        assert result.converged
+
+
+class TestWellInitializedBehaviour:
+    """With a freshly deployed BST, Protocol 2 inherits Theorem 15's
+    naming shape: agents end up named 1..N (for N < P the sink 0 and the
+    top name stay unused)."""
+
+    @pytest.mark.parametrize("n,bound", [(2, 4), (3, 5), (4, 6)])
+    def test_names_are_one_to_n(self, n, bound):
+        protocol = SelfStabilizingNamingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        simulator = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, 0, protocol.initial_leader_state()),
+            max_interactions=1_000_000,
+        )
+        assert result.converged
+        assert sorted(result.names()) == list(range(1, n + 1))
+
+    def test_full_population_uses_the_extra_name(self):
+        n = bound = 4
+        protocol = SelfStabilizingNamingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        simulator = Simulator(
+            protocol,
+            pop,
+            RandomPairScheduler(pop, seed=8),
+            NamingProblem(),
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, 0, protocol.initial_leader_state()),
+            max_interactions=2_000_000,
+        )
+        assert result.converged
+        assert sorted(result.names()) == list(range(1, bound + 1))
+
+
+class TestExactVerification:
+    """Machine-checked Proposition 16: exact weak-fairness verification
+    over every configuration, leader state included."""
+
+    @pytest.mark.parametrize("n,bound", [(1, 2), (2, 2), (2, 3), (3, 3)])
+    def test_solves_naming_from_all_configurations(self, n, bound):
+        protocol = SelfStabilizingNamingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        verdict = check_naming_weak(
+            protocol,
+            pop,
+            arbitrary_initial_configurations(protocol, pop),
+        )
+        assert verdict.solves, verdict.reason

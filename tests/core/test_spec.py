@@ -1,0 +1,146 @@
+"""Tests for the model-spec enumeration and the Table 1 oracle."""
+
+import pytest
+
+from repro.core.spec import (
+    CellResult,
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    ModelSpec,
+    Symmetry,
+    all_specs,
+    table1_cell,
+    table1_rows,
+)
+
+
+def spec(fairness, symmetry, leader, init=MobileInit.ARBITRARY):
+    return ModelSpec(fairness, symmetry, leader, init)
+
+
+class TestEnumeration:
+    def test_twenty_four_specs(self):
+        specs = list(all_specs())
+        assert len(specs) == 24
+        assert len(set(specs)) == 24
+
+    def test_rows_align_with_specs(self):
+        rows = table1_rows()
+        assert len(rows) == 24
+        for s, cell in rows:
+            assert cell == table1_cell(s)
+
+    def test_describe_mentions_all_parameters(self):
+        text = spec(
+            Fairness.WEAK, Symmetry.SYMMETRIC, LeaderKind.NONE
+        ).describe()
+        assert "weak" in text and "symmetric" in text and "no leader" in text
+
+
+class TestOracleImpossibleCell:
+    @pytest.mark.parametrize("init", list(MobileInit))
+    def test_symmetric_weak_leaderless_impossible(self, init):
+        cell = table1_cell(
+            spec(Fairness.WEAK, Symmetry.SYMMETRIC, LeaderKind.NONE, init)
+        )
+        assert not cell.feasible
+        assert cell.lower_bound_ref == "Proposition 1"
+        assert cell.optimal_states(5) is None
+
+    def test_only_one_cell_is_impossible(self):
+        infeasible = [s for s in all_specs() if not table1_cell(s).feasible]
+        assert len(infeasible) == 2  # the two init variants of one cell
+        assert all(
+            s.symmetry is Symmetry.SYMMETRIC
+            and s.fairness is Fairness.WEAK
+            and s.leader is LeaderKind.NONE
+            for s in infeasible
+        )
+
+
+class TestOracleAsymmetricColumn:
+    @pytest.mark.parametrize("fairness", list(Fairness))
+    @pytest.mark.parametrize("leader", list(LeaderKind))
+    @pytest.mark.parametrize("init", list(MobileInit))
+    def test_always_p_states_via_prop12(self, fairness, leader, init):
+        cell = table1_cell(
+            spec(fairness, Symmetry.ASYMMETRIC, leader, init)
+        )
+        assert cell.feasible
+        assert cell.extra_states == 0
+        assert cell.protocol_ref == "Proposition 12"
+        assert cell.optimal_states(7) == 7
+
+
+class TestOracleSymmetricColumn:
+    def test_global_no_leader_p_plus_one(self):
+        cell = table1_cell(
+            spec(Fairness.GLOBAL, Symmetry.SYMMETRIC, LeaderKind.NONE)
+        )
+        assert cell.feasible and cell.extra_states == 1
+        assert cell.protocol_ref == "Proposition 13"
+        assert cell.lower_bound_ref == "Proposition 2"
+
+    def test_weak_noninit_leader_p_plus_one(self):
+        cell = table1_cell(
+            spec(
+                Fairness.WEAK, Symmetry.SYMMETRIC, LeaderKind.NON_INITIALIZED
+            )
+        )
+        assert cell.extra_states == 1
+        assert cell.protocol_ref == "Proposition 16"
+        assert cell.lower_bound_ref == "Proposition 4"
+
+    def test_weak_init_leader_arbitrary_needs_p_plus_one(self):
+        cell = table1_cell(
+            spec(Fairness.WEAK, Symmetry.SYMMETRIC, LeaderKind.INITIALIZED)
+        )
+        assert cell.extra_states == 1
+        assert cell.lower_bound_ref == "Theorem 11"
+
+    def test_weak_init_leader_uniform_is_the_exception(self):
+        cell = table1_cell(
+            spec(
+                Fairness.WEAK,
+                Symmetry.SYMMETRIC,
+                LeaderKind.INITIALIZED,
+                MobileInit.UNIFORM,
+            )
+        )
+        assert cell.extra_states == 0
+        assert cell.protocol_ref == "Proposition 14"
+
+    def test_global_init_leader_p_states(self):
+        for init in MobileInit:
+            cell = table1_cell(
+                spec(
+                    Fairness.GLOBAL,
+                    Symmetry.SYMMETRIC,
+                    LeaderKind.INITIALIZED,
+                    init,
+                )
+            )
+            assert cell.extra_states == 0
+            assert cell.protocol_ref == "Proposition 17"
+
+    def test_global_noninit_leader_p_plus_one(self):
+        cell = table1_cell(
+            spec(
+                Fairness.GLOBAL,
+                Symmetry.SYMMETRIC,
+                LeaderKind.NON_INITIALIZED,
+            )
+        )
+        assert cell.extra_states == 1
+        assert cell.protocol_ref == "Proposition 13"
+
+
+class TestCellResult:
+    def test_optimal_states_offsets_bound(self):
+        cell = CellResult(True, 1, "X", "Y")
+        assert cell.optimal_states(10) == 11
+
+    def test_infeasible_has_no_state_count(self):
+        cell = CellResult(False, None, None, "Z")
+        assert cell.optimal_states(10) is None

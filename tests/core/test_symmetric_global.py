@@ -1,0 +1,126 @@
+"""Tests for the symmetric leaderless protocol (Proposition 13)."""
+
+import pytest
+
+from repro.analysis.model_checker import check_naming_global
+from repro.analysis.reachability import arbitrary_initial_configurations
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import verify_protocol
+from repro.engine.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.schedulers.random_pair import RandomPairScheduler
+from tests.conftest import assert_distinct_names, random_configuration
+
+
+class TestRules:
+    def test_rule_1_adopt_successor(self):
+        protocol = SymmetricGlobalNamingProtocol(5)
+        assert protocol.transition(2, 5) == (2, 3)
+        assert protocol.transition(5, 2) == (3, 2)  # symmetric orientation
+
+    def test_rule_1_wraps_modulo_p(self):
+        protocol = SymmetricGlobalNamingProtocol(5)
+        assert protocol.transition(4, 5) == (4, 0)
+
+    def test_rule_2_homonyms_dissolve(self):
+        protocol = SymmetricGlobalNamingProtocol(5)
+        assert protocol.transition(3, 3) == (5, 5)
+
+    def test_rule_3_restart(self):
+        protocol = SymmetricGlobalNamingProtocol(5)
+        assert protocol.transition(5, 5) == (1, 1)
+
+    def test_distinct_names_null(self):
+        protocol = SymmetricGlobalNamingProtocol(5)
+        assert protocol.is_null(1, 3)
+
+    def test_well_formed_and_symmetric(self):
+        verify_protocol(SymmetricGlobalNamingProtocol(6))
+
+    def test_uses_p_plus_one_states(self):
+        assert SymmetricGlobalNamingProtocol(6).num_mobile_states == 7
+
+    def test_reset_state_is_p(self):
+        assert SymmetricGlobalNamingProtocol(6).reset_state == 6
+
+    def test_rejects_bound_below_two(self):
+        with pytest.raises(ProtocolError):
+            SymmetricGlobalNamingProtocol(1)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n,bound", [(3, 3), (4, 6), (6, 6), (5, 9)])
+    def test_converges_under_random_scheduler(self, n, bound, rng):
+        protocol = SymmetricGlobalNamingProtocol(bound)
+        pop = Population(n)
+        for trial in range(5):
+            initial = random_configuration(protocol, pop, rng)
+            simulator = Simulator(
+                protocol,
+                pop,
+                RandomPairScheduler(pop, seed=trial),
+                NamingProblem(),
+            )
+            result = simulator.run(initial, max_interactions=1_000_000)
+            assert result.converged
+            assert_distinct_names(result.names())
+
+    def test_final_names_exclude_reset_state(self):
+        bound = 5
+        protocol = SymmetricGlobalNamingProtocol(bound)
+        pop = Population(5)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=1), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, bound), max_interactions=1_000_000
+        )
+        assert result.converged
+        assert set(result.names()) <= set(range(bound))
+
+    def test_two_agents_never_converge(self):
+        """The N > 2 restriction: with N = 2 the uniform configurations
+        form a closed symmetric cycle."""
+        protocol = SymmetricGlobalNamingProtocol(4)
+        pop = Population(2)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=0), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(pop, 1), max_interactions=50_000
+        )
+        assert not result.converged
+
+    def test_two_agent_cycle_structure(self):
+        protocol = SymmetricGlobalNamingProtocol(4)
+        assert protocol.transition(1, 1) == (4, 4)
+        assert protocol.transition(4, 4) == (1, 1)
+
+
+class TestExactVerification:
+    """Machine-checked Proposition 13 on small instances."""
+
+    @pytest.mark.parametrize("n,bound", [(3, 3), (3, 4), (4, 4)])
+    def test_solves_naming_under_global_fairness(self, n, bound):
+        protocol = SymmetricGlobalNamingProtocol(bound)
+        pop = Population(n)
+        verdict = check_naming_global(
+            protocol,
+            pop,
+            arbitrary_initial_configurations(protocol, pop),
+        )
+        assert verdict.solves
+
+    def test_fails_exactly_at_n_2(self):
+        protocol = SymmetricGlobalNamingProtocol(3)
+        pop = Population(2)
+        verdict = check_naming_global(
+            protocol,
+            pop,
+            arbitrary_initial_configurations(protocol, pop),
+        )
+        assert not verdict.solves
+        assert verdict.counterexample is not None

@@ -1,0 +1,64 @@
+"""Cross-cutting consistency of the Table 1 oracle, the registry and the
+protocols, over a sweep of bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.registry import optimal_states, protocol_for
+from repro.core.spec import (
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    Symmetry,
+    all_specs,
+    table1_cell,
+)
+from repro.engine.protocol import verify_protocol
+
+FEASIBLE = [s for s in all_specs() if table1_cell(s).feasible]
+
+
+class TestStateCountSweep:
+    @pytest.mark.parametrize("bound", [2, 3, 5, 8, 12, 20])
+    def test_registry_matches_oracle_for_every_bound(self, bound):
+        for spec in FEASIBLE:
+            protocol = protocol_for(spec, bound)
+            assert protocol.num_mobile_states == optimal_states(spec, bound)
+
+    @given(st.integers(min_value=2, max_value=40))
+    def test_exact_space_is_p_or_p_plus_one(self, bound):
+        for spec in FEASIBLE:
+            states = optimal_states(spec, bound)
+            assert states in (bound, bound + 1)
+
+    @given(st.integers(min_value=2, max_value=16))
+    def test_symmetric_weak_needs_extra_state_unless_fully_initialized(
+        self, bound
+    ):
+        """The paper's punchline distilled: under symmetric rules, one
+        extra state is the price of either weak fairness or missing
+        initialization - never of both being absent."""
+        for spec in FEASIBLE:
+            if spec.symmetry is Symmetry.ASYMMETRIC:
+                continue
+            states = optimal_states(spec, bound)
+            fully_initialized = spec.leader is LeaderKind.INITIALIZED and (
+                spec.mobile_init is MobileInit.UNIFORM
+                or spec.fairness is Fairness.GLOBAL
+            )
+            if fully_initialized:
+                assert states == bound
+            else:
+                assert states == bound + 1
+
+
+class TestProtocolsWellFormedAcrossBounds:
+    @pytest.mark.parametrize("bound", [2, 4, 6])
+    def test_verify_every_registry_protocol(self, bound):
+        for spec in FEASIBLE:
+            verify_protocol(protocol_for(spec, bound))
+
+    def test_registry_protocols_are_fresh_instances(self):
+        spec = FEASIBLE[0]
+        assert protocol_for(spec, 4) is not protocol_for(spec, 4)

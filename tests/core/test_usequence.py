@@ -1,0 +1,104 @@
+"""Tests for the universal sequence U* (ruler-function implementation)."""
+
+import pytest
+
+from repro.core.usequence import (
+    first_occurrence,
+    iter_u,
+    occurrences,
+    sequence_length,
+    u_element,
+    u_sequence,
+)
+from repro.errors import ReproError
+
+
+class TestSequenceLength:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 0), (1, 1), (2, 3), (3, 7), (10, 1023)]
+    )
+    def test_values(self, n, expected):
+        assert sequence_length(n) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            sequence_length(-1)
+
+
+class TestRecursiveDefinition:
+    def test_u1(self):
+        assert u_sequence(1) == [1]
+
+    def test_u2(self):
+        assert u_sequence(2) == [1, 2, 1]
+
+    def test_u3(self):
+        assert u_sequence(3) == [1, 2, 1, 3, 1, 2, 1]
+
+    def test_u0_empty(self):
+        assert u_sequence(0) == []
+
+    def test_recursion_structure(self):
+        for n in range(2, 8):
+            seq = u_sequence(n)
+            prev = u_sequence(n - 1)
+            assert seq == prev + [n] + prev
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            u_sequence(-2)
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("n", range(1, 10))
+    def test_ruler_matches_recursion(self, n):
+        seq = u_sequence(n)
+        assert [u_element(k) for k in range(1, len(seq) + 1)] == seq
+
+    def test_prefix_consistency(self):
+        # U_n is a prefix of U_{n+1}: u_element needs no n argument.
+        small = u_sequence(4)
+        large = u_sequence(6)
+        assert large[: len(small)] == small
+
+    def test_rejects_nonpositive_index(self):
+        with pytest.raises(ReproError):
+            u_element(0)
+
+    def test_large_index_without_materializing(self):
+        # Position 2^40 holds the value 41; the list would be a terabyte.
+        assert u_element(1 << 40) == 41
+
+    def test_iter_matches_sequence(self):
+        assert list(iter_u(5)) == u_sequence(5)
+
+
+class TestOccurrences:
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_occurrence_counts_match_reality(self, n):
+        seq = u_sequence(n)
+        for value in range(1, n + 2):
+            assert occurrences(value, n) == seq.count(value)
+
+    def test_rejects_nonpositive_value(self):
+        with pytest.raises(ReproError):
+            occurrences(0, 3)
+
+    def test_value_above_n_absent(self):
+        assert occurrences(9, 3) == 0
+
+
+class TestFirstOccurrence:
+    @pytest.mark.parametrize("value", range(1, 8))
+    def test_matches_sequence(self, value):
+        seq = u_sequence(value)
+        assert seq.index(value) + 1 == first_occurrence(value)
+
+    def test_is_middle_of_own_level(self):
+        # Protocol 1 line 6 jumps to l_n + 1, whose value is n + 1.
+        for n in range(0, 10):
+            assert u_element(sequence_length(n) + 1) == n + 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            first_occurrence(0)

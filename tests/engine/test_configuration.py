@@ -1,0 +1,139 @@
+"""Tests for Configuration: construction, views, equivalence, updates."""
+
+import pytest
+
+from repro.core.counting import CountingLeaderState
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.errors import ConfigurationError
+
+LEADER = CountingLeaderState(0, 0)
+
+
+class TestConstruction:
+    def test_from_states_leaderless(self):
+        pop = Population(3)
+        config = Configuration.from_states(pop, (1, 2, 3))
+        assert config.states == (1, 2, 3)
+        assert not config.has_leader
+
+    def test_from_states_with_leader(self):
+        pop = Population(2, has_leader=True)
+        config = Configuration.from_states(pop, (1, 2), LEADER)
+        assert config.leader_state == LEADER
+        assert config.mobile_states == (1, 2)
+
+    def test_wrong_mobile_count_rejected(self):
+        pop = Population(3)
+        with pytest.raises(ConfigurationError):
+            Configuration.from_states(pop, (1, 2))
+
+    def test_missing_leader_state_rejected(self):
+        pop = Population(2, has_leader=True)
+        with pytest.raises(ConfigurationError):
+            Configuration.from_states(pop, (1, 2))
+
+    def test_unexpected_leader_state_rejected(self):
+        pop = Population(2)
+        with pytest.raises(ConfigurationError):
+            Configuration.from_states(pop, (1, 2), LEADER)
+
+    def test_uniform(self):
+        pop = Population(4)
+        config = Configuration.uniform(pop, 9)
+        assert config.states == (9, 9, 9, 9)
+
+    def test_leader_index_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration((1, 2), leader_index=5)
+
+
+class TestViews:
+    def test_leader_state_raises_without_leader(self):
+        config = Configuration((1, 2))
+        with pytest.raises(ConfigurationError):
+            _ = config.leader_state
+
+    def test_mobile_states_skip_leader(self):
+        config = Configuration((1, 2, LEADER), leader_index=2)
+        assert config.mobile_states == (1, 2)
+
+    def test_multiset(self):
+        config = Configuration((1, 1, 2))
+        assert config.multiset() == {1: 2, 2: 1}
+
+    def test_multiset_excludes_leader(self):
+        config = Configuration((1, 1, LEADER), leader_index=2)
+        assert config.multiset() == {1: 2}
+
+    def test_homonym_states(self):
+        config = Configuration((1, 1, 2, 3, 3, 3))
+        assert config.homonym_states() == {1, 3}
+
+    def test_homonym_agents(self):
+        config = Configuration((1, 1, 2, LEADER), leader_index=3)
+        assert config.homonym_agents() == [0, 1]
+
+    def test_names_distinct_true(self):
+        assert Configuration((1, 2, 3)).names_distinct()
+
+    def test_names_distinct_false(self):
+        assert not Configuration((1, 2, 1)).names_distinct()
+
+    def test_names_distinct_ignores_leader(self):
+        config = Configuration((1, 2, LEADER), leader_index=2)
+        assert config.names_distinct()
+
+    def test_len_and_iter(self):
+        config = Configuration((4, 5, 6))
+        assert len(config) == 3
+        assert list(config) == [4, 5, 6]
+
+
+class TestEquivalence:
+    def test_permutation_is_equivalent(self):
+        a = Configuration((1, 2, 3, LEADER), leader_index=3)
+        b = Configuration((3, 1, 2, LEADER), leader_index=3)
+        assert a.is_equivalent(b)
+        assert a.canonical() == b.canonical()
+
+    def test_different_multiset_not_equivalent(self):
+        assert not Configuration((1, 1)).is_equivalent(Configuration((1, 2)))
+
+    def test_different_leader_state_not_equivalent(self):
+        a = Configuration((1, 2, CountingLeaderState(0, 0)), leader_index=2)
+        b = Configuration((1, 2, CountingLeaderState(1, 0)), leader_index=2)
+        assert not a.is_equivalent(b)
+        assert a.canonical() != b.canonical()
+
+    def test_leadered_vs_leaderless_not_equivalent(self):
+        a = Configuration((1, 2))
+        b = Configuration((1, 2, LEADER), leader_index=2)
+        assert not a.is_equivalent(b)
+
+
+class TestUpdates:
+    def test_replace_returns_new_object(self):
+        config = Configuration((1, 2, 3))
+        updated = config.replace({0: 9})
+        assert updated.states == (9, 2, 3)
+        assert config.states == (1, 2, 3)
+
+    def test_replace_rejects_bad_agent(self):
+        with pytest.raises(ConfigurationError):
+            Configuration((1, 2)).replace({5: 0})
+
+    def test_apply_orders_outcome(self):
+        config = Configuration((1, 2, 3))
+        after = config.apply(2, 0, (30, 10))
+        assert after.states == (10, 2, 30)
+
+    def test_apply_rejects_self_interaction(self):
+        with pytest.raises(ConfigurationError):
+            Configuration((1, 2)).apply(1, 1, (0, 0))
+
+    def test_configurations_hashable(self):
+        a = Configuration((1, 2, LEADER), leader_index=2)
+        b = Configuration((1, 2, LEADER), leader_index=2)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

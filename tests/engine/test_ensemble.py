@@ -1,0 +1,87 @@
+"""Tests for the ensemble runner."""
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.ensemble import run_ensemble
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.errors import ConvergenceError
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+def make_parts(bound=5, n=5):
+    protocol = AsymmetricNamingProtocol(bound)
+    population = Population(n)
+    scheduler_factory = lambda pop, seed: RandomPairScheduler(pop, seed=seed)
+    initial_factory = lambda pop, seed: Configuration.uniform(pop, 0)
+    return protocol, population, scheduler_factory, initial_factory
+
+
+class TestRunEnsemble:
+    def test_one_result_per_seed(self):
+        protocol, population, sf, inf = make_parts()
+        ensemble = run_ensemble(
+            protocol, population, sf, inf, NamingProblem(), seeds=range(7)
+        )
+        assert len(ensemble.results) == 7
+        assert ensemble.seeds == list(range(7))
+
+    def test_convergence_rate_and_summary(self):
+        protocol, population, sf, inf = make_parts()
+        ensemble = run_ensemble(
+            protocol, population, sf, inf, NamingProblem(), seeds=range(5)
+        )
+        assert ensemble.convergence_rate == 1.0
+        summary = ensemble.convergence_summary()
+        assert summary.count == 5
+        assert ensemble.failed_seeds() == []
+
+    def test_budget_failures_recorded(self):
+        protocol, population, sf, inf = make_parts()
+        ensemble = run_ensemble(
+            protocol,
+            population,
+            sf,
+            inf,
+            NamingProblem(),
+            seeds=range(3),
+            max_interactions=1,
+        )
+        assert ensemble.convergence_rate == 0.0
+        assert ensemble.failed_seeds() == [0, 1, 2]
+        with pytest.raises(ConvergenceError):
+            ensemble.convergence_summary()
+
+    def test_require_convergence_raises_with_seed(self):
+        protocol, population, sf, inf = make_parts()
+        with pytest.raises(ConvergenceError, match="seed 0"):
+            run_ensemble(
+                protocol,
+                population,
+                sf,
+                inf,
+                NamingProblem(),
+                seeds=range(3),
+                max_interactions=1,
+                require_convergence=True,
+            )
+
+    def test_empty_ensemble(self):
+        protocol, population, sf, inf = make_parts()
+        ensemble = run_ensemble(
+            protocol, population, sf, inf, NamingProblem(), seeds=[]
+        )
+        assert ensemble.convergence_rate == 0.0
+
+    def test_seeds_drive_distinct_runs(self):
+        protocol, population, sf, inf = make_parts()
+        ensemble = run_ensemble(
+            protocol, population, sf, inf, NamingProblem(), seeds=[1, 2]
+        )
+        a, b = ensemble.results
+        # Same start, different schedules: final namings usually differ;
+        # at minimum the executions are independent objects.
+        assert a is not b
+        assert a.converged and b.converged

@@ -1,0 +1,83 @@
+"""Tests for Population: identities, leader designation, pair iteration."""
+
+import pytest
+
+from repro.engine.population import Population
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_size_without_leader(self):
+        assert Population(5).size == 5
+
+    def test_size_with_leader(self):
+        assert Population(5, has_leader=True).size == 6
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError):
+            Population(0)
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ConfigurationError):
+            Population(-3)
+
+
+class TestLeaderDesignation:
+    def test_leader_id_is_last(self):
+        pop = Population(4, has_leader=True)
+        assert pop.leader == 4
+        assert pop.is_leader(4)
+
+    def test_no_leader_returns_none(self):
+        assert Population(4).leader is None
+
+    def test_mobile_agents_exclude_leader(self):
+        pop = Population(3, has_leader=True)
+        assert pop.mobile_agents == (0, 1, 2)
+        assert pop.agents == (0, 1, 2, 3)
+
+    def test_mobile_agent_is_not_leader(self):
+        pop = Population(3, has_leader=True)
+        assert not pop.is_leader(0)
+
+    def test_is_leader_false_without_leader(self):
+        assert not Population(3).is_leader(2)
+
+
+class TestPairIteration:
+    def test_unordered_pair_count(self):
+        pop = Population(4, has_leader=True)  # 5 agents
+        pairs = list(pop.unordered_pairs())
+        assert len(pairs) == 10
+        assert len(set(map(frozenset, pairs))) == 10
+
+    def test_ordered_pairs_double_unordered(self):
+        pop = Population(3)
+        ordered = list(pop.ordered_pairs())
+        assert len(ordered) == 6
+        assert all(x != y for x, y in ordered)
+        assert len(set(ordered)) == 6
+
+    def test_pair_count_formula(self):
+        for n, leader in ((2, False), (5, True), (1, True)):
+            pop = Population(n, has_leader=leader)
+            assert pop.pair_count() == len(list(pop.unordered_pairs()))
+
+    def test_pairs_cover_leader(self):
+        pop = Population(2, has_leader=True)
+        flat = {a for pair in pop.unordered_pairs() for a in pair}
+        assert flat == {0, 1, 2}
+
+
+class TestValidation:
+    def test_validate_agent_accepts_members(self):
+        pop = Population(2, has_leader=True)
+        for agent in (0, 1, 2):
+            pop.validate_agent(agent)
+
+    def test_validate_agent_rejects_out_of_range(self):
+        pop = Population(2)
+        with pytest.raises(ConfigurationError):
+            pop.validate_agent(2)
+        with pytest.raises(ConfigurationError):
+            pop.validate_agent(-1)

@@ -1,0 +1,109 @@
+"""Tests for problem predicates, stability and silence detection."""
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.counting import CountingLeaderState, CountingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import (
+    CountingProblem,
+    NamingProblem,
+    distinct_state_pairs,
+    is_silent,
+)
+
+
+class TestDistinctStatePairs:
+    def test_pairs_from_multiset(self):
+        config = Configuration((1, 1, 2))
+        pairs = distinct_state_pairs(config)
+        assert (1, 1) in pairs  # two agents share state 1
+        assert (1, 2) in pairs and (2, 1) in pairs
+        assert (2, 2) not in pairs  # only one agent in state 2
+
+    def test_single_agent_per_state_no_diagonal(self):
+        pairs = distinct_state_pairs(Configuration((1, 2, 3)))
+        assert all(p != q for p, q in pairs)
+
+    def test_includes_leader_state(self):
+        leader = CountingLeaderState(0, 0)
+        config = Configuration((1, leader), leader_index=1)
+        pairs = distinct_state_pairs(config)
+        assert (1, leader) in pairs
+        assert (leader, 1) in pairs
+
+
+class TestIsSilent:
+    def test_distinct_names_silent_for_asymmetric(self):
+        protocol = AsymmetricNamingProtocol(3)
+        assert is_silent(protocol, Configuration((0, 1, 2)))
+
+    def test_homonyms_not_silent(self):
+        protocol = AsymmetricNamingProtocol(3)
+        assert not is_silent(protocol, Configuration((0, 0, 2)))
+
+    def test_counting_converged_is_silent_for_small_n(self):
+        protocol = CountingProtocol(4)
+        pop = Population(2, has_leader=True)
+        config = Configuration.from_states(
+            pop, (1, 2), CountingLeaderState(2, 3)
+        )
+        assert is_silent(protocol, config)
+
+
+class TestNamingProblem:
+    def test_satisfied_on_distinct(self):
+        assert NamingProblem().is_satisfied(Configuration((1, 2, 3)))
+
+    def test_unsatisfied_on_homonyms(self):
+        assert not NamingProblem().is_satisfied(Configuration((1, 2, 2)))
+
+    def test_solved_requires_stability(self):
+        # Distinct names but state 0 twice away: asymmetric rule is null on
+        # distinct states, so distinct names are automatically stable.
+        protocol = AsymmetricNamingProtocol(3)
+        problem = NamingProblem()
+        assert problem.is_solved(protocol, Configuration((0, 1, 2)))
+
+    def test_not_solved_when_unstable(self):
+        protocol = AsymmetricNamingProtocol(4)
+        problem = NamingProblem()
+        # Names distinct for the *mobile* agents of this leaderless setup
+        # is already the full check; craft a homonym case instead.
+        assert not problem.is_solved(protocol, Configuration((1, 1, 2)))
+
+
+class TestCountingProblem:
+    def test_satisfied_when_guess_matches(self):
+        problem = CountingProblem(3)
+        config = Configuration(
+            (1, 2, 3, CountingLeaderState(3, 5)), leader_index=3
+        )
+        assert problem.is_satisfied(config)
+
+    def test_unsatisfied_when_guess_low(self):
+        problem = CountingProblem(3)
+        config = Configuration(
+            (1, 2, 3, CountingLeaderState(2, 5)), leader_index=3
+        )
+        assert not problem.is_satisfied(config)
+
+    def test_stability_blocks_pending_increment(self):
+        protocol = CountingProtocol(4)
+        problem = CountingProblem(1)
+        pop = Population(1, has_leader=True)
+        # Guess is 1 but the agent's name exceeds it: the next meeting
+        # bumps the guess, so the count is not yet stable.
+        config = Configuration.from_states(
+            pop, (3,), CountingLeaderState(1, 1)
+        )
+        assert problem.is_satisfied(config)
+        assert not problem.is_stable(protocol, config)
+
+    def test_stable_after_true_convergence(self):
+        protocol = CountingProtocol(4)
+        problem = CountingProblem(2)
+        pop = Population(2, has_leader=True)
+        config = Configuration.from_states(
+            pop, (1, 2), CountingLeaderState(2, 3)
+        )
+        assert problem.is_solved(protocol, config)

@@ -1,0 +1,211 @@
+"""Tests for the simulation loop: convergence certification, budgets,
+traces, fault hooks and wiring validation."""
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.leader_uniform import LeaderUniformNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator, run_protocol
+from repro.engine.trace import Trace, replay
+from repro.errors import ConvergenceError, SimulationError
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+
+def make_setup(n=4, bound=4, seed=1):
+    protocol = AsymmetricNamingProtocol(bound)
+    population = Population(n)
+    scheduler = RandomPairScheduler(population, seed=seed)
+    return protocol, population, scheduler
+
+
+class TestWiring:
+    def test_leader_required_but_missing(self):
+        protocol = LeaderUniformNamingProtocol(3)
+        population = Population(3)
+        scheduler = RandomPairScheduler(population, seed=0)
+        with pytest.raises(SimulationError, match="requires a leader"):
+            Simulator(protocol, population, scheduler)
+
+    def test_leader_present_but_unused(self):
+        protocol = AsymmetricNamingProtocol(3)
+        population = Population(2, has_leader=True)
+        scheduler = RandomPairScheduler(population, seed=0)
+        with pytest.raises(SimulationError, match="leaderless"):
+            Simulator(protocol, population, scheduler)
+
+    def test_scheduler_population_mismatch(self):
+        protocol = AsymmetricNamingProtocol(3)
+        population = Population(3)
+        other = Population(3)
+        scheduler = RandomPairScheduler(other, seed=0)
+        with pytest.raises(SimulationError, match="different population"):
+            Simulator(protocol, population, scheduler)
+
+    def test_initial_size_mismatch(self):
+        protocol, population, scheduler = make_setup()
+        simulator = Simulator(protocol, population, scheduler)
+        with pytest.raises(SimulationError, match="initial configuration"):
+            simulator.run(Configuration((0, 0)))
+
+
+class TestConvergence:
+    def test_converges_and_certifies(self):
+        protocol, population, scheduler = make_setup()
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(Configuration.uniform(population, 0))
+        assert result.converged
+        assert result.convergence_interaction is not None
+        assert len(set(result.names())) == population.n_mobile
+
+    def test_already_converged_reports_zero(self):
+        protocol, population, scheduler = make_setup()
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(Configuration((0, 1, 2, 3)))
+        assert result.converged
+        assert result.convergence_interaction == 0
+        assert result.interactions == 0
+
+    def test_budget_exhaustion_returns_unconverged(self):
+        protocol, population, scheduler = make_setup()
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(population, 0), max_interactions=1
+        )
+        assert not result.converged
+        assert result.interactions == 1
+
+    def test_budget_exhaustion_raises_when_asked(self):
+        protocol, population, scheduler = make_setup()
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        with pytest.raises(ConvergenceError):
+            simulator.run(
+                Configuration.uniform(population, 0),
+                max_interactions=1,
+                raise_on_timeout=True,
+            )
+
+    def test_no_problem_runs_whole_budget(self):
+        protocol, population, scheduler = make_setup()
+        simulator = Simulator(protocol, population, scheduler, problem=None)
+        result = simulator.run(
+            Configuration.uniform(population, 0), max_interactions=50
+        )
+        assert not result.converged
+        assert result.interactions == 50
+
+    def test_final_check_covers_partial_interval(self):
+        # A tiny budget that converges exactly at the budget boundary must
+        # still be detected by the final check.
+        protocol = AsymmetricNamingProtocol(2)
+        population = Population(2)
+        scheduler = RoundRobinScheduler(population)
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem(),
+            check_interval=1000,
+        )
+        result = simulator.run(
+            Configuration.uniform(population, 0), max_interactions=3
+        )
+        assert result.converged
+
+
+class TestAccounting:
+    def test_non_null_counter(self):
+        protocol = AsymmetricNamingProtocol(2)
+        population = Population(2)
+        scheduler = RoundRobinScheduler(population)
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(Configuration.uniform(population, 0))
+        assert result.non_null_interactions == 1  # one symmetry break
+
+    def test_parallel_time(self):
+        protocol, population, scheduler = make_setup(n=4)
+        simulator = Simulator(protocol, population, scheduler, None)
+        result = simulator.run(
+            Configuration.uniform(population, 0), max_interactions=40
+        )
+        assert result.parallel_time == pytest.approx(10.0)
+
+    def test_str_summary(self):
+        protocol, population, scheduler = make_setup()
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(Configuration.uniform(population, 0))
+        assert "converged" in str(result)
+
+
+class TestTraceIntegration:
+    def test_trace_replays_to_final_configuration(self):
+        protocol, population, scheduler = make_setup(seed=9)
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        trace = Trace(capacity=None, record_null=True)
+        initial = Configuration.uniform(population, 0)
+        result = simulator.run(initial, trace=trace)
+        assert replay(initial, trace.records) == result.final_configuration
+
+
+class TestFaultHook:
+    def test_fault_applied_and_counted(self):
+        protocol, population, scheduler = make_setup()
+
+        def hook(interaction, config):
+            if interaction == 5:
+                return Configuration.uniform(population, 1)
+            return None
+
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(population, 0), fault_hook=hook
+        )
+        assert result.faults_injected == 1
+        assert result.converged  # self-stabilizing: recovers
+
+    def test_fault_at_zero_prevents_immediate_convergence(self):
+        protocol, population, scheduler = make_setup()
+
+        def hook(interaction, config):
+            if interaction == 0:
+                return Configuration.uniform(population, 2)
+            return None
+
+        simulator = Simulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        # Start already converged: the fault must still land.
+        result = simulator.run(
+            Configuration((0, 1, 2, 3)), fault_hook=hook
+        )
+        assert result.faults_injected == 1
+        assert result.convergence_interaction != 0
+
+
+class TestRunProtocolHelper:
+    def test_run_protocol_wrapper(self):
+        protocol, population, scheduler = make_setup()
+        result = run_protocol(
+            protocol,
+            population,
+            scheduler,
+            Configuration.uniform(population, 0),
+            NamingProblem(),
+        )
+        assert result.converged

@@ -1,0 +1,46 @@
+"""Tests for state classification helpers."""
+
+from dataclasses import dataclass
+
+from repro.engine.state import (
+    LeaderState,
+    is_leader_state,
+    is_mobile_state,
+)
+
+
+@dataclass(frozen=True)
+class _SampleLeader(LeaderState):
+    n: int
+
+
+class TestLeaderStateClassification:
+    def test_leader_subclass_is_leader(self):
+        assert is_leader_state(_SampleLeader(3))
+
+    def test_int_is_not_leader(self):
+        assert not is_leader_state(7)
+
+    def test_bare_leader_state_is_leader(self):
+        assert is_leader_state(LeaderState())
+
+    def test_leader_states_hashable_and_equal_by_value(self):
+        assert _SampleLeader(1) == _SampleLeader(1)
+        assert hash(_SampleLeader(1)) == hash(_SampleLeader(1))
+        assert _SampleLeader(1) != _SampleLeader(2)
+
+
+class TestMobileStateClassification:
+    def test_int_is_mobile(self):
+        assert is_mobile_state(0)
+        assert is_mobile_state(41)
+
+    def test_bool_is_not_mobile(self):
+        # bool is an int subclass; states must be genuine integers.
+        assert not is_mobile_state(True)
+
+    def test_leader_is_not_mobile(self):
+        assert not is_mobile_state(_SampleLeader(0))
+
+    def test_string_is_not_mobile(self):
+        assert not is_mobile_state("3")

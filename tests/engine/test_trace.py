@@ -1,0 +1,75 @@
+"""Tests for interaction traces and replay."""
+
+from repro.engine.configuration import Configuration
+from repro.engine.trace import InteractionRecord, Trace, replay
+
+
+def record(step, i, j, bi, bj, ai, aj):
+    return InteractionRecord(step, i, j, bi, bj, ai, aj)
+
+
+class TestInteractionRecord:
+    def test_null_detection(self):
+        assert record(0, 1, 2, 5, 6, 5, 6).is_null
+        assert not record(0, 1, 2, 5, 6, 5, 7).is_null
+
+    def test_rule_extraction(self):
+        rec = record(3, 0, 1, 2, 2, 2, 3)
+        assert rec.rule() == ((2, 2), (2, 3))
+
+    def test_str_mentions_agents_and_states(self):
+        text = str(record(4, 0, 1, 2, 2, 2, 3))
+        assert "#4" in text and "(0, 1)" in text
+
+
+class TestTrace:
+    def test_null_records_skipped_by_default(self):
+        trace = Trace()
+        trace.record(record(0, 0, 1, 5, 6, 5, 6))
+        assert len(trace) == 0
+        trace.record(record(1, 0, 1, 5, 5, 5, 6))
+        assert len(trace) == 1
+
+    def test_null_records_kept_when_asked(self):
+        trace = Trace(record_null=True)
+        trace.record(record(0, 0, 1, 5, 6, 5, 6))
+        assert len(trace) == 1
+
+    def test_capacity_evicts_oldest(self):
+        trace = Trace(capacity=2)
+        for step in range(4):
+            trace.record(record(step, 0, 1, step, 0, step + 1, 0))
+        assert [r.step for r in trace] == [2, 3]
+        assert trace.total_recorded == 4
+
+    def test_non_null_counter_ignores_retention(self):
+        trace = Trace(capacity=1)
+        for step in range(3):
+            trace.record(record(step, 0, 1, step, 0, step + 1, 0))
+        assert trace.total_non_null == 3
+
+    def test_rules_fired_deduplicates(self):
+        trace = Trace()
+        for step in range(3):
+            trace.record(record(step, 0, 1, 1, 1, 1, 2))
+        assert trace.rules_fired() == [((1, 1), (1, 2))]
+
+    def test_describe_contains_header(self):
+        trace = Trace()
+        trace.record(record(0, 0, 1, 1, 1, 1, 2))
+        assert "non-null interactions" in trace.describe()
+
+
+class TestReplay:
+    def test_replay_reproduces_final_configuration(self):
+        initial = Configuration((1, 1, 2))
+        records = [
+            record(0, 0, 1, 1, 1, 1, 2),
+            record(1, 1, 2, 2, 2, 2, 0),
+        ]
+        final = replay(initial, records)
+        assert final.states == (1, 2, 0)
+
+    def test_replay_empty_is_identity(self):
+        initial = Configuration((3, 4))
+        assert replay(initial, []) == initial

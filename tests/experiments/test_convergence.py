@@ -1,0 +1,89 @@
+"""Tests for the convergence-cost experiment."""
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.errors import ConvergenceError
+from repro.experiments.convergence import (
+    measure,
+    protocol_series,
+    render_points,
+    run_convergence,
+)
+
+
+class TestMeasure:
+    def test_sample_statistics_populated(self):
+        point = measure(
+            AsymmetricNamingProtocol(5),
+            n_mobile=4,
+            bound=5,
+            seeds=range(5),
+            budget=200_000,
+        )
+        assert point.summary.count == 5
+        assert point.summary.minimum >= 0
+        assert point.summary.maximum >= point.summary.minimum
+
+    def test_budget_violation_raises(self):
+        with pytest.raises(ConvergenceError):
+            measure(
+                AsymmetricNamingProtocol(6),
+                n_mobile=6,
+                bound=6,
+                seeds=range(2),
+                budget=2,  # impossible budget
+            )
+
+
+class TestSeries:
+    def test_default_series_cover_all_positive_protocols(self):
+        series = protocol_series(5)
+        names = {protocol.display_name for protocol, _, _ in series}
+        assert len(series) == 5
+        assert any("asymmetric" in n for n in names)
+        assert any("Protocol 2" in n for n in names)
+        assert any("Protocol 3" in n for n in names)
+
+    def test_prop13_sizes_exclude_two(self):
+        series = dict(
+            (type(p).__name__, sizes) for p, sizes, _ in protocol_series(5)
+        )
+        assert 2 not in series["SymmetricGlobalNamingProtocol"]
+
+    def test_protocol3_excludes_full_population_for_big_bounds(self):
+        series = {
+            type(p).__name__: sizes for p, sizes, _ in protocol_series(6)
+        }
+        assert 6 not in series["GlobalNamingProtocol"]
+
+    def test_protocol3_keeps_full_population_for_tiny_bounds(self):
+        series = {
+            type(p).__name__: sizes for p, sizes, _ in protocol_series(3)
+        }
+        assert 3 in series["GlobalNamingProtocol"]
+
+
+class TestRunAndRender:
+    def test_small_run_and_render(self):
+        points = run_convergence(bound=4, runs=3, budget=2_000_000)
+        assert points
+        text = render_points(points)
+        assert "protocol" in text and "median" in text
+        # Larger populations should not be free: the max cost across the
+        # run is positive.
+        assert any(p.summary.maximum > 0 for p in points)
+
+    def test_cost_grows_with_population(self):
+        """Sanity of the shape: naming 6 agents costs more interactions
+        than naming 2 (same protocol, same bound)."""
+        small = measure(
+            AsymmetricNamingProtocol(6), 2, 6, seeds=range(10),
+            budget=500_000,
+        )
+        large = measure(
+            AsymmetricNamingProtocol(6), 6, 6, seeds=range(10),
+            budget=500_000,
+        )
+        assert large.summary.mean > small.summary.mean

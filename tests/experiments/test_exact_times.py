@@ -1,0 +1,41 @@
+"""Tests for the exact expected-time experiment (exp-s8)."""
+
+import pytest
+
+from repro.experiments.exact_times import (
+    render_points,
+    run_exact_times,
+    validate,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_exact_times(validation_runs=60, max_protocol3_bound=5)
+
+
+class TestExactTimes:
+    def test_validation_rows_agree_with_simulation(self, points):
+        assert validate(points, tolerance=0.2)
+
+    def test_beyond_simulation_rows_present(self, points):
+        unreachable = [p for p in points if p.simulated_mean is None]
+        assert unreachable
+        assert all("Protocol 3" in p.protocol for p in unreachable)
+
+    def test_protocol3_wall_quantified(self, points):
+        protocol3 = sorted(
+            (p for p in points if "Protocol 3" in p.protocol),
+            key=lambda p: p.bound,
+        )
+        exacts = [p.exact for p in protocol3]
+        assert exacts == sorted(exacts)
+        assert exacts[-1] > 1e9  # P = 5: ~2e9 expected interactions
+
+    def test_solve_is_fast(self, points):
+        assert all(p.seconds < 10 for p in points)
+
+    def test_render(self, points):
+        text = render_points(points)
+        assert "exact E[interactions]" in text
+        assert "out of simulation reach" in text

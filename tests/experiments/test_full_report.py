@@ -1,0 +1,34 @@
+"""Tests for the one-command report regeneration."""
+
+import pytest
+
+from repro.experiments.full_report import build_report, main
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report(quick=True, bound=4)
+
+
+class TestBuildReport:
+    def test_contains_every_section(self, report):
+        assert "Table 1 regeneration - 24/24 cells match" in report
+        for exp in ("exp-s1", "exp-s2", "exp-s3", "exp-s4", "exp-s5",
+                    "exp-s6", "exp-s7", "exp-s8"):
+            assert f"{exp}:" in report
+
+    def test_is_markdown_with_code_fences(self, report):
+        assert report.startswith("# Reproduction report")
+        assert report.count("```text") == report.count("```") // 2
+
+    def test_footer_asserts_verdicts(self, report):
+        assert "all verdicts asserted programmatically" in report
+        assert "table1 24/24" in report
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["--quick", "--bound", "4", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""Tests for the exhaustive lower-bound experiment (quick battery only;
+the 19683-protocol P=3 sweep runs in the benchmark suite)."""
+
+import pytest
+
+from repro.experiments.lower_bounds import default_checks, render_checks
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return default_checks(include_p3=False)
+
+
+class TestDefaultChecks:
+    def test_every_claim_verified(self, checks):
+        failing = [c.claim for c in checks if not c.matches]
+        assert not failing, failing
+
+    def test_symmetric_claims_find_no_solvers(self, checks):
+        for check in checks:
+            if "ASYMMETRIC" not in check.claim:
+                assert not check.result.any_solves, check.claim
+
+    def test_asymmetric_contrast_finds_solvers(self, checks):
+        contrast = [c for c in checks if "ASYMMETRIC" in c.claim]
+        assert contrast and contrast[0].result.any_solves
+
+    def test_totals_match_family_sizes(self, checks):
+        by_claim = {c.claim: c.result.total for c in checks}
+        p2_sym = [v for k, v in by_claim.items() if "Prop. 2, P=2" in k]
+        assert all(v == 16 for v in p2_sym)
+
+    def test_render(self, checks):
+        text = render_checks(checks)
+        assert "protocols" in text and "verdict" in text
+        assert "FAIL" not in text

@@ -1,0 +1,55 @@
+"""Tests for the recovery experiment."""
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.population import Population
+from repro.experiments.recovery import (
+    measure_recovery,
+    render_points,
+    run_recovery,
+)
+from repro.faults.injection import corrupt_all_mobile_to
+
+
+class TestMeasureRecovery:
+    def test_recovery_sample(self):
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        point = measure_recovery(
+            protocol,
+            population,
+            corrupt_all_mobile_to(population, 0),
+            "collapse",
+            seeds=range(4),
+            budget=500_000,
+        )
+        assert point.summary.count == 4
+        assert point.corruption == "collapse"
+        # Collapsing all five names forces real recovery work.
+        assert point.summary.maximum > 0
+
+
+class TestRunRecovery:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_recovery(bound=5, n_mobile=4, runs=3, budget=1_000_000)
+
+    def test_covers_all_selfstab_protocols(self, points):
+        names = {p.protocol for p in points}
+        assert any("Prop. 12" in n for n in names)
+        assert any("Prop. 13" in n for n in names)
+        assert any("Prop. 16" in n for n in names)
+
+    def test_benign_leader_corruption_is_free(self, points):
+        benign = [p for p in points if "benign" in p.corruption]
+        assert benign and all(p.summary.maximum == 0 for p in benign)
+
+    def test_leader_amnesia_costs_something(self, points):
+        amnesia = [p for p in points if "forgets" in p.corruption]
+        assert amnesia
+
+    def test_render(self, points):
+        text = render_points(points)
+        assert "corruption" in text
+        assert "Prop. 16" in text

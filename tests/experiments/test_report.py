@@ -1,0 +1,39 @@
+"""Tests for the text-table renderer."""
+
+from repro.experiments.report import bullet_list, check_mark, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(("name", "value"), [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert lines[2].startswith("a")
+        # Columns align: "value" starts at the same offset everywhere.
+        offset = lines[0].index("value")
+        assert lines[2][offset:].startswith("1")
+
+    def test_title_rendered_with_rule(self):
+        text = render_table(("x",), [(1,)], title="my table")
+        lines = text.splitlines()
+        assert lines[0] == "my table"
+        assert lines[1] == "=" * len("my table")
+
+    def test_wide_cells_stretch_column(self):
+        text = render_table(("h",), [("very long cell",)])
+        assert "very long cell" in text
+
+    def test_non_string_values_coerced(self):
+        text = render_table(("a", "b"), [(None, 3.5)])
+        assert "None" in text and "3.5" in text
+
+
+class TestHelpers:
+    def test_bullet_list(self):
+        text = bullet_list(["one", "two"])
+        assert text == "  - one\n  - two"
+
+    def test_check_mark(self):
+        assert check_mark(True).strip() == "OK"
+        assert check_mark(False) == "FAIL"

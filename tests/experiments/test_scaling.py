@@ -1,0 +1,55 @@
+"""Tests for the exact-verification scaling experiment."""
+
+import pytest
+
+from repro.experiments.scaling import render_points, run_scaling
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_scaling(max_quotient_n=5)
+
+
+class TestScaling:
+    def test_all_instances_verify(self, points):
+        assert points and all(p.solves for p in points)
+
+    def test_quotient_explores_fewer_nodes(self, points):
+        by_key = {}
+        for p in points:
+            by_key.setdefault((p.protocol, p.n_mobile), {})[p.technique] = p
+        compared = 0
+        for techniques in by_key.values():
+            labelled = techniques.get("global (labelled)")
+            quotient = techniques.get("global (quotient)")
+            if labelled and quotient:
+                assert quotient.nodes <= labelled.nodes
+                compared += 1
+        assert compared >= 3
+
+    def test_covers_the_simulation_unreachable_instance(self, points):
+        protocol3_n5 = [
+            p
+            for p in points
+            if p.protocol == "Protocol 3" and p.n_mobile == 5
+        ]
+        assert protocol3_n5 and protocol3_n5[0].solves
+
+    def test_nodes_grow_with_population(self, points):
+        prop13 = sorted(
+            (
+                p
+                for p in points
+                if p.protocol == "Prop. 13"
+                and p.technique == "global (quotient)"
+            ),
+            key=lambda p: p.n_mobile,
+        )
+        sizes = [p.nodes for p in prop13]
+        assert sizes == sorted(sizes)
+
+    def test_render(self, points):
+        text = render_points(points)
+        assert "technique" in text
+        assert "quotient" in text
+        assert "FAILS" not in text

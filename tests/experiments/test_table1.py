@@ -1,0 +1,98 @@
+"""Tests for the Table 1 regeneration harness - the headline experiment."""
+
+import pytest
+
+from repro.core.spec import (
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    ModelSpec,
+    Symmetry,
+    table1_cell,
+)
+from repro.experiments.table1 import (
+    Table1Row,
+    _simulation_sizes,
+    render_rows,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # bound=4 keeps the whole regeneration fast while exercising N = P
+    # for every protocol family.
+    return run_table1(bound=4, seed=11, budget=300_000, samples=2)
+
+
+class TestRegeneration:
+    def test_all_cells_present(self, rows):
+        assert len(rows) == 24
+
+    def test_every_cell_matches_the_paper(self, rows):
+        mismatches = [r for r in rows if not r.match]
+        details = [(r.spec.describe(), r.evidence) for r in mismatches]
+        assert not mismatches, details
+
+    def test_feasible_cells_report_state_counts(self, rows):
+        for row in rows:
+            if row.expected.feasible:
+                assert row.measured_states == row.expected.optimal_states(4)
+            else:
+                assert row.measured_states is None
+
+    def test_evidence_collected_for_every_cell(self, rows):
+        assert all(row.evidence for row in rows)
+
+    def test_exact_checks_ran_for_feasible_cells(self, rows):
+        for row in rows:
+            if row.expected.feasible:
+                assert any("exact" in item for item in row.evidence)
+
+
+class TestRendering:
+    def test_render_contains_all_cells(self, rows):
+        text = render_rows(rows, bound=4)
+        assert text.count("OK") == 24
+        assert "asymmetric" in text and "symmetric" in text
+
+    def test_render_marks_mismatches(self):
+        spec = ModelSpec(
+            Fairness.WEAK,
+            Symmetry.SYMMETRIC,
+            LeaderKind.NONE,
+            MobileInit.ARBITRARY,
+        )
+        fake = Table1Row(
+            spec=spec,
+            expected=table1_cell(spec),
+            measured_feasible=True,
+            measured_states=None,
+            match=False,
+        )
+        assert "FAIL" in render_rows([fake], bound=4)
+
+
+class TestSimulationSizes:
+    def make_spec(self, fairness, symmetry, leader):
+        return ModelSpec(fairness, symmetry, leader, MobileInit.ARBITRARY)
+
+    def test_prop13_cells_skip_n_2(self):
+        spec = self.make_spec(
+            Fairness.GLOBAL, Symmetry.SYMMETRIC, LeaderKind.NONE
+        )
+        assert all(n > 2 for n in _simulation_sizes(spec, 6))
+
+    def test_protocol3_cells_skip_n_p_for_large_bounds(self):
+        spec = self.make_spec(
+            Fairness.GLOBAL, Symmetry.SYMMETRIC, LeaderKind.INITIALIZED
+        )
+        assert 6 not in _simulation_sizes(spec, 6)
+        assert 3 in _simulation_sizes(spec, 3)
+
+    def test_asymmetric_cells_include_full_range(self):
+        spec = self.make_spec(
+            Fairness.WEAK, Symmetry.ASYMMETRIC, LeaderKind.NONE
+        )
+        sizes = _simulation_sizes(spec, 5)
+        assert 2 in sizes and 5 in sizes

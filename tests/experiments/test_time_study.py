@@ -1,0 +1,84 @@
+"""Tests for the time-complexity study (exp-s6)."""
+
+import math
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.experiments.time_study import (
+    fit_power_law,
+    render_fits,
+    run_time_study,
+)
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        sizes = [2, 4, 8, 16]
+        means = [3 * n**2 for n in sizes]
+        fit = fit_power_law(sizes, means, "quadratic")
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        fit = fit_power_law([2, 4, 8], [5, 5, 5], "flat")
+        assert fit.exponent == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_reports_r_squared(self):
+        sizes = [2, 4, 8, 16]
+        means = [4.1, 15.2, 70.0, 250.0]  # roughly quadratic
+        fit = fit_power_law(sizes, means, "noisy")
+        assert 1.5 < fit.exponent < 2.5
+        assert 0.9 < fit.r_squared <= 1.0
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(VerificationError):
+            fit_power_law([2], [3], "x")
+
+    def test_rejects_nonpositive_means(self):
+        with pytest.raises(VerificationError):
+            fit_power_law([2, 4], [0, 3], "x")
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(VerificationError):
+            fit_power_law([4, 4], [1, 2], "x")
+
+    def test_log_linearity(self):
+        # exponent must be invariant under scaling the coefficient.
+        a = fit_power_law([2, 4, 8], [10, 40, 160], "a")
+        b = fit_power_law([2, 4, 8], [100, 400, 1600], "b")
+        assert a.exponent == pytest.approx(b.exponent)
+
+
+class TestRunTimeStudy:
+    @pytest.fixture(scope="class")
+    def fits(self):
+        return run_time_study(bound=7, runs=10, budget=5_000_000)
+
+    def test_covers_all_protocols(self, fits):
+        assert len(fits) == 5
+
+    def test_growth_is_positive(self, fits):
+        assert all(f.exponent > 0 for f in fits)
+
+    def test_selfstab_grows_faster_than_initialized(self, fits):
+        by_name = {f.protocol: f for f in fits}
+        selfstab = next(
+            v for k, v in by_name.items() if "Protocol 2" in k
+        )
+        initialized = next(
+            v for k, v in by_name.items() if "Prop. 14" in k
+        )
+        assert selfstab.exponent > initialized.exponent
+
+    def test_fits_are_not_garbage(self, fits):
+        # Small samples are noisy, but the log-log fit should explain most
+        # of the variance for every series.
+        assert all(f.r_squared > 0.6 for f in fits)
+
+    def test_render(self, fits):
+        text = render_fits(fits)
+        assert "exponent" in text
+        assert "R^2" in text

@@ -1,0 +1,54 @@
+"""Tests for the trade-off synthesis experiment (exp-s7)."""
+
+import pytest
+
+from repro.experiments.tradeoffs import render_rows, run_tradeoffs
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_tradeoffs(bound=5, n_mobile=4, runs=4, budget=2_000_000)
+
+
+class TestTradeoffs:
+    def test_one_row_per_positive_protocol(self, rows):
+        assert len(rows) == 5
+        assert {r.reference for r in rows} == {
+            "Prop. 12",
+            "Prop. 13",
+            "Prop. 14",
+            "Prop. 16",
+            "Prop. 17",
+        }
+
+    def test_state_counts_match_table1(self, rows):
+        by_ref = {r.reference: r.states for r in rows}
+        assert by_ref["Prop. 12"] == 5
+        assert by_ref["Prop. 13"] == 6
+        assert by_ref["Prop. 14"] == 5
+        assert by_ref["Prop. 16"] == 6
+        assert by_ref["Prop. 17"] == 5
+
+    def test_only_selfstab_rows_have_recovery(self, rows):
+        by_ref = {r.reference: r for r in rows}
+        assert by_ref["Prop. 12"].recovery is not None
+        assert by_ref["Prop. 13"].recovery is not None
+        assert by_ref["Prop. 16"].recovery is not None
+        assert by_ref["Prop. 14"].recovery is None
+        assert by_ref["Prop. 17"].recovery is None
+
+    def test_the_asymmetric_protocol_dominates(self, rows):
+        """The trade-off table's headline: asymmetric rules get the
+        minimum of everything - P states, weak fairness, no leader, no
+        initialization - and the cheapest convergence."""
+        by_ref = {r.reference: r for r in rows}
+        asym = by_ref["Prop. 12"]
+        assert asym.states == min(r.states for r in rows)
+        assert asym.convergence.mean == min(
+            r.convergence.mean for r in rows
+        )
+
+    def test_render(self, rows):
+        text = render_rows(rows, bound=5)
+        assert "trade-offs" in text
+        assert "n/a" in text

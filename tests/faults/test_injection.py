@@ -1,0 +1,142 @@
+"""Tests for fault injection."""
+
+import pytest
+
+from repro.core.selfstab_naming import (
+    SelfStabLeaderState,
+    SelfStabilizingNamingProtocol,
+)
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.errors import ReproError
+from repro.faults.injection import (
+    FaultEvent,
+    FaultPlan,
+    corrupt_agents,
+    corrupt_all_mobile_to,
+    corrupt_leader_to,
+    corrupt_random_mobile,
+    scramble_everything,
+)
+from repro.schedulers.random_pair import RandomPairScheduler
+
+LEADER = SelfStabLeaderState(0, 0)
+
+
+def leadered_config(mobiles):
+    pop = Population(len(mobiles), has_leader=True)
+    return pop, Configuration.from_states(pop, mobiles, LEADER)
+
+
+class TestCorruptions:
+    def test_corrupt_agents_sets_states(self):
+        _, config = leadered_config((1, 2, 3))
+        corrupted = corrupt_agents([0, 2], [9, 8])(config)
+        assert corrupted.mobile_states == (9, 2, 8)
+
+    def test_corrupt_agents_length_mismatch(self):
+        with pytest.raises(ReproError):
+            corrupt_agents([0, 1], [5])
+
+    def test_corrupt_all_mobile(self):
+        pop, config = leadered_config((1, 2, 3))
+        corrupted = corrupt_all_mobile_to(pop, 0)(config)
+        assert corrupted.mobile_states == (0, 0, 0)
+        assert corrupted.leader_state == LEADER  # leader untouched
+
+    def test_corrupt_random_mobile_count_and_legality(self):
+        pop, config = leadered_config((1, 2, 3, 4))
+        protocol = SelfStabilizingNamingProtocol(4)
+        corrupted = corrupt_random_mobile(pop, protocol, 2, seed=1)(config)
+        changed = sum(
+            1
+            for a, b in zip(config.mobile_states, corrupted.mobile_states)
+            if a != b
+        )
+        assert changed <= 2
+        assert set(corrupted.mobile_states) <= protocol.mobile_state_space()
+
+    def test_corrupt_random_is_deterministic_per_seed(self):
+        pop, config = leadered_config((1, 2, 3, 4))
+        protocol = SelfStabilizingNamingProtocol(4)
+        a = corrupt_random_mobile(pop, protocol, 3, seed=5)(config)
+        b = corrupt_random_mobile(pop, protocol, 3, seed=5)(config)
+        assert a == b
+
+    def test_corrupt_leader(self):
+        pop, config = leadered_config((1, 2))
+        bogus = SelfStabLeaderState(9, 9)
+        corrupted = corrupt_leader_to(pop, bogus)(config)
+        assert corrupted.leader_state == bogus
+        assert corrupted.mobile_states == (1, 2)
+
+    def test_corrupt_leader_requires_leader(self):
+        pop = Population(2)
+        with pytest.raises(ReproError):
+            corrupt_leader_to(pop, LEADER)
+
+    def test_scramble_everything(self):
+        pop, config = leadered_config((1, 2, 3))
+        protocol = SelfStabilizingNamingProtocol(3)
+        corrupted = scramble_everything(pop, protocol, seed=3)(config)
+        assert set(corrupted.mobile_states) <= protocol.mobile_state_space()
+        assert corrupted.leader_state in protocol.leader_state_space()
+
+
+class TestFaultPlan:
+    def test_events_fire_at_their_interaction(self):
+        pop, config = leadered_config((1, 2))
+        plan = FaultPlan()
+        plan.add(
+            FaultEvent(3, corrupt_all_mobile_to(pop, 0), label="wipe")
+        )
+        assert plan.hook(2, config) is None
+        result = plan.hook(3, config)
+        assert result is not None
+        assert result.mobile_states == (0, 0)
+        assert plan.applied == ["wipe"]
+
+    def test_multiple_events_same_instant_compose(self):
+        pop, config = leadered_config((1, 2))
+        plan = FaultPlan()
+        plan.add(FaultEvent(0, corrupt_all_mobile_to(pop, 0), "a"))
+        plan.add(
+            FaultEvent(0, corrupt_leader_to(pop, SelfStabLeaderState(7, 7)), "b")
+        )
+        result = plan.hook(0, config)
+        assert result.mobile_states == (0, 0)
+        assert result.leader_state == SelfStabLeaderState(7, 7)
+        assert plan.applied == ["a", "b"]
+
+    def test_events_sorted_by_time(self):
+        pop, _ = leadered_config((1, 2))
+        plan = FaultPlan()
+        plan.add(FaultEvent(9, corrupt_all_mobile_to(pop, 0), "late"))
+        plan.add(FaultEvent(1, corrupt_all_mobile_to(pop, 0), "early"))
+        assert [e.label for e in plan.events] == ["early", "late"]
+
+    def test_plan_is_callable(self):
+        pop, config = leadered_config((1, 2))
+        plan = FaultPlan()
+        assert plan(0, config) is None
+
+
+class TestEndToEndRecovery:
+    def test_self_stabilizing_protocol_recovers_from_plan(self):
+        bound = 5
+        protocol = SelfStabilizingNamingProtocol(bound)
+        pop = Population(5, has_leader=True)
+        scheduler = RandomPairScheduler(pop, seed=1)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        plan = FaultPlan()
+        plan.add(FaultEvent(1, corrupt_all_mobile_to(pop, 2), "collapse"))
+        initial = Configuration.uniform(pop, 0, LEADER)
+        result = simulator.run(
+            initial, max_interactions=2_000_000, fault_hook=plan.hook
+        )
+        assert result.faults_injected == 1
+        assert result.converged
+        assert result.convergence_interaction > 1
+        assert len(set(result.names())) == 5

@@ -1,0 +1,128 @@
+"""End-to-end integration tests: full library flows a user would run."""
+
+import pytest
+
+from repro import (
+    Configuration,
+    InfeasibleSpecError,
+    NamingProblem,
+    Population,
+    RandomPairScheduler,
+    RoundRobinScheduler,
+    Simulator,
+    Trace,
+    protocol_for,
+)
+from repro.core.spec import (
+    Fairness,
+    LeaderKind,
+    MobileInit,
+    ModelSpec,
+    Symmetry,
+    all_specs,
+    table1_cell,
+)
+from repro.engine.trace import replay
+from repro.schedulers.random_pair import LeaderBiasedScheduler
+
+FEASIBLE_SPECS = [s for s in all_specs() if table1_cell(s).feasible]
+
+
+def build_run(spec, bound, n, seed=1, budget=2_000_000):
+    protocol = protocol_for(spec, bound)
+    population = Population(n, protocol.requires_leader)
+    if spec.fairness is Fairness.WEAK:
+        scheduler = RoundRobinScheduler(population, seed=seed)
+    else:
+        scheduler = RandomPairScheduler(population, seed=seed)
+    mobile_space = sorted(protocol.mobile_state_space())
+    if spec.mobile_init is MobileInit.UNIFORM:
+        value = protocol.initial_mobile_state()
+        mobile = value if value is not None else mobile_space[0]
+    else:
+        mobile = mobile_space[0]
+    leader = (
+        protocol.initial_leader_state() if population.has_leader else None
+    )
+    initial = Configuration.uniform(population, mobile, leader)
+    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    return simulator.run(initial, max_interactions=budget)
+
+
+class TestEverySpecEndToEnd:
+    @pytest.mark.parametrize(
+        "spec", FEASIBLE_SPECS, ids=lambda s: s.describe()
+    )
+    def test_registry_protocol_converges(self, spec):
+        bound = 4
+        uses_prop13 = (
+            spec.symmetry is Symmetry.SYMMETRIC
+            and spec.fairness is Fairness.GLOBAL
+            and spec.leader is not LeaderKind.INITIALIZED
+        )
+        n = 4 if not uses_prop13 else 3
+        result = build_run(spec, bound, n)
+        assert result.converged, spec.describe()
+        assert len(set(result.names())) == n
+
+    def test_infeasible_spec_raises(self):
+        spec = ModelSpec(
+            Fairness.WEAK,
+            Symmetry.SYMMETRIC,
+            LeaderKind.NONE,
+            MobileInit.ARBITRARY,
+        )
+        with pytest.raises(InfeasibleSpecError):
+            protocol_for(spec, 4)
+
+
+class TestTraceabilityEndToEnd:
+    def test_full_trace_replays_for_leadered_protocol(self):
+        spec = ModelSpec(
+            Fairness.WEAK,
+            Symmetry.SYMMETRIC,
+            LeaderKind.NON_INITIALIZED,
+            MobileInit.ARBITRARY,
+        )
+        protocol = protocol_for(spec, 4)
+        pop = Population(4, has_leader=True)
+        scheduler = RoundRobinScheduler(pop)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        trace = Trace(capacity=None, record_null=True)
+        initial = Configuration.uniform(
+            pop, 1, protocol.initial_leader_state()
+        )
+        result = simulator.run(initial, trace=trace)
+        assert result.converged
+        assert replay(initial, trace.records) == result.final_configuration
+
+
+class TestLeaderBiasedFlow:
+    def test_starving_the_leader_slows_convergence(self):
+        """Protocol 2 only makes naming progress in BST meetings, so a
+        schedule that rarely involves the leader converges later - the
+        ablation the LeaderBiasedScheduler exists for.  (Interestingly the
+        reverse is not monotone: an extreme leader bias starves the
+        homonym-dissolving mobile meetings instead.)"""
+        from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+
+        protocol = SelfStabilizingNamingProtocol(6)
+        pop = Population(6, has_leader=True)
+        initial = Configuration.uniform(
+            pop, 1, protocol.initial_leader_state()
+        )
+
+        def run_with(scheduler):
+            simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+            result = simulator.run(initial, max_interactions=4_000_000)
+            assert result.converged
+            return result.convergence_interaction
+
+        starved = [
+            run_with(LeaderBiasedScheduler(pop, seed=s, leader_bias=0.02))
+            for s in range(5)
+        ]
+        unbiased = [
+            run_with(RandomPairScheduler(pop, seed=s)) for s in range(5)
+        ]
+        assert sum(starved) / len(starved) > sum(unbiased) / len(unbiased)

@@ -1,0 +1,86 @@
+"""Property-based tests for configurations and populations."""
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+
+state_lists = st.lists(
+    st.integers(min_value=0, max_value=9), min_size=1, max_size=10
+)
+
+
+class TestConfigurationProperties:
+    @given(state_lists)
+    def test_multiset_preserved_under_permutation(self, states):
+        import random
+
+        shuffled = list(states)
+        random.Random(0).shuffle(shuffled)
+        a = Configuration(tuple(states))
+        b = Configuration(tuple(shuffled))
+        assert a.is_equivalent(b)
+        assert a.canonical() == b.canonical()
+
+    @given(state_lists)
+    def test_names_distinct_iff_no_homonyms(self, states):
+        config = Configuration(tuple(states))
+        assert config.names_distinct() == (not config.homonym_states())
+
+    @given(state_lists)
+    def test_homonym_agents_consistent_with_states(self, states):
+        config = Configuration(tuple(states))
+        counts = Counter(states)
+        expected = [i for i, s in enumerate(states) if counts[s] >= 2]
+        assert config.homonym_agents() == expected
+
+    @given(state_lists, st.data())
+    def test_replace_roundtrip(self, states, data):
+        config = Configuration(tuple(states))
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(states) - 1)
+        )
+        new_state = data.draw(st.integers(min_value=0, max_value=9))
+        updated = config.replace({index: new_state})
+        assert updated.state_of(index) == new_state
+        restored = updated.replace({index: states[index]})
+        assert restored == config
+
+    @given(state_lists, st.data())
+    def test_apply_changes_exactly_two_agents(self, states, data):
+        if len(states) < 2:
+            return
+        config = Configuration(tuple(states))
+        i = data.draw(st.integers(min_value=0, max_value=len(states) - 1))
+        j = data.draw(st.integers(min_value=0, max_value=len(states) - 1))
+        if i == j:
+            return
+        after = config.apply(i, j, (99, 98))
+        for k, state in enumerate(after.states):
+            if k == i:
+                assert state == 99
+            elif k == j:
+                assert state == 98
+            else:
+                assert state == states[k]
+
+
+class TestPopulationProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.booleans(),
+    )
+    def test_pair_count_matches_formula(self, n, leader):
+        pop = Population(n, has_leader=leader)
+        size = pop.size
+        if size >= 2:
+            assert pop.pair_count() == size * (size - 1) // 2
+            assert len(list(pop.ordered_pairs())) == size * (size - 1)
+
+    @given(st.integers(min_value=1, max_value=20), st.booleans())
+    def test_agents_are_contiguous(self, n, leader):
+        pop = Population(n, has_leader=leader)
+        assert pop.agents == tuple(range(pop.size))

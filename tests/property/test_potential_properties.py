@@ -1,0 +1,80 @@
+"""Property-based tests for the Proposition 12 potential argument."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.potential import holes, potential, potential_upper_bound
+from repro.core.asymmetric import AsymmetricNamingProtocol
+
+
+def configurations(max_bound=8, max_agents=8):
+    return st.integers(min_value=2, max_value=max_bound).flatmap(
+        lambda bound: st.tuples(
+            st.just(bound),
+            st.lists(
+                st.integers(min_value=0, max_value=bound - 1),
+                min_size=1,
+                max_size=min(bound, max_agents),
+            ),
+        )
+    )
+
+
+class TestPotentialInvariants:
+    @given(configurations())
+    def test_potential_bounded(self, case):
+        bound, states = case
+        assert (0, 0) <= potential(states, bound)
+        assert potential(states, bound) <= potential_upper_bound(bound)
+
+    @given(configurations())
+    def test_zero_potential_iff_no_holes(self, case):
+        bound, states = case
+        value = potential(states, bound)
+        assert (value == (0, 0)) == (not holes(states, bound))
+
+    @given(configurations())
+    def test_distinct_full_occupancy_has_zero_potential(self, case):
+        bound, states = case
+        if len(set(states)) == bound:
+            assert potential(states, bound) == (0, 0)
+
+
+class TestStrictDecrease:
+    """The proof's core: every non-null transition of the asymmetric rule
+    strictly decreases the potential, on arbitrary configurations."""
+
+    @settings(max_examples=300)
+    @given(configurations(), st.randoms(use_true_random=False))
+    def test_random_transition_decreases(self, case, rnd):
+        bound, states = case
+        protocol = AsymmetricNamingProtocol(bound)
+        duplicates = [
+            s for s in set(states) if states.count(s) >= 2
+        ]
+        if not duplicates:
+            return  # silent configuration: nothing to check
+        s = rnd.choice(duplicates)
+        before = potential(states, bound)
+        mutated = list(states)
+        mutated[mutated.index(s)] = protocol.transition(s, s)[1]
+        after = potential(mutated, bound)
+        assert after < before
+
+    @settings(max_examples=100)
+    @given(configurations())
+    def test_execution_terminates_within_potential_budget(self, case):
+        """Driving homonym transitions to exhaustion takes at most
+        (holes + distance) steps and ends with distinct states whenever
+        the population fits the bound."""
+        bound, states = case
+        protocol = AsymmetricNamingProtocol(bound)
+        states = list(states)
+        budget = bound + bound * (bound - 1) + 1
+        for _ in range(budget):
+            duplicates = [s for s in set(states) if states.count(s) >= 2]
+            if not duplicates:
+                break
+            s = duplicates[0]
+            states[states.index(s)] = protocol.transition(s, s)[1]
+        assert len(set(states)) == len(states)

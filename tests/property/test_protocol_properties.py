@@ -1,0 +1,151 @@
+"""Property-based tests on protocol invariants: closure, symmetry, name
+uniqueness at convergence, monotone counting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.counting import CountingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.engine.state import is_leader_state
+from repro.schedulers.random_pair import RandomPairScheduler
+
+SYMMETRIC_FACTORIES = [
+    SymmetricGlobalNamingProtocol,
+    CountingProtocol,
+    SelfStabilizingNamingProtocol,
+    GlobalNamingProtocol,
+]
+
+
+class TestTransitionClosure:
+    @settings(max_examples=60)
+    @given(
+        st.sampled_from(SYMMETRIC_FACTORIES),
+        st.integers(min_value=2, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_random_pairs_stay_in_space(self, factory, bound, rnd):
+        protocol = factory(bound)
+        mobile = sorted(protocol.mobile_state_space())
+        leaders = sorted(protocol.leader_state_space(), key=repr)
+        p = rnd.choice(mobile + leaders)
+        q = rnd.choice(mobile)
+        if is_leader_state(p) and rnd.random() < 0.5:
+            p, q = q, p
+        p2, q2 = protocol.transition(p, q)
+        space = protocol.all_states()
+        assert p2 in space and q2 in space
+        assert is_leader_state(p2) == is_leader_state(p)
+        assert is_leader_state(q2) == is_leader_state(q)
+
+    @settings(max_examples=60)
+    @given(
+        st.sampled_from(SYMMETRIC_FACTORIES),
+        st.integers(min_value=2, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_symmetry_on_random_pairs(self, factory, bound, rnd):
+        protocol = factory(bound)
+        mobile = sorted(protocol.mobile_state_space())
+        leaders = sorted(protocol.leader_state_space(), key=repr)
+        p = rnd.choice(mobile + leaders)
+        q = rnd.choice(mobile)
+        p2, q2 = protocol.transition(p, q)
+        q3, p3 = protocol.transition(q, p)
+        assert (p2, q2) == (p3, q3)
+
+
+class TestConvergenceProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=2**31),
+        st.data(),
+    )
+    def test_asymmetric_names_any_start(self, n, seed, data):
+        bound = data.draw(st.integers(min_value=n, max_value=n + 3))
+        states = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=bound - 1),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        protocol = AsymmetricNamingProtocol(bound)
+        pop = Population(n)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=seed), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.from_states(pop, states),
+            max_interactions=1_000_000,
+        )
+        assert result.converged
+        names = result.names()
+        assert len(set(names)) == n
+        assert set(names) <= set(range(bound))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+        st.data(),
+    )
+    def test_selfstab_names_any_start_any_leader(self, n, seed, data):
+        bound = data.draw(st.integers(min_value=n, max_value=n + 2))
+        protocol = SelfStabilizingNamingProtocol(bound)
+        states = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=bound),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        from repro.core.selfstab_naming import SelfStabLeaderState
+
+        leader = SelfStabLeaderState(
+            data.draw(st.integers(min_value=0, max_value=bound + 1)),
+            data.draw(st.integers(min_value=0, max_value=2**bound)),
+        )
+        pop = Population(n, has_leader=True)
+        simulator = Simulator(
+            protocol, pop, RandomPairScheduler(pop, seed=seed), NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.from_states(pop, states, leader),
+            max_interactions=2_000_000,
+        )
+        assert result.converged
+        assert len(set(result.names())) == n
+
+
+class TestCountingMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_guess_never_decreases_and_never_overshoots(self, n, seed):
+        bound = 5
+        protocol = CountingProtocol(bound)
+        pop = Population(n, has_leader=True)
+        scheduler = RandomPairScheduler(pop, seed=seed)
+        config = Configuration.uniform(
+            pop, 1, protocol.initial_leader_state()
+        )
+        previous = 0
+        for _ in range(3000):
+            x, y = scheduler.next_pair(config)
+            p, q = config.state_of(x), config.state_of(y)
+            config = config.apply(x, y, protocol.transition(p, q))
+            guess = config.leader_state.n
+            assert guess >= previous
+            assert guess <= n  # never overshoots the true size
+            previous = guess

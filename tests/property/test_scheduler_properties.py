@@ -1,0 +1,74 @@
+"""Property-based fairness validation of the deterministic schedulers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness_audit import audit_scheduler
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.schedulers.matching import MatchingScheduler, round_robin_matchings
+from repro.schedulers.round_robin import (
+    InterleavedRoundRobinScheduler,
+    RoundRobinScheduler,
+)
+
+
+class TestRoundRobinFairness:
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_perfect_balance_over_whole_cycles(self, n, cycles):
+        population = Population(n)
+        scheduler = RoundRobinScheduler(population)
+        config = Configuration.uniform(population, 0)
+        audit = audit_scheduler(
+            scheduler, config, cycles * scheduler.cycle_length
+        )
+        assert audit.imbalance() == 1.0
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=10))
+    def test_worst_gap_bounded_by_cycle(self, n):
+        population = Population(n)
+        scheduler = RoundRobinScheduler(population)
+        config = Configuration.uniform(population, 0)
+        audit = audit_scheduler(
+            scheduler, config, 3 * scheduler.cycle_length
+        )
+        assert audit.worst_gap() <= scheduler.cycle_length
+
+
+class TestInterleavedFairness:
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=10))
+    def test_every_pair_met_each_half_cycle(self, n):
+        population = Population(n)
+        scheduler = InterleavedRoundRobinScheduler(population)
+        config = Configuration.uniform(population, 0)
+        audit = audit_scheduler(
+            scheduler, config, 2 * population.pair_count()
+        )
+        assert not audit.starving_pairs()
+        assert audit.imbalance() == 1.0
+
+
+class TestMatchingFairness:
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=12))
+    def test_rotation_covers_each_pair_once(self, n):
+        rounds = round_robin_matchings(n)
+        seen = [frozenset(p) for matching in rounds for p in matching]
+        assert len(seen) == len(set(seen)) == n * (n - 1) // 2
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=9))
+    def test_scheduler_balanced_over_rotations(self, n):
+        population = Population(n)
+        scheduler = MatchingScheduler(population)
+        config = Configuration.uniform(population, 0)
+        audit = audit_scheduler(
+            scheduler, config, 2 * population.pair_count()
+        )
+        assert audit.imbalance() == 1.0

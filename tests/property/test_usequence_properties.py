@@ -1,0 +1,87 @@
+"""Property-based tests for the universal sequence U*."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.usequence import (
+    first_occurrence,
+    occurrences,
+    sequence_length,
+    u_element,
+    u_sequence,
+)
+
+
+class TestClosedFormProperties:
+    @given(st.integers(min_value=1, max_value=10))
+    def test_ruler_equals_recursion(self, n):
+        seq = u_sequence(n)
+        assert [u_element(k) for k in range(1, len(seq) + 1)] == seq
+
+    @given(st.integers(min_value=1, max_value=2**20))
+    def test_element_always_positive(self, k):
+        assert u_element(k) >= 1
+
+    @given(st.integers(min_value=1, max_value=2**20))
+    def test_element_bounded_by_log(self, k):
+        assert u_element(k) <= k.bit_length()
+
+    @given(st.integers(min_value=1, max_value=2**16))
+    def test_odd_positions_hold_one(self, k):
+        if k % 2 == 1:
+            assert u_element(k) == 1
+
+    @given(st.integers(min_value=1, max_value=2**10))
+    def test_self_similarity(self, k):
+        """U is self-similar: position 2k holds u(k) + 1."""
+        assert u_element(2 * k) == u_element(k) + 1
+
+
+class TestStructuralProperties:
+    @given(st.integers(min_value=1, max_value=12))
+    def test_length_formula(self, n):
+        assert sequence_length(n) == 2**n - 1
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_total_occurrences_fill_sequence(self, n):
+        assert (
+            sum(occurrences(v, n) for v in range(1, n + 1))
+            == sequence_length(n)
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_occurrence_halving(self, value, n):
+        """Each value is exactly twice as frequent as the next one up."""
+        if value + 1 <= n:
+            assert occurrences(value, n) == 2 * occurrences(value + 1, n)
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_first_occurrence_is_earliest(self, value):
+        k = first_occurrence(value)
+        assert u_element(k) == value
+        # No earlier position holds it (powers of two structure).
+        if value >= 2:
+            assert all(
+                u_element(j) != value for j in range(1, min(k, 1024))
+            )
+
+
+class TestNamingSufficiency:
+    """The property Protocol 1 relies on: along any window of U_n there
+    are enough fresh names for n agents."""
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=8))
+    def test_every_value_up_to_n_occurs(self, n):
+        seq = u_sequence(n)
+        assert set(seq) == set(range(1, n + 1))
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_prefix_contains_whole_previous_level(self, n):
+        seq = u_sequence(n)
+        prefix = seq[: sequence_length(n - 1)]
+        assert set(prefix) == set(range(1, n))

@@ -1,0 +1,65 @@
+"""Tests for JSON export of experiment results."""
+
+import json
+
+from repro.analysis.stats import summarize
+from repro.core.spec import Fairness, LeaderKind, MobileInit, ModelSpec, Symmetry
+from repro.experiments.table1 import Table1Row
+from repro.core.spec import table1_cell
+from repro.reporting.jsonio import dump, dumps, to_jsonable
+
+
+class TestToJsonable:
+    def test_dataclass_conversion(self):
+        summary = summarize([1, 2, 3])
+        data = to_jsonable(summary)
+        assert data["count"] == 3
+        assert data["mean"] == 2.0
+
+    def test_enum_conversion(self):
+        assert to_jsonable(Fairness.WEAK) == "weak"
+
+    def test_nested_structures(self):
+        spec = ModelSpec(
+            Fairness.WEAK,
+            Symmetry.SYMMETRIC,
+            LeaderKind.NONE,
+            MobileInit.ARBITRARY,
+        )
+        row = Table1Row(
+            spec=spec,
+            expected=table1_cell(spec),
+            measured_feasible=False,
+            measured_states=None,
+            match=True,
+            evidence=["adversary held symmetry"],
+        )
+        data = to_jsonable(row)
+        assert data["spec"]["fairness"] == "weak"
+        assert data["expected"]["feasible"] is False
+        assert data["evidence"] == ["adversary held symmetry"]
+
+    def test_sets_sorted(self):
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_unknown_objects_reprd(self):
+        class Thing:
+            def __repr__(self):
+                return "<thing>"
+
+        assert to_jsonable(Thing()) == "<thing>"
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, (2, 3))) == [1, [2, 3]]
+
+
+class TestDumps:
+    def test_round_trips_through_json(self):
+        summary = summarize([4, 5, 6])
+        parsed = json.loads(dumps(summary))
+        assert parsed["median"] == 5
+
+    def test_dump_writes_file(self, tmp_path):
+        path = dump({"a": Fairness.GLOBAL}, tmp_path / "out.json")
+        parsed = json.loads(path.read_text())
+        assert parsed == {"a": "global"}

@@ -1,0 +1,48 @@
+"""Tests for rule-table rendering."""
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.counting import CountingProtocol
+from repro.core.leader_uniform import LeaderUniformNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.reporting.rules import non_null_rules, render_rules
+
+
+class TestNonNullRules:
+    def test_asymmetric_rule_count(self):
+        # One rule per state: (s, s) -> (s, s+1).
+        rules = non_null_rules(AsymmetricNamingProtocol(5))
+        assert len(rules) == 5
+        assert ((2, 2), (2, 3)) in rules
+
+    def test_prop13_rule_count(self):
+        # P homonym rules + 2P rule-1 orientations + the (P, P) restart.
+        rules = non_null_rules(SymmetricGlobalNamingProtocol(4))
+        assert len(rules) == 4 + 2 * 4 + 1
+
+    def test_rules_are_actually_non_null(self):
+        protocol = CountingProtocol(3)
+        for (p, q), (p2, q2) in non_null_rules(protocol):
+            assert (p2, q2) != (p, q)
+            assert protocol.transition(p, q) == (p2, q2)
+
+    def test_leader_cap_respected(self):
+        protocol = CountingProtocol(4)
+        capped = non_null_rules(protocol, max_leader_states=2)
+        full = non_null_rules(protocol, max_leader_states=None)
+        assert len(capped) <= len(full)
+
+
+class TestRenderRules:
+    def test_render_mentions_metadata(self):
+        text = render_rules(AsymmetricNamingProtocol(3))
+        assert "asymmetric naming" in text
+        assert "mobile states : 3" in text
+        assert "(0, 0) -> (0, 1)" in text
+
+    def test_render_leader_states_labelled(self):
+        text = render_rules(LeaderUniformNamingProtocol(3))
+        assert "L(counter=" in text
+
+    def test_truncation(self):
+        text = render_rules(SymmetricGlobalNamingProtocol(6), max_rules=3)
+        assert "more" in text

@@ -1,0 +1,160 @@
+"""Tests for the adversarial schedulers."""
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.schedulers.adversarial import (
+    EventuallyFairScheduler,
+    FixedSequenceScheduler,
+    HomonymPreservingScheduler,
+)
+from repro.schedulers.base import FairnessMonitor
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+
+class TestHomonymPreservingScheduler:
+    def test_remains_weakly_fair(self):
+        protocol = AsymmetricNamingProtocol(4)
+        pop = Population(4)
+        scheduler = HomonymPreservingScheduler(pop, protocol, seed=0)
+        config = Configuration.uniform(pop, 0)
+        monitor = FairnessMonitor(pop)
+        for _ in range(240):
+            x, y = scheduler.next_pair(config)
+            monitor.observe(x, y)
+            outcome = protocol.transition(
+                config.state_of(x), config.state_of(y)
+            )
+            config = config.apply(x, y, outcome)
+        assert monitor.rounds_completed >= 240 // pop.pair_count() - 1
+
+    def test_weak_fairness_protocols_still_converge(self):
+        protocol = SelfStabilizingNamingProtocol(4)
+        pop = Population(4, has_leader=True)
+        scheduler = HomonymPreservingScheduler(pop, protocol, seed=1)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        result = simulator.run(
+            Configuration.from_states(
+                pop, (2, 2, 2, 2), protocol.initial_leader_state()
+            ),
+            max_interactions=200_000,
+        )
+        assert result.converged
+
+    def test_delays_more_than_round_robin(self):
+        """The adversary should never beat round robin on the asymmetric
+        protocol from a uniform start (it postpones homonym meetings)."""
+        protocol = AsymmetricNamingProtocol(5)
+        pop = Population(5)
+        start = Configuration.uniform(pop, 0)
+
+        fair = Simulator(
+            protocol, pop, RoundRobinScheduler(pop), NamingProblem()
+        ).run(start)
+        adversary = Simulator(
+            protocol,
+            pop,
+            HomonymPreservingScheduler(pop, protocol, seed=2),
+            NamingProblem(),
+        ).run(start)
+        assert adversary.converged and fair.converged
+        assert (
+            adversary.convergence_interaction
+            >= fair.convergence_interaction
+        )
+
+    def test_reset_restores_round(self):
+        protocol = AsymmetricNamingProtocol(3)
+        pop = Population(3)
+        scheduler = HomonymPreservingScheduler(pop, protocol, seed=0)
+        config = Configuration.uniform(pop, 0)
+        first = [scheduler.next_pair(config) for _ in range(3)]
+        scheduler.reset()
+        again = [scheduler.next_pair(config) for _ in range(3)]
+        assert first == again
+
+
+class TestEventuallyFairScheduler:
+    def make(self, prefix_length):
+        pop = Population(4)
+        protocol = AsymmetricNamingProtocol(4)
+        # Unfair prefix: hammer one pair only.
+        prefix = FixedSequenceScheduler(pop, [(0, 1)])
+        suffix = RandomPairScheduler(pop, seed=5)
+        return (
+            pop,
+            protocol,
+            EventuallyFairScheduler(pop, prefix, suffix, prefix_length),
+        )
+
+    def test_prefix_then_suffix(self):
+        pop, _, scheduler = self.make(prefix_length=10)
+        config = Configuration.uniform(pop, 0)
+        first = [scheduler.next_pair(config) for _ in range(10)]
+        assert first == [(0, 1)] * 10
+        later = {scheduler.next_pair(config) for _ in range(100)}
+        assert len(later) > 1
+
+    def test_self_stabilizing_protocol_survives_any_prefix(self):
+        pop, protocol, scheduler = self.make(prefix_length=500)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        result = simulator.run(
+            Configuration.uniform(pop, 0), max_interactions=100_000
+        )
+        assert result.converged
+
+    def test_inherits_suffix_fairness_flags(self):
+        _, _, scheduler = self.make(prefix_length=1)
+        assert scheduler.weakly_fair and scheduler.globally_fair
+
+    def test_rejects_negative_prefix(self):
+        pop = Population(2)
+        prefix = FixedSequenceScheduler(pop, [(0, 1)])
+        suffix = RandomPairScheduler(pop, seed=0)
+        with pytest.raises(ValueError):
+            EventuallyFairScheduler(pop, prefix, suffix, -1)
+
+    def test_reset_replays_prefix(self):
+        pop, _, scheduler = self.make(prefix_length=3)
+        config = Configuration.uniform(pop, 0)
+        for _ in range(5):
+            scheduler.next_pair(config)
+        scheduler.reset()
+        assert scheduler.next_pair(config) == (0, 1)
+
+
+class TestFixedSequenceScheduler:
+    def test_replays_and_wraps(self):
+        pop = Population(3)
+        seq = [(0, 1), (1, 2), (2, 0)]
+        scheduler = FixedSequenceScheduler(pop, seq)
+        config = Configuration.uniform(pop, 0)
+        produced = [scheduler.next_pair(config) for _ in range(6)]
+        assert produced == seq + seq
+
+    def test_weak_fairness_detection(self):
+        pop = Population(3)
+        full = FixedSequenceScheduler(pop, [(0, 1), (1, 2), (2, 0)])
+        partial = FixedSequenceScheduler(pop, [(0, 1), (1, 2)])
+        assert full.weakly_fair
+        assert not partial.weakly_fair
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError):
+            FixedSequenceScheduler(Population(2), [])
+
+    def test_rejects_self_pairs(self):
+        with pytest.raises(ValueError):
+            FixedSequenceScheduler(Population(2), [(1, 1)])
+
+    def test_rejects_unknown_agents(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FixedSequenceScheduler(Population(2), [(0, 7)])

@@ -1,0 +1,66 @@
+"""Tests for the scheduler base class and the fairness monitor."""
+
+import pytest
+
+from repro.engine.population import Population
+from repro.errors import SchedulerError
+from repro.schedulers.base import FairnessMonitor
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+class TestSchedulerConstruction:
+    def test_rejects_singleton_population(self):
+        with pytest.raises(SchedulerError):
+            RandomPairScheduler(Population(1), seed=0)
+
+    def test_leader_counts_toward_minimum(self):
+        # One mobile agent plus a leader is schedulable.
+        RandomPairScheduler(Population(1, has_leader=True), seed=0)
+
+    def test_repr_mentions_display_name(self):
+        scheduler = RandomPairScheduler(Population(2), seed=0)
+        assert "uniform random pairs" in repr(scheduler)
+
+
+class TestFairnessMonitor:
+    def test_round_completes_when_all_pairs_met(self):
+        pop = Population(3)
+        monitor = FairnessMonitor(pop)
+        assert monitor.rounds_completed == 0
+        monitor.observe(0, 1)
+        monitor.observe(1, 2)
+        assert monitor.rounds_completed == 0
+        monitor.observe(2, 0)
+        assert monitor.rounds_completed == 1
+
+    def test_order_is_ignored(self):
+        pop = Population(2)
+        monitor = FairnessMonitor(pop)
+        monitor.observe(1, 0)
+        assert monitor.rounds_completed == 1
+
+    def test_pending_pairs_shrink(self):
+        pop = Population(3)
+        monitor = FairnessMonitor(pop)
+        assert len(monitor.pending_pairs) == 3
+        monitor.observe(0, 1)
+        assert len(monitor.pending_pairs) == 2
+        assert frozenset((0, 1)) not in monitor.pending_pairs
+
+    def test_pending_resets_each_round(self):
+        pop = Population(2)
+        monitor = FairnessMonitor(pop)
+        monitor.observe(0, 1)
+        assert len(monitor.pending_pairs) == 1  # new round starts full
+
+    def test_duplicate_observations_do_not_complete_round(self):
+        pop = Population(3)
+        monitor = FairnessMonitor(pop)
+        for _ in range(10):
+            monitor.observe(0, 1)
+        assert monitor.rounds_completed == 0
+
+    def test_includes_leader_pairs(self):
+        pop = Population(2, has_leader=True)
+        monitor = FairnessMonitor(pop)
+        assert len(monitor.pending_pairs) == 3

@@ -1,0 +1,137 @@
+"""Tests for interaction-graph-restricted scheduling - and the
+demonstration that the paper's complete-graph assumption is load-bearing."""
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.errors import SchedulerError
+from repro.schedulers.graph_restricted import (
+    GraphRestrictedScheduler,
+    complete_edges,
+    path_edges,
+    star_edges,
+    validate_edges,
+)
+
+
+class TestEdgeBuilders:
+    def test_complete_edges_count(self):
+        pop = Population(5)
+        assert len(complete_edges(pop)) == 10
+
+    def test_path_edges_chain(self):
+        pop = Population(4)
+        assert path_edges(pop) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_star_edges_center(self):
+        pop = Population(4)
+        edges = star_edges(pop, center=2)
+        assert len(edges) == 3
+        assert all(2 in e for e in edges)
+
+    def test_path_includes_leader(self):
+        pop = Population(2, has_leader=True)
+        assert path_edges(pop) == [(0, 1), (1, 2)]
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulerError, match="no edges"):
+            validate_edges(Population(3), [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(SchedulerError, match="self-loop"):
+            validate_edges(Population(3), [(0, 0), (0, 1), (1, 2)])
+
+    def test_rejects_disconnected(self):
+        pop = Population(4)
+        with pytest.raises(SchedulerError, match="disconnected"):
+            validate_edges(pop, [(0, 1), (2, 3)])
+
+    def test_accepts_connected(self):
+        validate_edges(Population(4), [(0, 1), (1, 2), (2, 3)])
+
+    def test_rejects_unknown_agent(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            validate_edges(Population(2), [(0, 7)])
+
+
+class TestScheduling:
+    def test_only_graph_edges_scheduled(self):
+        pop = Population(4)
+        edges = path_edges(pop)
+        scheduler = GraphRestrictedScheduler(pop, edges, seed=1)
+        config = Configuration.uniform(pop, 0)
+        allowed = {frozenset(e) for e in edges}
+        for _ in range(300):
+            pair = scheduler.next_pair(config)
+            assert frozenset(pair) in allowed
+
+    def test_both_orientations_occur(self):
+        pop = Population(3)
+        scheduler = GraphRestrictedScheduler(pop, path_edges(pop), seed=2)
+        config = Configuration.uniform(pop, 0)
+        pairs = {scheduler.next_pair(config) for _ in range(200)}
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_complete_graph_behaves_like_random_pairs(self):
+        pop = Population(4)
+        scheduler = GraphRestrictedScheduler(
+            pop, complete_edges(pop), seed=3
+        )
+        config = Configuration.uniform(pop, 0)
+        pairs = {
+            frozenset(scheduler.next_pair(config)) for _ in range(500)
+        }
+        assert pairs == {frozenset(p) for p in pop.unordered_pairs()}
+
+
+class TestCompleteGraphAssumption:
+    """The reproduction finding: Proposition 12's protocol needs the
+    complete interaction graph - homonyms that share no edge never merge."""
+
+    def test_naming_fails_on_a_path(self):
+        bound = 4
+        protocol = AsymmetricNamingProtocol(bound)
+        pop = Population(4)
+        scheduler = GraphRestrictedScheduler(pop, path_edges(pop), seed=4)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        # Homonyms at the two ends of the path: (1, 0, 2, 1).  Agents 0
+        # and 3 share no edge; all adjacent pairs are distinct, so every
+        # edge meeting is null: the duplicate survives forever.
+        start = Configuration.from_states(pop, (1, 0, 2, 1))
+        result = simulator.run(start, max_interactions=50_000)
+        assert not result.converged
+        assert result.final_configuration == start  # totally silent
+
+    def test_naming_succeeds_on_the_complete_graph(self):
+        bound = 4
+        protocol = AsymmetricNamingProtocol(bound)
+        pop = Population(4)
+        scheduler = GraphRestrictedScheduler(
+            pop, complete_edges(pop), seed=4
+        )
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        start = Configuration.from_states(pop, (1, 0, 2, 1))
+        result = simulator.run(start, max_interactions=100_000)
+        assert result.converged
+
+    def test_star_graph_still_can_fail(self):
+        """Even a connected star fails: leaves never meet each other."""
+        bound = 5
+        protocol = AsymmetricNamingProtocol(bound)
+        pop = Population(4)
+        scheduler = GraphRestrictedScheduler(
+            pop, star_edges(pop, center=0), seed=5
+        )
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        # Duplicate names on two leaves, all distinct from the hub.
+        start = Configuration.from_states(pop, (0, 3, 3, 2))
+        result = simulator.run(start, max_interactions=50_000)
+        assert not result.converged

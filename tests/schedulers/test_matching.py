@@ -1,0 +1,101 @@
+"""Tests for the matching-phase scheduler (Proposition 1's adversary)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.schedulers.matching import MatchingScheduler, round_robin_matchings
+
+
+class TestRoundRobinMatchings:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10])
+    def test_even_one_factorization(self, n):
+        rounds = round_robin_matchings(n)
+        assert len(rounds) == n - 1
+        seen = set()
+        for matching in rounds:
+            assert len(matching) == n // 2
+            flat = [a for pair in matching for a in pair]
+            assert len(set(flat)) == n  # perfect matching: disjoint pairs
+            seen.update(map(frozenset, matching))
+        assert seen == {frozenset(p) for p in combinations(range(n), 2)}
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_odd_near_perfect_matchings(self, n):
+        rounds = round_robin_matchings(n)
+        assert len(rounds) == n
+        seen = set()
+        for matching in rounds:
+            assert len(matching) == (n - 1) // 2
+            flat = [a for pair in matching for a in pair]
+            assert len(set(flat)) == len(flat)
+            seen.update(map(frozenset, matching))
+        assert seen == {frozenset(p) for p in combinations(range(n), 2)}
+
+    def test_tiny_populations(self):
+        assert round_robin_matchings(1) == []
+        assert round_robin_matchings(2) == [[(0, 1)]]
+
+
+class TestMatchingScheduler:
+    def test_covers_all_pairs_per_rotation(self):
+        pop = Population(6)
+        scheduler = MatchingScheduler(pop)
+        config = Configuration.uniform(pop, 0)
+        rotation = 15  # C(6, 2)
+        pairs = {
+            frozenset(scheduler.next_pair(config)) for _ in range(rotation)
+        }
+        assert pairs == {frozenset(p) for p in pop.unordered_pairs()}
+
+    def test_orientation_flips_across_rotations(self):
+        pop = Population(4)
+        scheduler = MatchingScheduler(pop)
+        config = Configuration.uniform(pop, 0)
+        first = [scheduler.next_pair(config) for _ in range(6)]
+        second = [scheduler.next_pair(config) for _ in range(6)]
+        assert [tuple(reversed(p)) for p in first] == second
+
+    def test_reset(self):
+        pop = Population(6)
+        scheduler = MatchingScheduler(pop)
+        config = Configuration.uniform(pop, 0)
+        first = [scheduler.next_pair(config) for _ in range(10)]
+        scheduler.reset()
+        again = [scheduler.next_pair(config) for _ in range(10)]
+        assert first == again
+
+    def test_proposition1_symmetry_preservation(self):
+        """The headline property: any symmetric protocol on an even,
+        uniformly initialized, leaderless population stays perfectly
+        symmetric at every phase boundary, forever."""
+        n = 6
+        protocol = SymmetricGlobalNamingProtocol(n)
+        pop = Population(n)
+        scheduler = MatchingScheduler(pop)
+        config = Configuration.uniform(pop, 1)
+        phase_length = n // 2
+        for _ in range(200):  # 200 phases
+            for _ in range(phase_length):
+                x, y = scheduler.next_pair(config)
+                outcome = protocol.transition(
+                    config.state_of(x), config.state_of(y)
+                )
+                config = config.apply(x, y, outcome)
+            assert len(set(config.mobile_states)) == 1
+
+    def test_proposition1_no_convergence_in_simulation(self):
+        n = 4
+        protocol = SymmetricGlobalNamingProtocol(n)
+        pop = Population(n)
+        scheduler = MatchingScheduler(pop)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        result = simulator.run(
+            Configuration.uniform(pop, 1), max_interactions=20_000
+        )
+        assert not result.converged

@@ -1,0 +1,91 @@
+"""Tests for the random-matching scheduler."""
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.simulator import Simulator
+from repro.schedulers.base import FairnessMonitor
+from repro.schedulers.random_matching import RandomMatchingScheduler
+
+
+class TestPhases:
+    def test_each_phase_is_disjoint(self):
+        pop = Population(8)
+        scheduler = RandomMatchingScheduler(pop, seed=1)
+        config = Configuration.uniform(pop, 0)
+        for _ in range(50):
+            seen = set()
+            for _ in range(scheduler.phase_length):
+                x, y = scheduler.next_pair(config)
+                assert x not in seen and y not in seen
+                seen.update((x, y))
+
+    def test_odd_population_rests_one_agent(self):
+        pop = Population(5)
+        scheduler = RandomMatchingScheduler(pop, seed=2)
+        config = Configuration.uniform(pop, 0)
+        assert scheduler.phase_length == 2
+        participants = set()
+        for _ in range(2):
+            participants.update(scheduler.next_pair(config))
+        assert len(participants) == 4
+
+    def test_empirically_weakly_fair(self):
+        pop = Population(6)
+        scheduler = RandomMatchingScheduler(pop, seed=3)
+        config = Configuration.uniform(pop, 0)
+        monitor = FairnessMonitor(pop)
+        for _ in range(3000):
+            monitor.observe(*scheduler.next_pair(config))
+        assert monitor.rounds_completed >= 10
+
+    def test_deterministic_per_seed(self):
+        pop = Population(6)
+        config = Configuration.uniform(pop, 0)
+        a = [
+            RandomMatchingScheduler(pop, seed=9).next_pair(config)
+            for _ in range(1)
+        ]
+        b = [
+            RandomMatchingScheduler(pop, seed=9).next_pair(config)
+            for _ in range(1)
+        ]
+        assert a == b
+
+    def test_reset_redraws(self):
+        pop = Population(4)
+        scheduler = RandomMatchingScheduler(pop, seed=1)
+        config = Configuration.uniform(pop, 0)
+        scheduler.next_pair(config)
+        scheduler.reset()
+        # After reset the scheduler redraws a fresh phase without error.
+        scheduler.next_pair(config)
+
+
+class TestSymmetryPreservation:
+    def test_randomness_does_not_rescue_symmetric_protocols(self):
+        """The punchline: random *matchings* still preserve symmetry on an
+        even, uniformly started population - Proposition 1 is about round
+        structure, not determinism."""
+        n = 6
+        protocol = SymmetricGlobalNamingProtocol(n)
+        pop = Population(n)
+        scheduler = RandomMatchingScheduler(pop, seed=4)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        budget = 60_000 - 60_000 % (n // 2)
+        result = simulator.run(Configuration.uniform(pop, 1), budget)
+        assert not result.converged
+        assert len(set(result.final_configuration.mobile_states)) == 1
+
+    def test_asymmetric_protocol_converges_anyway(self):
+        n = 6
+        protocol = AsymmetricNamingProtocol(n)
+        pop = Population(n)
+        scheduler = RandomMatchingScheduler(pop, seed=5)
+        simulator = Simulator(protocol, pop, scheduler, NamingProblem())
+        result = simulator.run(
+            Configuration.uniform(pop, 0), max_interactions=100_000
+        )
+        assert result.converged

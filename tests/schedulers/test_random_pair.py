@@ -1,0 +1,113 @@
+"""Tests for the randomized schedulers."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.counting import CountingLeaderState
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.schedulers.base import FairnessMonitor
+from repro.schedulers.random_pair import (
+    LeaderBiasedScheduler,
+    RandomPairScheduler,
+)
+
+
+def drive(scheduler, population, steps, config=None):
+    if config is None:
+        config = Configuration.uniform(population, 0)
+    return [scheduler.next_pair(config) for _ in range(steps)]
+
+
+class TestRandomPairScheduler:
+    def test_pairs_are_valid(self):
+        pop = Population(5)
+        pairs = drive(RandomPairScheduler(pop, seed=1), pop, 500)
+        for x, y in pairs:
+            assert x != y
+            assert 0 <= x < 5 and 0 <= y < 5
+
+    def test_deterministic_given_seed(self):
+        pop = Population(5)
+        a = drive(RandomPairScheduler(pop, seed=7), pop, 100)
+        b = drive(RandomPairScheduler(pop, seed=7), pop, 100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        pop = Population(5)
+        a = drive(RandomPairScheduler(pop, seed=1), pop, 100)
+        b = drive(RandomPairScheduler(pop, seed=2), pop, 100)
+        assert a != b
+
+    def test_empirically_weakly_fair(self):
+        pop = Population(4)
+        scheduler = RandomPairScheduler(pop, seed=3)
+        monitor = FairnessMonitor(pop)
+        for x, y in drive(scheduler, pop, 2000):
+            monitor.observe(x, y)
+        assert monitor.rounds_completed >= 10
+
+    def test_roughly_uniform_over_ordered_pairs(self):
+        pop = Population(3)
+        counts = Counter(drive(RandomPairScheduler(pop, seed=5), pop, 6000))
+        assert len(counts) == 6
+        for count in counts.values():
+            assert 800 <= count <= 1200  # expectation 1000
+
+    def test_declares_both_fairness_flags(self):
+        scheduler = RandomPairScheduler(Population(2), seed=0)
+        assert scheduler.weakly_fair and scheduler.globally_fair
+
+
+class TestLeaderBiasedScheduler:
+    def make(self, bias=0.5, n=4, seed=0):
+        pop = Population(n, has_leader=True)
+        return pop, LeaderBiasedScheduler(pop, seed=seed, leader_bias=bias)
+
+    def test_requires_leader(self):
+        with pytest.raises(ValueError, match="needs a leader"):
+            LeaderBiasedScheduler(Population(3), seed=0)
+
+    def test_rejects_degenerate_bias(self):
+        pop = Population(3, has_leader=True)
+        for bias in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="leader_bias"):
+                LeaderBiasedScheduler(pop, seed=0, leader_bias=bias)
+
+    def test_bias_controls_leader_frequency(self):
+        pop, scheduler = self.make(bias=0.9, seed=2)
+        config = Configuration.from_states(
+            pop, (0,) * 4, CountingLeaderState(0, 0)
+        )
+        pairs = [scheduler.next_pair(config) for _ in range(4000)]
+        with_leader = sum(1 for p in pairs if pop.leader in p)
+        assert with_leader / len(pairs) > 0.8
+
+    def test_low_bias_mostly_mobile(self):
+        pop, scheduler = self.make(bias=0.1, seed=2)
+        config = Configuration.from_states(
+            pop, (0,) * 4, CountingLeaderState(0, 0)
+        )
+        pairs = [scheduler.next_pair(config) for _ in range(4000)]
+        with_leader = sum(1 for p in pairs if pop.leader in p)
+        assert with_leader / len(pairs) < 0.2
+
+    def test_single_mobile_agent_always_meets_leader(self):
+        pop = Population(1, has_leader=True)
+        scheduler = LeaderBiasedScheduler(pop, seed=0, leader_bias=0.5)
+        config = Configuration.from_states(
+            pop, (0,), CountingLeaderState(0, 0)
+        )
+        for _ in range(50):
+            pair = scheduler.next_pair(config)
+            assert pop.leader in pair
+
+    def test_leader_takes_both_roles(self):
+        pop, scheduler = self.make(bias=0.9, seed=4)
+        config = Configuration.from_states(
+            pop, (0,) * 4, CountingLeaderState(0, 0)
+        )
+        pairs = [scheduler.next_pair(config) for _ in range(500)]
+        assert any(p[0] == pop.leader for p in pairs)
+        assert any(p[1] == pop.leader for p in pairs)

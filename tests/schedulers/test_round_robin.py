@@ -1,0 +1,102 @@
+"""Tests for the deterministic weakly fair schedulers."""
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.schedulers.base import FairnessMonitor
+from repro.schedulers.round_robin import (
+    InterleavedRoundRobinScheduler,
+    RoundRobinScheduler,
+)
+
+
+def drive(scheduler, population, steps):
+    config = Configuration.uniform(population, 0)
+    return [scheduler.next_pair(config) for _ in range(steps)]
+
+
+class TestRoundRobinScheduler:
+    def test_cycle_covers_all_ordered_pairs_exactly_once(self):
+        pop = Population(4)
+        scheduler = RoundRobinScheduler(pop)
+        pairs = drive(scheduler, pop, scheduler.cycle_length)
+        assert len(set(pairs)) == 12
+        assert sorted(pairs) == sorted(pop.ordered_pairs())
+
+    def test_cycle_repeats(self):
+        pop = Population(3)
+        scheduler = RoundRobinScheduler(pop)
+        first = drive(scheduler, pop, scheduler.cycle_length)
+        second = drive(scheduler, pop, scheduler.cycle_length)
+        assert first == second
+
+    def test_weakly_fair_by_monitor(self):
+        pop = Population(5)
+        scheduler = RoundRobinScheduler(pop)
+        monitor = FairnessMonitor(pop)
+        for x, y in drive(scheduler, pop, 3 * scheduler.cycle_length):
+            monitor.observe(x, y)
+        assert monitor.rounds_completed >= 3
+
+    def test_shuffle_keeps_coverage(self):
+        pop = Population(4)
+        scheduler = RoundRobinScheduler(pop, seed=1, shuffle_each_cycle=True)
+        pairs = drive(scheduler, pop, scheduler.cycle_length)
+        assert sorted(pairs) == sorted(pop.ordered_pairs())
+
+    def test_shuffle_changes_order_across_cycles(self):
+        pop = Population(5)
+        scheduler = RoundRobinScheduler(pop, seed=1, shuffle_each_cycle=True)
+        first = drive(scheduler, pop, scheduler.cycle_length)
+        second = drive(scheduler, pop, scheduler.cycle_length)
+        assert sorted(first) == sorted(second)
+        assert first != second
+
+    def test_reset_restarts_cycle(self):
+        pop = Population(3)
+        scheduler = RoundRobinScheduler(pop)
+        first = drive(scheduler, pop, 3)
+        scheduler.reset()
+        again = drive(scheduler, pop, 3)
+        assert first == again
+
+    def test_includes_leader(self):
+        from repro.core.counting import CountingLeaderState
+
+        pop = Population(2, has_leader=True)
+        scheduler = RoundRobinScheduler(pop)
+        config = Configuration.from_states(
+            pop, (0, 0), CountingLeaderState(0, 0)
+        )
+        pairs = [
+            scheduler.next_pair(config)
+            for _ in range(scheduler.cycle_length)
+        ]
+        assert any(pop.leader in pair for pair in pairs)
+
+
+class TestInterleavedRoundRobin:
+    def test_half_cycle_length(self):
+        pop = Population(4)
+        scheduler = InterleavedRoundRobinScheduler(pop)
+        pairs = drive(scheduler, pop, 6)
+        assert len({frozenset(p) for p in pairs}) == 6
+
+    def test_orientation_flips_between_cycles(self):
+        pop = Population(3)
+        scheduler = InterleavedRoundRobinScheduler(pop)
+        first = drive(scheduler, pop, 3)
+        second = drive(scheduler, pop, 3)
+        assert [tuple(reversed(p)) for p in first] == second
+
+    def test_reset(self):
+        pop = Population(3)
+        scheduler = InterleavedRoundRobinScheduler(pop)
+        first = drive(scheduler, pop, 5)
+        scheduler.reset()
+        assert drive(scheduler, pop, 5) == first
+
+    def test_both_orientations_occur_eventually(self):
+        pop = Population(3)
+        scheduler = InterleavedRoundRobinScheduler(pop)
+        pairs = drive(scheduler, pop, 12)
+        assert (0, 1) in pairs and (1, 0) in pairs

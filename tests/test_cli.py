@@ -1,0 +1,184 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSimulate:
+    def test_default_simulation_converges(self, capsys):
+        code = main(
+            ["simulate", "--symmetry", "asymmetric", "-P", "5", "-N", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in out
+        assert "Proposition 12" in out
+
+    def test_symmetric_global_leaderless(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--symmetry",
+                "symmetric",
+                "--fairness",
+                "global",
+                "--leader",
+                "none",
+                "-P",
+                "5",
+                "-N",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Proposition 13" in out
+
+    def test_infeasible_model_reports_and_fails(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--symmetry",
+                "symmetric",
+                "--fairness",
+                "weak",
+                "--leader",
+                "none",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "infeasible" in out
+
+    def test_trace_flag_prints_interactions(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--symmetry",
+                "asymmetric",
+                "-P",
+                "4",
+                "-N",
+                "4",
+                "--trace",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out
+
+    def test_leadered_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--symmetry",
+                "symmetric",
+                "--fairness",
+                "weak",
+                "--leader",
+                "initialized",
+                "--init",
+                "uniform",
+                "-P",
+                "4",
+                "-N",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Proposition 14" in out
+
+
+class TestDelegation:
+    def test_table1_delegates(self, capsys):
+        code = main(["table1", "--bound", "3", "--budget", "150000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all 24 cells match the paper" in out
+
+    def test_lower_bounds_delegates(self, capsys):
+        code = main(["lower-bounds", "--skip-p3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exhaustive lower-bound verification" in out
+
+    def test_convergence_delegates(self, capsys):
+        code = main(["convergence", "--bound", "4", "--runs", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "interactions to certified convergence" in out
+
+    def test_recovery_delegates(self, capsys):
+        code = main(
+            ["recovery", "--bound", "4", "--n", "3", "--runs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "re-convergence" in out
+
+    def test_ablation_delegates(self, capsys):
+        code = main(["ablation", "--bound", "4", "--budget", "100000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scheduler ablation" in out
+
+    def test_scaling_delegates(self, capsys):
+        code = main(["scaling", "--max-n", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact-verification scaling" in out
+
+    def test_time_study_delegates(self, capsys):
+        code = main(["time-study", "--bound", "6", "--runs", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "power-law fits" in out
+
+
+class TestShow:
+    def test_show_prints_rules(self, capsys):
+        code = main(
+            [
+                "show",
+                "--symmetry",
+                "symmetric",
+                "--fairness",
+                "global",
+                "--leader",
+                "none",
+                "-P",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Proposition 13" in out
+        assert "->" in out
+
+    def test_show_infeasible(self, capsys):
+        code = main(
+            [
+                "show",
+                "--symmetry",
+                "symmetric",
+                "--fairness",
+                "weak",
+                "--leader",
+                "none",
+            ]
+        )
+        assert code == 2
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--fairness", "chaotic"])

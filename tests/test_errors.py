@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleSpecError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    VerificationError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleSpecError,
+    ProtocolError,
+    SchedulerError,
+    SimulationError,
+    VerificationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_everything_derives_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, ReproError)
+
+    def test_convergence_is_a_simulation_error(self):
+        assert issubclass(ConvergenceError, SimulationError)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise ProtocolError("x")
+
+
+class TestPayloads:
+    def test_infeasible_spec_carries_proposition(self):
+        error = InfeasibleSpecError("nope", proposition="Proposition 1")
+        assert error.proposition == "Proposition 1"
+        assert "nope" in str(error)
+
+    def test_infeasible_spec_defaults_empty(self):
+        assert InfeasibleSpecError("x").proposition == ""
+
+    def test_convergence_error_carries_interactions(self):
+        error = ConvergenceError("timeout", interactions=123)
+        assert error.interactions == 123
+
+    def test_convergence_error_default(self):
+        assert ConvergenceError("x").interactions == 0
