@@ -1,0 +1,70 @@
+"""Benchmarks for the fast simulation backend.
+
+Head-to-head interactions/second of the reference simulator versus
+:class:`repro.engine.fast.FastSimulator` on the same seeds, plus the cost
+of compiling a transition table and of batched pair sampling.  Compare
+groups with ``pytest benchmarks/test_bench_fast.py --benchmark-group-by
+=func``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.fast import BACKENDS, TransitionTable, make_simulator
+from repro.engine.population import Population
+from repro.experiments.bench import ChurnProtocol
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("n", [10, 100])
+def test_bench_backend_throughput(benchmark, backend, n):
+    """Full-loop interactions/second for each backend (no problem)."""
+    protocol = AsymmetricNamingProtocol(8)
+    pop = Population(n)
+    initial = Configuration.uniform(pop, 0)
+
+    def run():
+        scheduler = RandomPairScheduler(pop, seed=3)
+        simulator = make_simulator(backend, protocol, pop, scheduler, None)
+        return simulator.run(initial, max_interactions=20_000).interactions
+
+    assert benchmark(run) == 20_000
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_bench_backend_churn(benchmark, backend):
+    """Worst case for the reference loop: every interaction is non-null."""
+    protocol = ChurnProtocol()
+    pop = Population(100)
+    initial = Configuration.uniform(pop, 0)
+
+    def run():
+        scheduler = RandomPairScheduler(pop, seed=5)
+        simulator = make_simulator(backend, protocol, pop, scheduler, None)
+        return simulator.run(initial, max_interactions=20_000).interactions
+
+    assert benchmark(run) == 20_000
+
+
+def test_bench_table_compile(benchmark):
+    """One-off cost of compiling a protocol's transition table."""
+    protocol = AsymmetricNamingProtocol(16)
+    mobile = frozenset(protocol.mobile_state_space())
+    leader = frozenset(protocol.leader_state_space())
+
+    table = benchmark(lambda: TransitionTable(protocol, mobile, leader))
+    assert table.n_states == len(mobile | leader)
+
+
+@pytest.mark.parametrize("n", [10, 100])
+def test_bench_batched_sampling(benchmark, n):
+    """Batched pair sampling versus the population size."""
+    pop = Population(n)
+    scheduler = RandomPairScheduler(pop, seed=7)
+
+    pairs = benchmark(lambda: scheduler.next_pairs(None, 1000))
+    assert len(pairs) == 1000

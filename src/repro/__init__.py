@@ -56,12 +56,15 @@ from repro.core import (
 from repro.engine import (
     Configuration,
     CountingProblem,
+    FastSimulator,
     NamingProblem,
     Population,
     PopulationProtocol,
     SimulationResult,
     Simulator,
     Trace,
+    make_simulator,
+    run_ensemble,
     run_protocol,
     verify_protocol,
 )
@@ -96,6 +99,7 @@ __all__ = [
     "CountingProtocol",
     "EventuallyFairScheduler",
     "Fairness",
+    "FastSimulator",
     "GlobalNamingProtocol",
     "HomonymPreservingScheduler",
     "InfeasibleSpecError",
@@ -122,8 +126,10 @@ __all__ = [
     "VerificationError",
     "WithIdleLeader",
     "all_specs",
+    "make_simulator",
     "optimal_states",
     "protocol_for",
+    "run_ensemble",
     "run_protocol",
     "table1_cell",
     "table1_rows",

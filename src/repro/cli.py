@@ -7,6 +7,7 @@ Commands
 ``recovery``      supplementary exp-s2: self-stabilizing fault recovery
 ``ablation``      supplementary exp-s4: scheduler ablation matrix
 ``lower-bounds``  supplementary exp-s3: exhaustive lower-bound verification
+``bench``         simulation-backend micro-benchmark (reference vs fast)
 ``simulate``      run one naming protocol chosen by model parameters
 """
 
@@ -27,7 +28,7 @@ from repro.core.spec import (
 from repro.engine.configuration import Configuration
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem
-from repro.engine.simulator import Simulator
+from repro.engine.fast import BACKENDS, make_simulator
 from repro.engine.trace import Trace
 from repro.errors import InfeasibleSpecError
 from repro.schedulers.random_pair import RandomPairScheduler
@@ -107,7 +108,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     initial = Configuration.from_states(population, mobiles, leader)
 
     trace = Trace(capacity=args.trace) if args.trace else None
-    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    simulator = make_simulator(
+        args.backend, protocol, population, scheduler, NamingProblem()
+    )
     result = simulator.run(
         initial, max_interactions=args.budget, trace=trace
     )
@@ -148,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("tradeoffs", add_help=False)
     sub.add_parser("report", add_help=False)
     sub.add_parser("exact-times", add_help=False)
+    sub.add_parser("bench", add_help=False)
 
     show = sub.add_parser(
         "show", help="print a protocol's transition rules by model"
@@ -183,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--budget", type=int, default=2_000_000)
     simulate.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="reference",
+        help="simulation engine (the fast backend is bit-identical)",
+    )
+    simulate.add_argument(
         "--trace",
         type=int,
         default=0,
@@ -208,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         "tradeoffs",
         "report",
         "exact-times",
+        "bench",
         "simulate",
         "show",
     }
@@ -251,6 +262,10 @@ def main(argv: list[str] | None = None) -> int:
             return run(rest)
         if command == "exact-times":
             from repro.experiments.exact_times import main as run
+
+            return run(rest)
+        if command == "bench":
+            from repro.experiments.bench import main as run
 
             return run(rest)
         from repro.experiments.lower_bounds import main as run

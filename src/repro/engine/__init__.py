@@ -3,6 +3,13 @@ simulator and convergence criteria."""
 
 from repro.engine.configuration import Configuration
 from repro.engine.ensemble import EnsembleResult, run_ensemble
+from repro.engine.fast import (
+    BACKENDS,
+    FastSimulator,
+    TransitionTable,
+    compile_table,
+    make_simulator,
+)
 from repro.engine.population import AgentId, Population
 from repro.engine.problems import (
     CountingProblem,
@@ -29,10 +36,12 @@ from repro.engine.state import (
 from repro.engine.trace import InteractionRecord, Trace, replay
 
 __all__ = [
+    "BACKENDS",
     "AgentId",
     "Configuration",
     "CountingProblem",
     "EnsembleResult",
+    "FastSimulator",
     "InteractionRecord",
     "LeaderState",
     "MobileState",
@@ -45,10 +54,13 @@ __all__ = [
     "State",
     "TableProtocol",
     "Trace",
+    "TransitionTable",
     "asymmetric_witnesses",
+    "compile_table",
     "is_leader_state",
     "is_mobile_state",
     "is_silent",
+    "make_simulator",
     "replay",
     "run_ensemble",
     "run_protocol",

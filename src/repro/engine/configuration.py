@@ -10,11 +10,11 @@ behave identically on equivalent configurations, which the model checkers in
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.engine.population import AgentId, Population
-from repro.engine.state import State
+from repro.engine.state import State, sort_key
 from repro.errors import ConfigurationError
 
 
@@ -31,6 +31,9 @@ class Configuration:
 
     states: tuple[State, ...]
     leader_index: int | None = None
+    _canonical_cache: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.leader_index is not None and not (
@@ -157,10 +160,21 @@ class Configuration:
         return self.multiset() == other.multiset()
 
     def canonical(self) -> tuple:
-        """A hashable canonical key identifying this equivalence class."""
-        mobile_key = tuple(sorted(self.mobile_states, key=repr))
-        leader_key = self.leader_state if self.has_leader else None
-        return (mobile_key, leader_key)
+        """A hashable canonical key identifying this equivalence class.
+
+        Mobile states are ordered by :func:`repro.engine.state.sort_key`
+        (a proper total order, unlike the old ``key=repr`` sort which
+        ordered integers lexicographically).  The key is computed once and
+        cached on the instance: the model checkers canonicalize every
+        visited node, often revisiting the same configuration object.
+        """
+        if self._canonical_cache is None:
+            mobile_key = tuple(sorted(self.mobile_states, key=sort_key))
+            leader_key = self.leader_state if self.has_leader else None
+            object.__setattr__(
+                self, "_canonical_cache", (mobile_key, leader_key)
+            )
+        return self._canonical_cache
 
     # ------------------------------------------------------------------
     # Updates

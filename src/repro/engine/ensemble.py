@@ -4,19 +4,28 @@ The experiments repeatedly follow the same pattern - build a fresh
 scheduler per seed, run to certified convergence, aggregate.  This module
 makes that pattern a public API so downstream users measure their own
 protocols the same way the reproduction measures the paper's.
+
+Ensembles can run on either simulation backend (``backend="fast"`` uses
+:class:`repro.engine.fast.FastSimulator`) and, because per-seed runs are
+independent, across processes (``n_jobs > 1``).  Parallel runs return
+seed-identical results to serial runs; the only requirement is that the
+protocol, problem, factories and fault hook are picklable (module-level
+callables, not lambdas).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.analysis.stats import Summary, summarize
 from repro.engine.configuration import Configuration
+from repro.engine.fast import make_simulator
 from repro.engine.population import Population
 from repro.engine.problems import Problem
 from repro.engine.protocol import PopulationProtocol
-from repro.engine.simulator import SimulationResult, Simulator
+from repro.engine.simulator import FaultHook, SimulationResult
 from repro.errors import ConvergenceError
 from repro.schedulers.base import Scheduler
 
@@ -64,15 +73,53 @@ class EnsembleResult:
         ]
 
 
+def _run_single(task: tuple) -> SimulationResult:
+    """Run one seed of an ensemble.
+
+    Module-level (rather than a closure) so that process pools can pickle
+    it; used identically by the serial path to keep the two code paths
+    seed-identical.
+    """
+    (
+        protocol,
+        population,
+        scheduler_factory,
+        initial_factory,
+        problem,
+        seed,
+        max_interactions,
+        backend,
+        check_interval,
+        raise_on_timeout,
+        fault_hook,
+    ) = task
+    scheduler = scheduler_factory(population, seed)
+    simulator = make_simulator(
+        backend, protocol, population, scheduler, problem, check_interval
+    )
+    initial = initial_factory(population, seed)
+    return simulator.run(
+        initial,
+        max_interactions=max_interactions,
+        fault_hook=fault_hook,
+        raise_on_timeout=raise_on_timeout,
+    )
+
+
 def run_ensemble(
     protocol: PopulationProtocol,
     population: Population,
     scheduler_factory: SchedulerFactory,
     initial_factory: InitialFactory,
-    problem: Problem,
+    problem: Problem | None,
     seeds: Sequence[int],
     max_interactions: int = 1_000_000,
     require_convergence: bool = False,
+    backend: str = "reference",
+    n_jobs: int = 1,
+    check_interval: int | None = None,
+    raise_on_timeout: bool = False,
+    fault_hook: FaultHook | None = None,
 ) -> EnsembleResult:
     """Run the protocol once per seed and aggregate.
 
@@ -85,19 +132,66 @@ def run_ensemble(
         When true, the first non-converged run raises
         :class:`ConvergenceError` (carrying the offending seed in its
         message) instead of being recorded.
+    backend:
+        Simulation backend per run: ``"reference"`` (the default) or
+        ``"fast"`` (see :mod:`repro.engine.fast`).
+    n_jobs:
+        Number of worker processes.  ``1`` runs serially in-process;
+        larger values fan the seeds out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`, which requires
+        every task ingredient to be picklable (module-level factories).
+        Results are returned in seed order and are identical to a serial
+        run.
+    check_interval, raise_on_timeout, fault_hook:
+        Forwarded to each per-seed simulator/run, so ensemble runs can use
+        the same knobs as single runs.
     """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be a positive integer, got {n_jobs}")
+    seeds = list(seeds)
+    tasks = [
+        (
+            protocol,
+            population,
+            scheduler_factory,
+            initial_factory,
+            problem,
+            seed,
+            max_interactions,
+            backend,
+            check_interval,
+            raise_on_timeout,
+            fault_hook,
+        )
+        for seed in seeds
+    ]
     ensemble = EnsembleResult()
-    for seed in seeds:
-        scheduler = scheduler_factory(population, seed)
-        simulator = Simulator(protocol, population, scheduler, problem)
-        initial = initial_factory(population, seed)
-        result = simulator.run(initial, max_interactions=max_interactions)
-        if require_convergence and not result.converged:
-            raise ConvergenceError(
-                f"seed {seed} did not converge within "
-                f"{max_interactions} interactions",
-                interactions=result.interactions,
-            )
-        ensemble.results.append(result)
-        ensemble.seeds.append(seed)
+    if n_jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            results = list(pool.map(_run_single, tasks))
+        for seed, result in zip(seeds, results):
+            _record(ensemble, seed, result, max_interactions,
+                    require_convergence)
+    else:
+        for seed, task in zip(seeds, tasks):
+            _record(ensemble, seed, _run_single(task), max_interactions,
+                    require_convergence)
     return ensemble
+
+
+def _record(
+    ensemble: EnsembleResult,
+    seed: int,
+    result: SimulationResult,
+    max_interactions: int,
+    require_convergence: bool,
+) -> None:
+    """Append one run, enforcing ``require_convergence``."""
+    if require_convergence and not result.converged:
+        raise ConvergenceError(
+            f"seed {seed} did not converge within "
+            f"{max_interactions} interactions",
+            interactions=result.interactions,
+        )
+    ensemble.results.append(result)
+    ensemble.seeds.append(seed)

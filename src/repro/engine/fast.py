@@ -1,0 +1,502 @@
+"""The fast simulation backend.
+
+:class:`~repro.engine.simulator.Simulator` favours clarity: every
+interaction rebuilds an immutable :class:`Configuration` tuple (O(N) per
+non-null interaction), resolves the rule through a Python method call and
+re-scans all mobile states on each convergence check.  That is the right
+substrate for model checking and teaching, but the experiments (Table 1
+sweeps, convergence studies) run millions of interactions over many seeds.
+
+:class:`FastSimulator` is a drop-in replacement that produces
+**bit-identical** :class:`SimulationResult`\\ s for the same seed while
+running an order of magnitude faster:
+
+* agent states live in a mutable list of small integers, interned through
+  a per-protocol state <-> index table;
+* the transition function is compiled once per protocol into a flat
+  ``delta`` array mapping ``(state_idx, state_idx)`` to either ``None``
+  (null interaction) or the resulting index pair - no Python-level rule
+  dispatch in the hot loop;
+* scheduler proposals are drawn in batches aligned to the convergence
+  check interval (see :meth:`Scheduler.next_pairs`), with a random stream
+  identical to one-at-a-time sampling;
+* the mobile-state multiset is maintained incrementally, so the naming
+  predicate (``names_distinct``) is O(1) per interaction and the silence
+  certificate is O(distinct states squared) instead of O(N).
+
+The backend falls back gracefully to the reference simulator whenever the
+fast path cannot guarantee identical semantics: unhashable or unbounded
+state spaces, configuration-inspecting (adversarial) schedulers, fault
+hooks, or initial states outside the declared space.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.engine.configuration import Configuration
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem, Problem
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.simulator import (
+    FaultHook,
+    Observer,
+    SimulationResult,
+    Simulator,
+)
+from repro.engine.trace import InteractionRecord, Trace
+from repro.errors import ConfigurationError, ConvergenceError, SimulationError
+from repro.schedulers.base import Scheduler
+
+#: Largest combined state-space size eagerly compiled into a transition
+#: table.  Above this the quadratic compile cost would dominate short runs,
+#: so the backend falls back to the reference simulator instead.
+DEFAULT_COMPILE_LIMIT = 512
+
+
+class TransitionTable:
+    """A protocol's transition function, compiled to integer indices.
+
+    States are interned into ``states`` (index -> state) and ``index``
+    (state -> index).  ``delta`` is a flat row-major array of size
+    ``n_states ** 2``: entry ``i * n_states + j`` is ``None`` when
+    ``transition(states[i], states[j])`` is null, else the pair
+    ``(i', j')`` of result indices.  Pairs of two leader-only states are
+    never scheduled (a population has one leader) and are left null.
+    """
+
+    __slots__ = ("states", "index", "n_states", "delta", "mobile_indices")
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        mobile_states: frozenset,
+        leader_states: frozenset,
+    ) -> None:
+        from repro.engine.state import sort_key
+
+        mobile = sorted(mobile_states, key=sort_key)
+        leader_only = sorted(leader_states - mobile_states, key=sort_key)
+        self.states: list = mobile + leader_only
+        self.n_states = len(self.states)
+        self.index = {s: i for i, s in enumerate(self.states)}
+        self.mobile_indices = frozenset(range(len(mobile)))
+        n = self.n_states
+        n_mobile = len(mobile)
+        delta: list[tuple[int, int] | None] = [None] * (n * n)
+        index = self.index
+        transition = protocol.transition
+        for i, p in enumerate(self.states):
+            row = i * n
+            for j, q in enumerate(self.states):
+                if i >= n_mobile and j >= n_mobile:
+                    continue  # leader-leader pairs are unschedulable
+                p2, q2 = transition(p, q)
+                if (p2, q2) != (p, q):
+                    delta[row + j] = (index[p2], index[q2])
+        self.delta = delta
+
+    def is_null_idx(self, i: int, j: int) -> bool:
+        """Whether the interned pair ``(i, j)`` is a null interaction."""
+        return self.delta[i * self.n_states + j] is None
+
+
+#: Compiled tables, cached per protocol instance (built once per protocol).
+_TABLE_CACHE: "weakref.WeakKeyDictionary[PopulationProtocol, TransitionTable]"
+_TABLE_CACHE = weakref.WeakKeyDictionary()
+
+
+def compile_table(
+    protocol: PopulationProtocol,
+    compile_limit: int = DEFAULT_COMPILE_LIMIT,
+) -> TransitionTable | None:
+    """Compile (or fetch the cached) transition table for ``protocol``.
+
+    Returns ``None`` when the protocol cannot be compiled: its state space
+    is unhashable, unenumerable, raises, or exceeds ``compile_limit``
+    states.  Callers treat ``None`` as "use the reference simulator".
+    """
+    try:
+        cached = _TABLE_CACHE.get(protocol)
+    except TypeError:  # unhashable protocol instance
+        cached = None
+    if cached is not None:
+        return cached
+    try:
+        mobile = frozenset(protocol.mobile_state_space())
+        leader = frozenset(protocol.leader_state_space())
+        if len(mobile | leader) > compile_limit:
+            return None
+        table = TransitionTable(protocol, mobile, leader)
+    except Exception:
+        return None
+    try:
+        _TABLE_CACHE[protocol] = table
+    except TypeError:
+        pass
+    return table
+
+
+class FastSimulator:
+    """Array-based simulator, bit-identical to :class:`Simulator`.
+
+    Accepts the same constructor arguments and exposes the same
+    :meth:`run` contract as the reference simulator; for any seed the two
+    backends return equal :class:`SimulationResult`\\ s (the differential
+    tests in ``tests/engine/test_fast.py`` enforce this).  Runs that the
+    fast path cannot honour exactly are delegated to an internal reference
+    simulator; :attr:`last_run_fast` reports which path served the last
+    :meth:`run` call.
+
+    Parameters
+    ----------
+    protocol, population, scheduler, problem, check_interval:
+        As for :class:`Simulator`.
+    compile_limit:
+        Largest state-space size eagerly compiled; larger protocols fall
+        back to the reference loop.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        population: Population,
+        scheduler: Scheduler,
+        problem: Problem | None = None,
+        check_interval: int | None = None,
+        compile_limit: int = DEFAULT_COMPILE_LIMIT,
+    ) -> None:
+        # The reference simulator validates the wiring and serves as the
+        # graceful-fallback delegate.
+        self._reference = Simulator(
+            protocol, population, scheduler, problem, check_interval
+        )
+        self.protocol = protocol
+        self.population = population
+        self.scheduler = scheduler
+        self.problem = problem
+        self.check_interval = self._reference.check_interval
+        self._table = compile_table(protocol, compile_limit)
+        #: Whether the most recent :meth:`run` used the fast path.
+        self.last_run_fast = False
+
+    @property
+    def compiled(self) -> bool:
+        """Whether the protocol compiled to a transition table."""
+        return self._table is not None
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        initial: Configuration,
+        max_interactions: int = 1_000_000,
+        trace: Trace | None = None,
+        fault_hook: FaultHook | None = None,
+        raise_on_timeout: bool = False,
+        observer: Observer | None = None,
+    ) -> SimulationResult:
+        """Execute until certified convergence or the budget is exhausted.
+
+        Same parameters and semantics as :meth:`Simulator.run`.  Fault
+        hooks mutate whole configurations per interaction and
+        configuration-inspecting schedulers defeat batch sampling, so
+        those runs delegate to the reference simulator.
+        """
+        table = self._table
+        if (
+            table is None
+            or fault_hook is not None
+            or self.scheduler.inspects_configuration
+        ):
+            self.last_run_fast = False
+            return self._reference.run(
+                initial,
+                max_interactions=max_interactions,
+                trace=trace,
+                fault_hook=fault_hook,
+                raise_on_timeout=raise_on_timeout,
+                observer=observer,
+            )
+        if len(initial) != self.population.size:
+            raise SimulationError(
+                f"initial configuration has {len(initial)} agents, "
+                f"population has {self.population.size}"
+            )
+        try:
+            state_idx = [table.index[s] for s in initial.states]
+        except (KeyError, TypeError):
+            # States outside the declared space (or unhashable): the
+            # reference loop handles them by construction.
+            self.last_run_fast = False
+            return self._reference.run(
+                initial,
+                max_interactions=max_interactions,
+                trace=trace,
+                raise_on_timeout=raise_on_timeout,
+                observer=observer,
+            )
+        leader_agent = initial.leader_index
+        mobile_indices = table.mobile_indices
+        if any(
+            idx not in mobile_indices
+            for agent, idx in enumerate(state_idx)
+            if agent != leader_agent
+        ):
+            # A mobile agent holding a leader-only state is pathological;
+            # only the reference loop defines its semantics.
+            self.last_run_fast = False
+            return self._reference.run(
+                initial,
+                max_interactions=max_interactions,
+                trace=trace,
+                raise_on_timeout=raise_on_timeout,
+                observer=observer,
+            )
+        self.last_run_fast = True
+        return self._run_fast(
+            state_idx,
+            leader_agent,
+            max_interactions,
+            trace,
+            raise_on_timeout,
+            observer,
+        )
+
+    # ------------------------------------------------------------------
+    # Fast path internals
+    # ------------------------------------------------------------------
+
+    def _run_fast(
+        self,
+        state_idx: list[int],
+        leader_agent: int | None,
+        max_interactions: int,
+        trace: Trace | None,
+        raise_on_timeout: bool,
+        observer: Observer | None,
+    ) -> SimulationResult:
+        """The array-based hot loop; assumes all fast-path preconditions."""
+        table = self._table
+        assert table is not None
+        nst = table.n_states
+        delta = table.delta
+        objs = table.states
+        problem = self.problem
+        protocol = self.protocol
+        scheduler = self.scheduler
+        check_interval = self.check_interval
+
+        # Incremental mobile-state multiset: counts per interned index and
+        # the number of duplicated states (names_distinct <=> dup == 0).
+        counts = [0] * nst
+        dup = 0
+        for agent, idx in enumerate(state_idx):
+            if agent != leader_agent:
+                counts[idx] += 1
+                if counts[idx] == 2:
+                    dup += 1
+        leader_idx = (
+            state_idx[leader_agent] if leader_agent is not None else None
+        )
+
+        # The paper's problems certify via NamingProblem's predicate plus
+        # the default silence stability; anything customized gets the
+        # generic (materialize-and-ask) check, still O(N) only once per
+        # check interval.
+        fast_naming = problem is not None and type(problem) is NamingProblem
+
+        def materialize() -> Configuration:
+            """Rebuild an immutable Configuration from the state array."""
+            return Configuration(
+                tuple(objs[i] for i in state_idx), leader_agent
+            )
+
+        def silent() -> bool:
+            """Incremental mirror of :func:`repro.engine.problems.is_silent`."""
+            merged: dict[int, int] = {}
+            for i, c in enumerate(counts):
+                if c:
+                    merged[i] = c
+            if leader_idx is not None:
+                merged[leader_idx] = merged.get(leader_idx, 0) + 1
+            present = list(merged)
+            for a, s in enumerate(present):
+                if merged[s] >= 2 and delta[s * nst + s] is not None:
+                    return False
+                for t in present[a + 1 :]:
+                    if (
+                        delta[s * nst + t] is not None
+                        or delta[t * nst + s] is not None
+                    ):
+                        return False
+            return True
+
+        def solved() -> bool:
+            """Certified convergence, matching ``problem.is_solved``."""
+            if fast_naming:
+                return dup == 0 and silent()
+            return problem.is_solved(protocol, materialize())
+
+        non_null = 0
+        converged_at: int | None = None
+        quiescent_since_check = True
+        if problem is not None and solved():
+            converged_at = 0
+
+        plain = trace is None and observer is None
+        interaction = 0
+        while interaction < max_interactions and converged_at is None:
+            batch = min(
+                check_interval - interaction % check_interval,
+                max_interactions - interaction,
+            )
+            pairs = scheduler.next_pairs(None, batch)
+            if plain:
+                # Hot loop: no trace, no observer - nothing needs the
+                # per-interaction index, so it advances by whole batches.
+                for a, b in pairs:
+                    hit = delta[state_idx[a] * nst + state_idx[b]]
+                    if hit is None:
+                        continue
+                    if a == b:
+                        raise ConfigurationError(
+                            "an agent cannot interact with itself"
+                        )
+                    i = state_idx[a]
+                    j = state_idx[b]
+                    i2, j2 = hit
+                    state_idx[a] = i2
+                    state_idx[b] = j2
+                    if a == leader_agent:
+                        leader_idx = i2
+                    elif i != i2:
+                        c = counts[i] = counts[i] - 1
+                        if c == 1:
+                            dup -= 1
+                        c = counts[i2] = counts[i2] + 1
+                        if c == 2:
+                            dup += 1
+                    if b == leader_agent:
+                        leader_idx = j2
+                    elif j != j2:
+                        c = counts[j] = counts[j] - 1
+                        if c == 1:
+                            dup -= 1
+                        c = counts[j2] = counts[j2] + 1
+                        if c == 2:
+                            dup += 1
+                    non_null += 1
+                    quiescent_since_check = False
+                interaction += batch
+            else:
+                for a, b in pairs:
+                    i = state_idx[a]
+                    j = state_idx[b]
+                    hit = delta[i * nst + j]
+                    if hit is not None:
+                        if a == b:
+                            raise ConfigurationError(
+                                "an agent cannot interact with itself"
+                            )
+                        i2, j2 = hit
+                        state_idx[a] = i2
+                        state_idx[b] = j2
+                        if a == leader_agent:
+                            leader_idx = i2
+                        elif i != i2:
+                            c = counts[i] = counts[i] - 1
+                            if c == 1:
+                                dup -= 1
+                            c = counts[i2] = counts[i2] + 1
+                            if c == 2:
+                                dup += 1
+                        if b == leader_agent:
+                            leader_idx = j2
+                        elif j != j2:
+                            c = counts[j] = counts[j] - 1
+                            if c == 1:
+                                dup -= 1
+                            c = counts[j2] = counts[j2] + 1
+                            if c == 2:
+                                dup += 1
+                        non_null += 1
+                        quiescent_since_check = False
+                        if observer is not None:
+                            observer(interaction, materialize())
+                        if trace is not None:
+                            trace.record(
+                                InteractionRecord(
+                                    interaction, a, b,
+                                    objs[i], objs[j], objs[i2], objs[j2],
+                                )
+                            )
+                    elif trace is not None:
+                        trace.record(
+                            InteractionRecord(
+                                interaction, a, b,
+                                objs[i], objs[j], objs[i], objs[j],
+                            )
+                        )
+                    interaction += 1
+
+            if (
+                problem is not None
+                and not quiescent_since_check
+                and interaction % check_interval == 0
+            ):
+                if solved():
+                    converged_at = interaction
+                quiescent_since_check = True
+
+        if converged_at is None and problem is not None and solved():
+            converged_at = interaction
+
+        converged = converged_at is not None
+        if not converged and raise_on_timeout:
+            raise ConvergenceError(
+                f"{protocol.display_name} did not converge within "
+                f"{max_interactions} interactions",
+                interactions=interaction,
+            )
+        return SimulationResult(
+            converged=converged,
+            interactions=interaction,
+            non_null_interactions=non_null,
+            final_configuration=materialize(),
+            population=self.population,
+            trace=trace,
+            convergence_interaction=converged_at,
+            faults_injected=0,
+        )
+
+
+#: Registry of simulation backends selectable by name.
+BACKENDS: dict[str, type] = {
+    "reference": Simulator,
+    "fast": FastSimulator,
+}
+
+
+def make_simulator(
+    backend: str,
+    protocol: PopulationProtocol,
+    population: Population,
+    scheduler: Scheduler,
+    problem: Problem | None = None,
+    check_interval: int | None = None,
+):
+    """Build a simulator for ``backend`` (``"reference"`` or ``"fast"``).
+
+    Raises :class:`SimulationError` for unknown backend names.
+    """
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulation backend {backend!r}; "
+            f"available: {sorted(BACKENDS)}"
+        ) from None
+    return cls(protocol, population, scheduler, problem, check_interval)

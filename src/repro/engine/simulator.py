@@ -69,12 +69,20 @@ class SimulationResult:
         """The mobile agents' final states (their names)."""
         return self.final_configuration.mobile_states
 
+    #: Maximum number of names shown by ``str()``; large-N runs would
+    #: otherwise dump thousands of states into logs.
+    _STR_NAME_LIMIT = 8
+
     def __str__(self) -> str:
         status = "converged" if self.converged else "did not converge"
+        names = self.names()
+        shown = ", ".join(repr(s) for s in names[: self._STR_NAME_LIMIT])
+        if len(names) > self._STR_NAME_LIMIT:
+            shown += f", ... ({len(names) - self._STR_NAME_LIMIT} more)"
         return (
             f"{status} after {self.interactions} interactions "
             f"({self.non_null_interactions} non-null); "
-            f"names = {self.names()}"
+            f"names = ({shown})"
         )
 
 

@@ -29,6 +29,37 @@ class LeaderState:
     lets generic code ask "is this agent the leader?" by state type alone.
     """
 
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key among leader states of one protocol.
+
+        The default orders by class name, then by the frozen dataclass
+        repr (which lists the field values); subclasses with richer fields
+        may override it with a direct field tuple.
+        """
+        return (type(self).__qualname__, repr(self))
+
+
+def sort_key(state: State) -> tuple:
+    """A total-order key over heterogeneous states.
+
+    Configurations, protocol validators and the model checkers need a
+    *deterministic* ordering of states that may mix ``int`` names, string
+    test states and :class:`LeaderState` dataclasses.  Keys group by kind
+    first (so values of different types are never compared directly) and
+    order naturally within a kind - integers numerically rather than by
+    their ``repr``, which is what the previous ``key=repr`` sorts got
+    wrong (``10`` sorted before ``2``).
+    """
+    if isinstance(state, bool):
+        return (1, "bool", (int(state),))
+    if isinstance(state, int):
+        return (0, "int", (state,))
+    if isinstance(state, str):
+        return (2, "str", (state,))
+    if isinstance(state, LeaderState):
+        return (3, *state.sort_key())
+    return (4, type(state).__qualname__, (repr(state),))
+
 
 def is_leader_state(state: State) -> bool:
     """Return ``True`` when ``state`` is a leader state."""

@@ -2,6 +2,7 @@
 measurements indexed in DESIGN.md."""
 
 from repro.experiments.ablation import AblationPoint, run_ablation
+from repro.experiments.bench import BenchPoint, ChurnProtocol, run_bench
 from repro.experiments.convergence import SeriesPoint, run_convergence
 from repro.experiments.exact_times import ExactTimePoint, run_exact_times
 from repro.experiments.full_report import build_report
@@ -19,7 +20,9 @@ from repro.experiments.table1 import Table1Row, render_rows, run_table1
 
 __all__ = [
     "AblationPoint",
+    "BenchPoint",
     "BoundCheck",
+    "ChurnProtocol",
     "ExactTimePoint",
     "PowerLawFit",
     "RecoveryPoint",
@@ -35,6 +38,7 @@ __all__ = [
     "render_rows",
     "render_table",
     "run_ablation",
+    "run_bench",
     "run_convergence",
     "run_exact_times",
     "run_recovery",

@@ -1,0 +1,256 @@
+"""Micro-benchmark ``repro bench``: simulation-backend throughput.
+
+Measures interactions/second of the reference simulator and the fast
+array-based backend (:mod:`repro.engine.fast`) under the uniform-random
+scheduler, across population sizes, on two workloads:
+
+* ``naming`` - the paper's single-rule asymmetric naming protocol
+  (Proposition 12) with a small bound, a mixed null/non-null workload;
+* ``churn``  - a stress protocol whose every interaction rewrites both
+  agents, the reference backend's worst case (it pays the full O(N)
+  configuration copy on every step).
+
+Besides timing, the run doubles as a differential smoke check: both
+backends must return *equal* :class:`SimulationResult`\\ s, or the bench
+aborts.  ``python -m repro bench`` prints the table and writes
+``BENCH_simulator.json`` with per-workload speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.fast import BACKENDS, make_simulator
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.state import State
+from repro.errors import SimulationError
+from repro.experiments.report import render_table
+from repro.schedulers.random_pair import RandomPairScheduler
+
+#: Population sizes measured by default.
+DEFAULT_SIZES = (10, 100, 1000)
+
+#: Default scheduler seed (the paper's year, as elsewhere in the harness).
+DEFAULT_SEED = 2018
+
+#: Default output file, relative to the working directory.
+DEFAULT_OUT = "BENCH_simulator.json"
+
+
+class ChurnProtocol(PopulationProtocol):
+    """Always-active stress protocol: ``(p, q) -> (q + 1, p + 1) mod m``.
+
+    With an odd modulus no interaction is ever null, so every step forces
+    the reference simulator's O(N) configuration rebuild - the cost the
+    fast backend's mutable state array eliminates.  Not a naming protocol;
+    it exists purely to measure per-interaction engine overhead.
+    """
+
+    display_name = "churn stress"
+    symmetric = False
+    requires_leader = False
+
+    def __init__(self, modulus: int = 9) -> None:
+        if modulus < 3 or modulus % 2 == 0:
+            raise ValueError(
+                f"modulus must be odd and >= 3 to keep every interaction "
+                f"non-null, got {modulus}"
+            )
+        self._modulus = modulus
+        self._states = frozenset(range(modulus))
+
+    def transition(self, p: State, q: State) -> tuple[State, State]:
+        """Rotate both agents; never null for odd moduli."""
+        m = self._modulus
+        return (q + 1) % m, (p + 1) % m
+
+    def mobile_state_space(self) -> frozenset[State]:
+        """States ``{0, ..., modulus - 1}``."""
+        return self._states
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One (workload, backend, N) throughput measurement."""
+
+    workload: str
+    backend: str
+    n_mobile: int
+    interactions: int
+    non_null_interactions: int
+    seconds: float
+
+    @property
+    def rate(self) -> float:
+        """Interactions per second."""
+        return self.interactions / self.seconds if self.seconds else 0.0
+
+
+def workloads() -> dict[str, PopulationProtocol]:
+    """The benchmarked protocols, by workload name."""
+    return {
+        "naming": AsymmetricNamingProtocol(8),
+        "churn": ChurnProtocol(),
+    }
+
+
+def _budget(n_mobile: int, scale: float) -> int:
+    """Interaction budget for a population size (same for both backends)."""
+    base = max(50_000, 2_000_000 // n_mobile)
+    return max(2_000, int(base * scale))
+
+
+def run_bench(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+) -> list[BenchPoint]:
+    """Measure every (workload, N, backend) cell.
+
+    Both backends run the same protocol, seed and budget; their results
+    are compared for equality (a run-time differential check) before the
+    timings are reported.
+    """
+    points: list[BenchPoint] = []
+    for workload, protocol in workloads().items():
+        for n in sizes:
+            budget = _budget(n, scale)
+            outcomes = {}
+            for backend in sorted(BACKENDS):
+                population = Population(n)
+                scheduler = RandomPairScheduler(population, seed=seed)
+                simulator = make_simulator(
+                    backend, protocol, population, scheduler, NamingProblem()
+                )
+                initial = Configuration.uniform(population, 0)
+                start = time.perf_counter()
+                result = simulator.run(initial, max_interactions=budget)
+                elapsed = time.perf_counter() - start
+                outcomes[backend] = result
+                points.append(
+                    BenchPoint(
+                        workload=workload,
+                        backend=backend,
+                        n_mobile=n,
+                        interactions=result.interactions,
+                        non_null_interactions=result.non_null_interactions,
+                        seconds=elapsed,
+                    )
+                )
+            if outcomes["fast"] != outcomes["reference"]:
+                raise SimulationError(
+                    f"backend divergence on workload {workload!r} at "
+                    f"N={n}, seed={seed}: fast and reference results differ"
+                )
+    return points
+
+
+def speedups(points: list[BenchPoint]) -> dict[str, dict[str, float]]:
+    """Fast-over-reference rate ratios, ``{workload: {str(N): ratio}}``."""
+    rates: dict[tuple[str, int], dict[str, float]] = {}
+    for p in points:
+        rates.setdefault((p.workload, p.n_mobile), {})[p.backend] = p.rate
+    out: dict[str, dict[str, float]] = {}
+    for (workload, n), per_backend in rates.items():
+        ref = per_backend.get("reference")
+        fast = per_backend.get("fast")
+        if ref and fast:
+            out.setdefault(workload, {})[str(n)] = fast / ref
+    return out
+
+
+def write_json(
+    points: list[BenchPoint],
+    path: str,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+) -> None:
+    """Write the measurements and speedups as a JSON report."""
+    payload = {
+        "benchmark": "simulator",
+        "scheduler": "uniform random pairs",
+        "seed": seed,
+        "scale": scale,
+        "points": [
+            {
+                "workload": p.workload,
+                "backend": p.backend,
+                "n_mobile": p.n_mobile,
+                "interactions": p.interactions,
+                "non_null_interactions": p.non_null_interactions,
+                "seconds": round(p.seconds, 6),
+                "interactions_per_sec": round(p.rate, 1),
+            }
+            for p in points
+        ],
+        "speedup": speedups(points),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_points(points: list[BenchPoint]) -> str:
+    """Render the bench measurements as an aligned text table."""
+    ratio = speedups(points)
+    rows = []
+    for p in points:
+        cell = ratio.get(p.workload, {}).get(str(p.n_mobile))
+        rows.append(
+            (
+                p.workload,
+                p.n_mobile,
+                p.backend,
+                p.interactions,
+                f"{p.seconds * 1000:.0f} ms",
+                f"{p.rate:,.0f}/s",
+                f"{cell:.1f}x" if p.backend == "fast" and cell else "",
+            )
+        )
+    return render_table(
+        ("workload", "N", "backend", "interactions", "time", "rate",
+         "speedup"),
+        rows,
+        title="simulator backend throughput (uniform random scheduler)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the simulator micro-benchmark from the command line."""
+    parser = argparse.ArgumentParser(
+        description="Simulation-backend micro-benchmark."
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply every interaction budget by this factor",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny budgets for CI smoke runs (equivalent to --scale 0.02)",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
+    args = parser.parse_args(argv)
+    scale = 0.02 if args.smoke else args.scale
+    points = run_bench(tuple(args.sizes), seed=args.seed, scale=scale)
+    print(render_points(points))
+    write_json(points, args.out, seed=args.seed, scale=scale)
+    print(f"\nJSON written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

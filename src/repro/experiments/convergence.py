@@ -7,6 +7,8 @@ scheduler (the standard cost model of the population-protocol literature).
 
 ``python -m repro.experiments.convergence`` prints one series per protocol:
 mean/median/p90 interactions to certified convergence as ``N`` grows.
+``--backend fast`` runs on the array-based engine and ``--jobs K`` fans
+seeds out over processes; both options are seed-identical to the default.
 """
 
 from __future__ import annotations
@@ -22,10 +24,11 @@ from repro.core.leader_uniform import LeaderUniformNamingProtocol
 from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
 from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
 from repro.engine.configuration import Configuration
+from repro.engine.ensemble import run_ensemble
+from repro.engine.fast import BACKENDS
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem
 from repro.engine.protocol import PopulationProtocol
-from repro.engine.simulator import Simulator
 from repro.errors import ConvergenceError
 from repro.experiments.report import render_table
 from repro.schedulers.random_pair import RandomPairScheduler
@@ -61,6 +64,28 @@ def _initial_for(
     return Configuration.from_states(population, mobiles, leader)
 
 
+def _scheduler_for_seed(population: Population, seed: int):
+    """Scheduler factory for :func:`repro.engine.ensemble.run_ensemble`.
+
+    Module-level (not a lambda) so ``n_jobs > 1`` can pickle it.
+    """
+    return RandomPairScheduler(population, seed=seed)
+
+
+@dataclass(frozen=True)
+class _InitialFactory:
+    """Picklable initial-configuration factory wrapping ``_initial_for``."""
+
+    protocol: PopulationProtocol
+    uniform: bool
+
+    def __call__(self, population: Population, seed: int) -> Configuration:
+        """Build the seed's initial configuration."""
+        return _initial_for(
+            self.protocol, population, random.Random(seed), self.uniform
+        )
+
+
 def measure(
     protocol: PopulationProtocol,
     n_mobile: int,
@@ -68,17 +93,24 @@ def measure(
     seeds: range,
     budget: int,
     uniform: bool = False,
+    backend: str = "reference",
+    n_jobs: int = 1,
 ) -> SeriesPoint:
     """Interactions-to-convergence sample for one protocol instance."""
+    population = Population(n_mobile, protocol.requires_leader)
+    ensemble = run_ensemble(
+        protocol,
+        population,
+        _scheduler_for_seed,
+        _InitialFactory(protocol, uniform),
+        NamingProblem(),
+        seeds=seeds,
+        max_interactions=budget,
+        backend=backend,
+        n_jobs=n_jobs,
+    )
     sample: list[int] = []
-    problem = NamingProblem()
-    for seed in seeds:
-        rng = random.Random(seed)
-        population = Population(n_mobile, protocol.requires_leader)
-        scheduler = RandomPairScheduler(population, seed=seed)
-        simulator = Simulator(protocol, population, scheduler, problem)
-        initial = _initial_for(protocol, population, rng, uniform)
-        result = simulator.run(initial, max_interactions=budget)
+    for seed, result in zip(ensemble.seeds, ensemble.results):
         if not result.converged:
             raise ConvergenceError(
                 f"{protocol.display_name} (N={n_mobile}, seed={seed}) "
@@ -120,6 +152,8 @@ def run_convergence(
     bound: int = 8,
     runs: int = 20,
     budget: int = 2_000_000,
+    backend: str = "reference",
+    n_jobs: int = 1,
 ) -> list[SeriesPoint]:
     """Measure every default series; returns all points."""
     points: list[SeriesPoint] = []
@@ -133,6 +167,8 @@ def run_convergence(
                     seeds=range(runs),
                     budget=budget,
                     uniform=uniform,
+                    backend=backend,
+                    n_jobs=n_jobs,
                 )
             )
     return points
@@ -168,10 +204,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--runs", type=int, default=20)
     parser.add_argument("--budget", type=int, default=2_000_000)
     parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="reference",
+        help="simulation engine (seed-identical either way)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-seed runs",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write the series as JSON"
     )
     args = parser.parse_args(argv)
-    points = run_convergence(args.bound, args.runs, args.budget)
+    points = run_convergence(
+        args.bound, args.runs, args.budget, args.backend, args.jobs
+    )
     print(render_points(points))
     if args.json:
         from repro.reporting.jsonio import dump

@@ -8,13 +8,15 @@ story: the quotient abstraction buys roughly ``N!`` and pushes exact
 verification past everything simulation can certify (most strikingly
 Protocol 3 at ``N = P = 5``).
 
-``python -m repro.experiments.scaling`` prints the table.
+``python -m repro.experiments.scaling`` prints the table.  Points are
+independent, so ``--jobs K`` fans them out over worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.analysis.model_checker import check_naming_global
@@ -44,13 +46,78 @@ class ScalePoint:
     solves: bool
 
 
-def _measure(label, protocol, n, bound, technique, check) -> ScalePoint:
+def _point_specs(max_quotient_n: int) -> list[tuple[str, int, str]]:
+    """The (protocol label, N, technique) cells of the default study.
+
+    Plain tuples so that ``run_scaling(n_jobs > 1)`` can pickle them to
+    worker processes; :func:`_run_point` rebuilds the heavyweight objects
+    on the worker side.
+    """
+    specs: list[tuple[str, int, str]] = []
+
+    # Proposition 13's protocol: labelled vs quotient, N = P.
+    for n in range(3, max_quotient_n + 1):
+        if n <= 4:  # labelled blow-up: (n+1)^n nodes
+            specs.append(("Prop. 13", n, "global (labelled)"))
+        specs.append(("Prop. 13", n, "global (quotient)"))
+
+    # Protocol 3: the N = P case nobody can simulate.
+    for n in range(2, min(max_quotient_n, 5) + 1):
+        if n <= 4:
+            specs.append(("Protocol 3", n, "global (labelled)"))
+        specs.append(("Protocol 3", n, "global (quotient)"))
+
+    # Protocol 2 under the weak checker (self-stabilizing: full space).
+    for n in (2, 3):
+        specs.append(("Protocol 2", n, "weak (labelled)"))
+    return specs
+
+
+def _run_point(spec: tuple[str, int, str]) -> ScalePoint:
+    """Build and time one (protocol, size, technique) measurement.
+
+    Module-level so process pools can pickle it.
+    """
+    label, n, technique = spec
+    if label == "Prop. 13":
+        protocol = SymmetricGlobalNamingProtocol(n)
+        population = Population(n)
+        leaders = None
+    elif label == "Protocol 3":
+        protocol = GlobalNamingProtocol(n)
+        population = Population(n, has_leader=True)
+        leaders = [protocol.initial_leader_state()]
+    else:
+        protocol = SelfStabilizingNamingProtocol(n)
+        population = Population(n, has_leader=True)
+        leaders = None
+
     start = time.perf_counter()
-    verdict = check()
+    if technique == "global (labelled)":
+        verdict = check_naming_global(
+            protocol,
+            population,
+            arbitrary_initial_configurations(protocol, population, leaders)
+            if leaders
+            else arbitrary_initial_configurations(protocol, population),
+        )
+    elif technique == "global (quotient)":
+        verdict = check_naming_global_quotient(
+            protocol,
+            arbitrary_quotient_initials(protocol, n, leaders)
+            if leaders
+            else arbitrary_quotient_initials(protocol, n),
+        )
+    else:
+        verdict = check_naming_weak(
+            protocol,
+            population,
+            arbitrary_initial_configurations(protocol, population),
+        )
     return ScalePoint(
         protocol=label,
         n_mobile=n,
-        bound=bound,
+        bound=n,
         technique=technique,
         nodes=verdict.explored_nodes,
         seconds=time.perf_counter() - start,
@@ -58,94 +125,16 @@ def _measure(label, protocol, n, bound, technique, check) -> ScalePoint:
     )
 
 
-def run_scaling(max_quotient_n: int = 6) -> list[ScalePoint]:
-    """The default scaling study."""
-    points: list[ScalePoint] = []
-
-    # Proposition 13's protocol: labelled vs quotient, N = P.
-    for n in range(3, max_quotient_n + 1):
-        protocol = SymmetricGlobalNamingProtocol(n)
-        population = Population(n)
-        if n <= 4:  # labelled blow-up: (n+1)^n nodes
-            points.append(
-                _measure(
-                    "Prop. 13",
-                    protocol,
-                    n,
-                    n,
-                    "global (labelled)",
-                    lambda p=protocol, pop=population: check_naming_global(
-                        p, pop, arbitrary_initial_configurations(p, pop)
-                    ),
-                )
-            )
-        points.append(
-            _measure(
-                "Prop. 13",
-                protocol,
-                n,
-                n,
-                "global (quotient)",
-                lambda p=protocol, n_=n: check_naming_global_quotient(
-                    p, arbitrary_quotient_initials(p, n_)
-                ),
-            )
-        )
-
-    # Protocol 3: the N = P case nobody can simulate.
-    for n in range(2, min(max_quotient_n, 5) + 1):
-        protocol = GlobalNamingProtocol(n)
-        leaders = [protocol.initial_leader_state()]
-        if n <= 4:
-            population = Population(n, has_leader=True)
-            points.append(
-                _measure(
-                    "Protocol 3",
-                    protocol,
-                    n,
-                    n,
-                    "global (labelled)",
-                    lambda p=protocol, pop=population, ls=leaders: (
-                        check_naming_global(
-                            p,
-                            pop,
-                            arbitrary_initial_configurations(p, pop, ls),
-                        )
-                    ),
-                )
-            )
-        points.append(
-            _measure(
-                "Protocol 3",
-                protocol,
-                n,
-                n,
-                "global (quotient)",
-                lambda p=protocol, n_=n, ls=leaders: (
-                    check_naming_global_quotient(
-                        p, arbitrary_quotient_initials(p, n_, ls)
-                    )
-                ),
-            )
-        )
-
-    # Protocol 2 under the weak checker (self-stabilizing: full space).
-    for n in (2, 3):
-        protocol = SelfStabilizingNamingProtocol(n)
-        population = Population(n, has_leader=True)
-        points.append(
-            _measure(
-                "Protocol 2",
-                protocol,
-                n,
-                n,
-                "weak (labelled)",
-                lambda p=protocol, pop=population: check_naming_weak(
-                    p, pop, arbitrary_initial_configurations(p, pop)
-                ),
-            )
-        )
-    return points
+def run_scaling(
+    max_quotient_n: int = 6, n_jobs: int = 1
+) -> list[ScalePoint]:
+    """The default scaling study; ``n_jobs > 1`` measures points in
+    parallel worker processes (per-point timings are unaffected)."""
+    specs = _point_specs(max_quotient_n)
+    if n_jobs > 1 and len(specs) > 1:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(_run_point, specs))
+    return [_run_point(spec) for spec in specs]
 
 
 def render_points(points: list[ScalePoint]) -> str:
@@ -174,8 +163,14 @@ def main(argv: list[str] | None = None) -> int:
         description="Exact-verification scaling measurements."
     )
     parser.add_argument("--max-n", type=int, default=6)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent points",
+    )
     args = parser.parse_args(argv)
-    points = run_scaling(max_quotient_n=args.max_n)
+    points = run_scaling(max_quotient_n=args.max_n, n_jobs=args.jobs)
     print(render_points(points))
     return 0 if all(p.solves for p in points) else 1
 

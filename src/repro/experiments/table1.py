@@ -43,10 +43,10 @@ from repro.core.spec import (
 )
 from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
 from repro.engine.configuration import Configuration
+from repro.engine.fast import BACKENDS, make_simulator
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem
 from repro.engine.protocol import PopulationProtocol
-from repro.engine.simulator import Simulator
 from repro.experiments.report import check_mark, render_table
 from repro.schedulers.adversarial import HomonymPreservingScheduler
 from repro.schedulers.base import Scheduler
@@ -211,6 +211,7 @@ def _feasible_cell(
     seed: int,
     budget: int,
     samples: int,
+    backend: str = "reference",
 ) -> Table1Row:
     expected = table1_cell(spec)
     evidence: list[str] = []
@@ -230,8 +231,8 @@ def _feasible_cell(
             for initial in _random_initials(
                 protocol, population, spec, seed, samples
             ):
-                simulator = Simulator(
-                    protocol, population, scheduler, NamingProblem()
+                simulator = make_simulator(
+                    backend, protocol, population, scheduler, NamingProblem()
                 )
                 scheduler.reset()
                 result = simulator.run(initial, max_interactions=budget)
@@ -261,7 +262,12 @@ def _feasible_cell(
 
 
 def _infeasible_cell(
-    spec: ModelSpec, bound: int, seed: int, budget: int, thorough: bool
+    spec: ModelSpec,
+    bound: int,
+    seed: int,
+    budget: int,
+    thorough: bool,
+    backend: str = "reference",
 ) -> Table1Row:
     expected = table1_cell(spec)
     evidence: list[str] = []
@@ -274,7 +280,9 @@ def _infeasible_cell(
     population = Population(even_n)
     scheduler = MatchingScheduler(population, seed=seed)
     initial = Configuration.uniform(population, 1)
-    simulator = Simulator(protocol, population, scheduler, NamingProblem())
+    simulator = make_simulator(
+        backend, protocol, population, scheduler, NamingProblem()
+    )
     # Symmetry holds at phase boundaries (a phase is even_n // 2 disjoint
     # meetings applied one after another), so stop exactly on one.
     phase_length = even_n // 2
@@ -321,6 +329,7 @@ def run_table1(
     budget: int = 400_000,
     samples: int = 3,
     thorough: bool = False,
+    backend: str = "reference",
 ) -> list[Table1Row]:
     """Regenerate every cell of Table 1.
 
@@ -334,14 +343,21 @@ def run_table1(
         Initial configurations sampled per (size, scheduler).
     thorough:
         Also run the exhaustive 2-state refutation for the impossible cell.
+    backend:
+        Simulation backend (``"reference"`` or ``"fast"``); verdicts are
+        identical either way, ``"fast"`` regenerates the table quicker.
     """
     rows: list[Table1Row] = []
     for spec in all_specs():
         if table1_cell(spec).feasible:
-            rows.append(_feasible_cell(spec, bound, seed, budget, samples))
+            rows.append(
+                _feasible_cell(spec, bound, seed, budget, samples, backend)
+            )
         else:
             rows.append(
-                _infeasible_cell(spec, bound, seed, budget, thorough)
+                _infeasible_cell(
+                    spec, bound, seed, budget, thorough, backend
+                )
             )
     return rows
 
@@ -401,6 +417,12 @@ def main(argv: list[str] | None = None) -> int:
         help="add the exhaustive 2-state refutation of the impossible cell",
     )
     parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="reference",
+        help="simulation engine (verdicts identical either way)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="also write the regenerated rows as JSON",
@@ -411,6 +433,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         budget=args.budget,
         thorough=args.thorough,
+        backend=args.backend,
     )
     print(render_rows(rows, args.bound))
     if args.json:

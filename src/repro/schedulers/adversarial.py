@@ -124,6 +124,7 @@ class FixedSequenceScheduler(Scheduler):
     """
 
     display_name = "fixed sequence"
+    inspects_configuration = False
 
     def __init__(
         self,

@@ -42,6 +42,13 @@ class Scheduler(ABC):
     #: randomized schedulers, per the paper's reading of global fairness).
     globally_fair: bool = False
 
+    #: Whether :meth:`next_pair` reads its ``config`` argument.  Schedulers
+    #: that declare ``False`` promise to ignore it entirely, which lets the
+    #: fast backend (:mod:`repro.engine.fast`) sample pairs in batches
+    #: without materializing intermediate configurations; such schedulers
+    #: may be handed ``config=None``.  The conservative default is ``True``.
+    inspects_configuration: bool = True
+
     def __init__(self, population: Population, seed: int | None = None) -> None:
         if population.size < 2:
             raise SchedulerError(
@@ -54,6 +61,25 @@ class Scheduler(ABC):
     @abstractmethod
     def next_pair(self, config: Configuration) -> tuple[AgentId, AgentId]:
         """Return the next ordered pair ``(initiator, responder)``."""
+
+    def next_pairs(
+        self, config: Configuration | None, count: int
+    ) -> list[tuple[AgentId, AgentId]]:
+        """Return the next ``count`` ordered pairs as a batch.
+
+        The batch must be *stream-identical* to ``count`` successive
+        :meth:`next_pair` calls: same pairs, same consumption of the
+        scheduler's random source.  The default implementation simply
+        loops; randomized schedulers may override it to shave per-call
+        overhead, provided they keep the random stream identical.
+
+        Only schedulers with ``inspects_configuration = False`` are batched
+        by the engine; the engine then passes ``config=None`` so that an
+        incorrectly declared scheduler fails loudly instead of silently
+        reading a stale configuration.
+        """
+        next_pair = self.next_pair
+        return [next_pair(config) for _ in range(count)]
 
     def reset(self) -> None:
         """Restore any internal progress state (not the random seed)."""

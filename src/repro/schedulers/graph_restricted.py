@@ -91,6 +91,7 @@ class GraphRestrictedScheduler(Scheduler):
     display_name = "graph-restricted random meetings"
     weakly_fair = True  # per edge, with probability 1
     globally_fair = True  # w.r.t. the restricted transition system
+    inspects_configuration = False
 
     def __init__(
         self,

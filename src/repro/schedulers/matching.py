@@ -71,6 +71,7 @@ class MatchingScheduler(Scheduler):
     display_name = "matching phases (Prop. 1 adversary)"
     weakly_fair = True
     globally_fair = False
+    inspects_configuration = False
 
     def __init__(self, population: Population, seed: int | None = None) -> None:
         super().__init__(population, seed)

@@ -28,6 +28,7 @@ class RandomMatchingScheduler(Scheduler):
     display_name = "random matchings (synchronous rounds)"
     weakly_fair = True  # with probability 1
     globally_fair = False
+    inspects_configuration = False
 
     def __init__(self, population: Population, seed: int | None = None) -> None:
         super().__init__(population, seed)

@@ -19,6 +19,7 @@ class RandomPairScheduler(Scheduler):
     display_name = "uniform random pairs"
     weakly_fair = True  # with probability 1
     globally_fair = True  # with probability 1
+    inspects_configuration = False
 
     def __init__(self, population: Population, seed: int | None = None) -> None:
         super().__init__(population, seed)
@@ -27,6 +28,37 @@ class RandomPairScheduler(Scheduler):
     def next_pair(self, config: Configuration) -> tuple[AgentId, AgentId]:
         initiator, responder = self._rng.sample(self._agents, 2)
         return initiator, responder
+
+    def next_pairs(
+        self, config: Configuration | None, count: int
+    ) -> list[tuple[AgentId, AgentId]]:
+        """Batched sampling with the same random stream as ``next_pair``.
+
+        For populations larger than ``random.sample``'s pool-swap cutoff
+        (21 elements at ``k = 2``) the stdlib draws two rejection-sampled
+        indices via ``getrandbits``; that arithmetic is inlined here to
+        skip two method-call layers per pair while consuming the Mersenne
+        stream bit-for-bit identically (property-tested against
+        ``next_pair``).  Small populations just loop the scalar path.
+        """
+        agents = self._agents
+        n = len(agents)
+        if n <= 21:  # random.sample uses its pool-swap branch here
+            sample = self._rng.sample
+            return [tuple(sample(agents, 2)) for _ in range(count)]
+        getrandbits = self._rng.getrandbits
+        k = n.bit_length()
+        pairs: list[tuple[AgentId, AgentId]] = []
+        append = pairs.append
+        for _ in range(count):
+            i = getrandbits(k)
+            while i >= n:
+                i = getrandbits(k)
+            j = getrandbits(k)
+            while j >= n or j == i:
+                j = getrandbits(k)
+            append((agents[i], agents[j]))
+        return pairs
 
 
 class LeaderBiasedScheduler(Scheduler):
@@ -48,6 +80,7 @@ class LeaderBiasedScheduler(Scheduler):
     display_name = "leader-biased random pairs"
     weakly_fair = True  # with probability 1
     globally_fair = True  # with probability 1
+    inspects_configuration = False
 
     def __init__(
         self,

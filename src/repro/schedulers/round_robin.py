@@ -30,6 +30,7 @@ class RoundRobinScheduler(Scheduler):
     display_name = "round robin"
     weakly_fair = True
     globally_fair = False
+    inspects_configuration = False
 
     def __init__(
         self,
@@ -77,6 +78,7 @@ class InterleavedRoundRobinScheduler(Scheduler):
     display_name = "interleaved round robin"
     weakly_fair = True
     globally_fair = False
+    inspects_configuration = False
 
     def __init__(self, population: Population, seed: int | None = None) -> None:
         super().__init__(population, seed)

@@ -112,6 +112,28 @@ class TestEquivalence:
         assert not a.is_equivalent(b)
 
 
+class TestCanonical:
+    def test_numeric_sort_not_lexicographic(self):
+        # repr-based sorting would order 10 before 2; sort_key must not.
+        config = Configuration((10, 2, 1))
+        assert config.canonical()[0] == (1, 2, 10)
+
+    def test_mixed_state_types_sort_stably(self):
+        config = Configuration((2, "name", 1, LEADER), leader_index=3)
+        key = config.canonical()
+        assert key[0] == (1, 2, "name")
+
+    def test_canonical_is_cached(self):
+        config = Configuration((3, 1, 2))
+        assert config.canonical() is config.canonical()
+
+    def test_cache_does_not_leak_across_instances(self):
+        a = Configuration((1, 2))
+        b = Configuration((2, 1))
+        assert a.canonical() == b.canonical()
+        assert Configuration((1, 3)).canonical() != a.canonical()
+
+
 class TestUpdates:
     def test_replace_returns_new_object(self):
         config = Configuration((1, 2, 3))

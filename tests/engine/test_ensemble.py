@@ -85,3 +85,71 @@ class TestRunEnsemble:
         # at minimum the executions are independent objects.
         assert a is not b
         assert a.converged and b.converged
+
+
+class TestForwardedKnobs:
+    def test_check_interval_forwarded(self):
+        protocol, population, sf, inf = make_parts()
+        ensemble = run_ensemble(
+            protocol,
+            population,
+            sf,
+            inf,
+            NamingProblem(),
+            seeds=range(3),
+            check_interval=7,
+        )
+        for result in ensemble.results:
+            assert result.converged
+            assert result.convergence_interaction % 7 == 0
+
+    def test_raise_on_timeout_forwarded(self):
+        protocol, population, sf, inf = make_parts()
+        with pytest.raises(ConvergenceError):
+            run_ensemble(
+                protocol,
+                population,
+                sf,
+                inf,
+                NamingProblem(),
+                seeds=range(2),
+                max_interactions=1,
+                raise_on_timeout=True,
+            )
+
+    def test_fault_hook_forwarded(self):
+        protocol, population, sf, inf = make_parts()
+        calls = []
+
+        def hook(interaction, config):
+            if interaction == 3:
+                calls.append(interaction)
+            return None
+
+        ensemble = run_ensemble(
+            protocol,
+            population,
+            sf,
+            inf,
+            NamingProblem(),
+            seeds=range(2),
+            max_interactions=2_000,
+            fault_hook=hook,
+        )
+        assert calls == [3, 3]
+        assert len(ensemble.results) == 2
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import SimulationError
+
+        protocol, population, sf, inf = make_parts()
+        with pytest.raises(SimulationError, match="unknown simulation"):
+            run_ensemble(
+                protocol,
+                population,
+                sf,
+                inf,
+                NamingProblem(),
+                seeds=range(1),
+                backend="warp",
+            )

@@ -1,0 +1,400 @@
+"""Differential tests: the fast backend versus the reference simulator.
+
+The tentpole guarantee of :mod:`repro.engine.fast` is bit-identity: for
+any protocol, seed and budget the two backends must return *equal*
+``SimulationResult`` dataclasses (converged flag, interaction counts,
+convergence interaction, final configuration - everything).  These tests
+enforce that over fixed protocol suites, Hypothesis-generated random
+table protocols, traces, observers and parallel ensembles.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
+from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.ensemble import run_ensemble
+from repro.engine.fast import (
+    BACKENDS,
+    FastSimulator,
+    compile_table,
+    make_simulator,
+)
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import TableProtocol
+from repro.engine.simulator import Simulator
+from repro.engine.trace import Trace
+from repro.errors import SimulationError
+from repro.schedulers.adversarial import HomonymPreservingScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+def _initial_for(protocol, population, seed, uniform=False):
+    rng = random.Random(seed)
+    mobile_space = sorted(protocol.mobile_state_space())
+    leader = (
+        protocol.initial_leader_state() if population.has_leader else None
+    )
+    if uniform:
+        value = protocol.initial_mobile_state()
+        if value is None:
+            value = mobile_space[0]
+        return Configuration.uniform(population, value, leader)
+    mobiles = tuple(
+        rng.choice(mobile_space) for _ in range(population.n_mobile)
+    )
+    return Configuration.from_states(population, mobiles, leader)
+
+
+def run_both(protocol, n, seed, budget=30_000, uniform=False, problem=...):
+    """Run both backends on the same (protocol, N, seed); return results."""
+    if problem is ...:
+        problem = NamingProblem()
+    results = {}
+    for backend in ("reference", "fast"):
+        population = Population(n, protocol.requires_leader)
+        scheduler = RandomPairScheduler(population, seed=seed)
+        simulator = make_simulator(
+            backend, protocol, population, scheduler, problem
+        )
+        initial = _initial_for(protocol, population, seed, uniform)
+        results[backend] = simulator.run(initial, max_interactions=budget)
+    return results["reference"], results["fast"]
+
+
+class TestDifferentialFixedProtocols:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_leaderless_asymmetric(self, seed):
+        ref, fast = run_both(AsymmetricNamingProtocol(5), 5, seed)
+        assert ref == fast
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_leaderless_symmetric(self, seed):
+        ref, fast = run_both(SymmetricGlobalNamingProtocol(4), 4, seed)
+        assert ref == fast
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_leader_protocol(self, seed):
+        ref, fast = run_both(GlobalNamingProtocol(4), 3, seed)
+        assert ref == fast
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_self_stabilizing_leader_protocol(self, seed):
+        ref, fast = run_both(SelfStabilizingNamingProtocol(4), 4, seed)
+        assert ref == fast
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_population_batched_sampler(self, seed):
+        # N > 21 exercises the inlined getrandbits rejection sampler.
+        ref, fast = run_both(
+            AsymmetricNamingProtocol(30), 30, seed, budget=50_000
+        )
+        assert ref == fast
+
+    def test_no_problem_runs_whole_budget(self):
+        ref, fast = run_both(
+            AsymmetricNamingProtocol(5), 5, seed=3, budget=2_000, problem=None
+        )
+        assert ref == fast
+        assert ref.interactions == 2_000
+
+    def test_generic_problem_subclass_matches(self):
+        # A NamingProblem *subclass* must not take the specialized O(1)
+        # predicate path; the generic path must still be bit-identical.
+        class StrictNaming(NamingProblem):
+            """Identity subclass; forces the generic check path."""
+
+        ref, fast = run_both(
+            AsymmetricNamingProtocol(5), 5, seed=1, problem=StrictNaming()
+        )
+        assert ref == fast
+        assert ref.converged
+
+
+def _table_protocols(draw):
+    k = draw(st.integers(min_value=2, max_value=4))
+    states = list(range(k))
+    table = {}
+    for p in states:
+        for q in states:
+            if draw(st.booleans()):
+                p2 = draw(st.sampled_from(states))
+                q2 = draw(st.sampled_from(states))
+                table[(p, q)] = (p2, q2)
+    return TableProtocol(table, states)
+
+
+class TestDifferentialRandomProtocols:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_random_table_protocols_agree(self, data):
+        protocol = _table_protocols(data.draw)
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        ref, fast = run_both(protocol, n, seed, budget=2_000)
+        assert ref == fast
+
+
+class TestDifferentialInstrumentation:
+    def test_traces_identical(self):
+        protocol = AsymmetricNamingProtocol(5)
+        traces = {}
+        results = {}
+        for backend in ("reference", "fast"):
+            population = Population(5)
+            scheduler = RandomPairScheduler(population, seed=7)
+            simulator = make_simulator(
+                backend, protocol, population, scheduler, NamingProblem()
+            )
+            trace = Trace(capacity=None)
+            results[backend] = simulator.run(
+                Configuration.uniform(population, 0),
+                max_interactions=5_000,
+                trace=trace,
+            )
+            traces[backend] = trace
+        assert traces["fast"].records == traces["reference"].records
+        # Results minus the trace objects themselves must match too.
+        results["fast"].trace = results["reference"].trace = None
+        assert results["fast"] == results["reference"]
+
+    def test_observers_see_identical_streams(self):
+        protocol = AsymmetricNamingProtocol(5)
+        seen = {}
+        for backend in ("reference", "fast"):
+            population = Population(5)
+            scheduler = RandomPairScheduler(population, seed=11)
+            simulator = make_simulator(
+                backend, protocol, population, scheduler, NamingProblem()
+            )
+            events = []
+            simulator.run(
+                Configuration.uniform(population, 0),
+                max_interactions=5_000,
+                observer=lambda i, c: events.append((i, c)),
+            )
+            seen[backend] = events
+        assert seen["fast"] == seen["reference"]
+
+
+class TestBatchSamplingStreamIdentity:
+    @pytest.mark.parametrize("n", [2, 5, 21, 22, 64, 100])
+    def test_next_pairs_matches_next_pair_stream(self, n):
+        population = Population(n)
+        a = RandomPairScheduler(population, seed=13)
+        b = RandomPairScheduler(population, seed=13)
+        scalar = [a.next_pair(None) for _ in range(500)]
+        batched = b.next_pairs(None, 500)
+        assert scalar == batched
+
+    @pytest.mark.parametrize("n", [5, 40])
+    def test_interleaved_batches_continue_the_stream(self, n):
+        population = Population(n)
+        a = RandomPairScheduler(population, seed=29)
+        b = RandomPairScheduler(population, seed=29)
+        scalar = [a.next_pair(None) for _ in range(120)]
+        batched = (
+            b.next_pairs(None, 50)
+            + [b.next_pair(None)]
+            + b.next_pairs(None, 69)
+        )
+        assert scalar == batched
+
+    def test_default_next_pairs_delegates_to_next_pair(self):
+        class Fixed(Scheduler):
+            """Deterministic two-agent scheduler for the base-class hook."""
+
+            def next_pair(self, config):
+                return (0, 1)
+
+        scheduler = Fixed(Population(2))
+        assert scheduler.next_pairs(None, 3) == [(0, 1)] * 3
+
+
+class TestFallbacks:
+    def test_adversarial_scheduler_falls_back(self):
+        protocol = SymmetricGlobalNamingProtocol(4)
+        population = Population(4)
+        scheduler = HomonymPreservingScheduler(population, protocol, seed=0)
+        simulator = FastSimulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        result = simulator.run(
+            Configuration.uniform(population, 1), max_interactions=500
+        )
+        assert not simulator.last_run_fast
+        assert not result.converged  # the adversary preserves homonyms
+
+    def test_fault_hook_falls_back(self):
+        protocol = AsymmetricNamingProtocol(4)
+        population = Population(4)
+        scheduler = RandomPairScheduler(population, seed=0)
+        simulator = FastSimulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        calls = []
+
+        def hook(interaction, config):
+            calls.append(interaction)
+            return None
+
+        simulator.run(
+            Configuration.uniform(population, 0),
+            max_interactions=50,
+            fault_hook=hook,
+        )
+        assert not simulator.last_run_fast
+        assert calls
+
+    def test_oversized_state_space_falls_back(self):
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        scheduler = RandomPairScheduler(population, seed=2)
+        simulator = FastSimulator(
+            protocol,
+            population,
+            scheduler,
+            NamingProblem(),
+            compile_limit=1,
+        )
+        assert not simulator.compiled
+        result = simulator.run(
+            Configuration.uniform(population, 0), max_interactions=30_000
+        )
+        assert not simulator.last_run_fast
+        # Fallback still matches a plain reference run.
+        reference = Simulator(
+            protocol,
+            population,
+            RandomPairScheduler(population, seed=2),
+            NamingProblem(),
+        )
+        pop2 = reference.population
+        assert result == reference.run(
+            Configuration.uniform(pop2, 0), max_interactions=30_000
+        )
+
+    def test_out_of_space_initial_state_falls_back(self):
+        protocol = AsymmetricNamingProtocol(4)
+        population = Population(3)
+        scheduler = RandomPairScheduler(population, seed=0)
+        simulator = FastSimulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        rogue = Configuration.from_states(population, (0, 1, "rogue"))
+        simulator.run(rogue, max_interactions=100)
+        assert not simulator.last_run_fast
+
+    def test_uncompilable_protocol_returns_none(self):
+        class Unbounded(AsymmetricNamingProtocol):
+            """State space that refuses enumeration."""
+
+            def mobile_state_space(self):
+                raise NotImplementedError("unbounded")
+
+        assert compile_table(Unbounded(4)) is None
+
+    def test_size_mismatch_raises_like_reference(self):
+        protocol = AsymmetricNamingProtocol(4)
+        population = Population(4)
+        scheduler = RandomPairScheduler(population, seed=0)
+        simulator = FastSimulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        wrong = Configuration.uniform(Population(3), 0)
+        with pytest.raises(SimulationError, match="3 agents"):
+            simulator.run(wrong)
+
+
+class TestBackendRegistry:
+    def test_registry_contents(self):
+        assert BACKENDS == {"reference": Simulator, "fast": FastSimulator}
+
+    def test_make_simulator_builds_each(self):
+        protocol = AsymmetricNamingProtocol(4)
+        population = Population(4)
+        for backend, cls in BACKENDS.items():
+            scheduler = RandomPairScheduler(population, seed=0)
+            assert isinstance(
+                make_simulator(
+                    backend, protocol, population, scheduler, NamingProblem()
+                ),
+                cls,
+            )
+
+    def test_unknown_backend_rejected(self):
+        protocol = AsymmetricNamingProtocol(4)
+        population = Population(4)
+        scheduler = RandomPairScheduler(population, seed=0)
+        with pytest.raises(SimulationError, match="unknown simulation"):
+            make_simulator("turbo", protocol, population, scheduler)
+
+
+def _sched_factory(population, seed):
+    return RandomPairScheduler(population, seed=seed)
+
+
+def _init_factory(population, seed):
+    return Configuration.uniform(population, 0)
+
+
+class TestParallelEnsembles:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_n_jobs_results_seed_identical_to_serial(self, backend):
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        runs = {}
+        for n_jobs in (1, 2):
+            runs[n_jobs] = run_ensemble(
+                protocol,
+                population,
+                _sched_factory,
+                _init_factory,
+                NamingProblem(),
+                seeds=range(4),
+                max_interactions=50_000,
+                backend=backend,
+                n_jobs=n_jobs,
+            )
+        assert runs[1].seeds == runs[2].seeds
+        assert runs[1].results == runs[2].results
+
+    def test_backends_agree_within_ensembles(self):
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        per_backend = {
+            backend: run_ensemble(
+                protocol,
+                population,
+                _sched_factory,
+                _init_factory,
+                NamingProblem(),
+                seeds=range(5),
+                max_interactions=50_000,
+                backend=backend,
+            )
+            for backend in sorted(BACKENDS)
+        }
+        assert per_backend["fast"].results == per_backend["reference"].results
+
+    def test_invalid_n_jobs_rejected(self):
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_ensemble(
+                protocol,
+                population,
+                _sched_factory,
+                _init_factory,
+                NamingProblem(),
+                seeds=range(2),
+                n_jobs=0,
+            )

@@ -148,6 +148,27 @@ class TestAccounting:
         result = simulator.run(Configuration.uniform(population, 0))
         assert "converged" in str(result)
 
+    def test_str_shows_all_names_when_small(self):
+        protocol, population, scheduler = make_setup(n=4)
+        simulator = Simulator(protocol, population, scheduler, None)
+        result = simulator.run(
+            Configuration.uniform(population, 0), max_interactions=0
+        )
+        assert "names = (0, 0, 0, 0)" in str(result)
+        assert "more" not in str(result)
+
+    def test_str_truncates_large_populations(self):
+        protocol = AsymmetricNamingProtocol(40)
+        population = Population(30)
+        scheduler = RandomPairScheduler(population, seed=0)
+        simulator = Simulator(protocol, population, scheduler, None)
+        result = simulator.run(
+            Configuration.uniform(population, 0), max_interactions=0
+        )
+        text = str(result)
+        assert "... (22 more)" in text
+        assert text.count("0") >= 8
+
 
 class TestTraceIntegration:
     def test_trace_replays_to_final_configuration(self):

@@ -6,6 +6,7 @@ from repro.engine.state import (
     LeaderState,
     is_leader_state,
     is_mobile_state,
+    sort_key,
 )
 
 
@@ -44,3 +45,24 @@ class TestMobileStateClassification:
 
     def test_string_is_not_mobile(self):
         assert not is_mobile_state("3")
+
+
+class TestSortKey:
+    def test_integers_order_numerically(self):
+        values = [10, 2, -1, 7]
+        assert sorted(values, key=sort_key) == [-1, 2, 7, 10]
+
+    def test_mixed_types_total_order(self):
+        values = ["b", 3, _SampleLeader(1), True, 1, "a", _SampleLeader(0)]
+        ordered = sorted(values, key=sort_key)
+        # ints first (numerically), then bools, then strings, then leaders.
+        assert ordered[:2] == [1, 3]
+        assert ordered[2] is True
+        assert ordered[3:5] == ["a", "b"]
+        assert ordered[5:] == [_SampleLeader(0), _SampleLeader(1)]
+
+    def test_sort_key_is_deterministic(self):
+        values = [5, "x", _SampleLeader(2)]
+        assert [sort_key(v) for v in values] == [
+            sort_key(v) for v in values
+        ]

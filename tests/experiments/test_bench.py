@@ -1,0 +1,47 @@
+"""Tests for the simulation-backend micro-benchmark."""
+
+import json
+
+import pytest
+
+from repro.engine.fast import compile_table
+from repro.experiments.bench import (
+    ChurnProtocol,
+    run_bench,
+    speedups,
+    workloads,
+    write_json,
+)
+
+
+class TestChurnProtocol:
+    def test_every_interaction_is_non_null(self):
+        protocol = ChurnProtocol()
+        for p in protocol.mobile_state_space():
+            for q in protocol.mobile_state_space():
+                assert protocol.transition(p, q) != (p, q)
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            ChurnProtocol(8)
+
+    def test_compiles_for_the_fast_backend(self):
+        assert compile_table(ChurnProtocol()) is not None
+
+
+class TestRunBench:
+    def test_smoke_run_produces_all_cells(self, tmp_path):
+        points = run_bench(sizes=(6,), seed=1, scale=0.02)
+        assert len(points) == len(workloads()) * 2  # two backends
+        assert all(p.interactions > 0 and p.seconds >= 0 for p in points)
+        ratios = speedups(points)
+        assert set(ratios) == set(workloads())
+
+    def test_json_payload_round_trips(self, tmp_path):
+        points = run_bench(sizes=(6,), seed=1, scale=0.02)
+        out = tmp_path / "bench.json"
+        write_json(points, str(out), seed=1, scale=0.02)
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "simulator"
+        assert len(payload["points"]) == len(points)
+        assert "speedup" in payload

@@ -36,6 +36,26 @@ class TestMeasure:
                 budget=2,  # impossible budget
             )
 
+    def test_fast_backend_measures_identically(self):
+        kwargs = dict(
+            n_mobile=4, bound=5, seeds=range(5), budget=200_000
+        )
+        reference = measure(AsymmetricNamingProtocol(5), **kwargs)
+        fast = measure(
+            AsymmetricNamingProtocol(5), backend="fast", **kwargs
+        )
+        assert fast == reference
+
+    def test_parallel_jobs_measure_identically(self):
+        kwargs = dict(
+            n_mobile=4, bound=5, seeds=range(4), budget=200_000
+        )
+        serial = measure(AsymmetricNamingProtocol(5), **kwargs)
+        parallel = measure(
+            AsymmetricNamingProtocol(5), n_jobs=2, **kwargs
+        )
+        assert parallel == serial
+
 
 class TestSeries:
     def test_default_series_cover_all_positive_protocols(self):

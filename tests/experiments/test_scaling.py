@@ -53,3 +53,14 @@ class TestScaling:
         assert "technique" in text
         assert "quotient" in text
         assert "FAILS" not in text
+
+
+class TestParallelScaling:
+    def test_parallel_jobs_match_serial_verdicts(self):
+        serial = run_scaling(max_quotient_n=3)
+        parallel = run_scaling(max_quotient_n=3, n_jobs=2)
+        strip = lambda pts: [
+            (p.protocol, p.n_mobile, p.technique, p.nodes, p.solves)
+            for p in pts
+        ]
+        assert strip(parallel) == strip(serial)

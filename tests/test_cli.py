@@ -69,6 +69,13 @@ class TestSimulate:
         assert code == 0
         assert "trace:" in out
 
+    def test_fast_backend_matches_reference(self, capsys):
+        argv = ["simulate", "--symmetry", "asymmetric", "-P", "5", "-N", "4"]
+        assert main(argv + ["--backend", "reference"]) == 0
+        reference_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "fast"]) == 0
+        assert capsys.readouterr().out == reference_out
+
     def test_leadered_simulation(self, capsys):
         code = main(
             [
@@ -136,6 +143,25 @@ class TestDelegation:
         out = capsys.readouterr().out
         assert code == 0
         assert "power-law fits" in out
+
+    def test_bench_delegates(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--sizes",
+                "6",
+                "--out",
+                str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend throughput" in out
+        payload = out_path.read_text()
+        assert '"speedup"' in payload
+        assert '"fast"' in payload
 
 
 class TestShow:
