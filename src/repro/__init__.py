@@ -55,11 +55,13 @@ from repro.core import (
 )
 from repro.engine import (
     Configuration,
+    CountSimulator,
     CountingProblem,
     FastSimulator,
     NamingProblem,
     Population,
     PopulationProtocol,
+    RunStats,
     SimulationResult,
     Simulator,
     Trace,
@@ -69,6 +71,7 @@ from repro.engine import (
     verify_protocol,
 )
 from repro.errors import (
+    BackendFallbackWarning,
     ConfigurationError,
     ConvergenceError,
     InfeasibleSpecError,
@@ -86,15 +89,17 @@ from repro.schedulers import (
     RoundRobinScheduler,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SINK_STATE",
     "AsymmetricNamingProtocol",
+    "BackendFallbackWarning",
     "CellResult",
     "Configuration",
     "ConfigurationError",
     "ConvergenceError",
+    "CountSimulator",
     "CountingProblem",
     "CountingProtocol",
     "EventuallyFairScheduler",
@@ -115,6 +120,7 @@ __all__ = [
     "RandomPairScheduler",
     "ReproError",
     "RoundRobinScheduler",
+    "RunStats",
     "SchedulerError",
     "SelfStabilizingNamingProtocol",
     "SimulationError",

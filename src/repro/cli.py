@@ -7,7 +7,7 @@ Commands
 ``recovery``      supplementary exp-s2: self-stabilizing fault recovery
 ``ablation``      supplementary exp-s4: scheduler ablation matrix
 ``lower-bounds``  supplementary exp-s3: exhaustive lower-bound verification
-``bench``         simulation-backend micro-benchmark (reference vs fast)
+``bench``         simulation-backend micro-benchmark (reference/fast/counts)
 ``simulate``      run one naming protocol chosen by model parameters
 """
 
@@ -124,6 +124,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"population: N = {args.n}, P = {args.bound}")
     print(f"start     : {initial.mobile_states}")
     print(f"result    : {result}")
+    if args.verbose and result.stats is not None:
+        print(f"perf      : {result.stats} [{args.backend} backend]")
     if trace is not None:
         print()
         print(trace.describe(limit=args.trace))
@@ -190,7 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=sorted(BACKENDS),
         default="reference",
-        help="simulation engine (the fast backend is bit-identical)",
+        help=(
+            "simulation engine: fast is stream-identical to reference; "
+            "counts is count-based and statistically equivalent"
+        ),
     )
     simulate.add_argument(
         "--trace",
@@ -198,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="K",
         help="print the last K non-null interactions",
+    )
+    simulate.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="also print run performance stats (wall time, rate, nulls)",
     )
     return parser
 

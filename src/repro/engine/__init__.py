@@ -10,6 +10,10 @@ from repro.engine.fast import (
     compile_table,
     make_simulator,
 )
+
+# Imported after ``fast`` so its registration lands in BACKENDS whenever
+# the engine package is loaded.
+from repro.engine.counts import CountSimulator, configuration_counts
 from repro.engine.population import AgentId, Population
 from repro.engine.problems import (
     CountingProblem,
@@ -25,7 +29,12 @@ from repro.engine.protocol import (
     verify_protocol,
     verify_symmetric,
 )
-from repro.engine.simulator import SimulationResult, Simulator, run_protocol
+from repro.engine.simulator import (
+    RunStats,
+    SimulationResult,
+    Simulator,
+    run_protocol,
+)
 from repro.engine.state import (
     LeaderState,
     MobileState,
@@ -39,6 +48,7 @@ __all__ = [
     "BACKENDS",
     "AgentId",
     "Configuration",
+    "CountSimulator",
     "CountingProblem",
     "EnsembleResult",
     "FastSimulator",
@@ -49,6 +59,7 @@ __all__ = [
     "Population",
     "PopulationProtocol",
     "Problem",
+    "RunStats",
     "SimulationResult",
     "Simulator",
     "State",
@@ -57,6 +68,7 @@ __all__ = [
     "TransitionTable",
     "asymmetric_witnesses",
     "compile_table",
+    "configuration_counts",
     "is_leader_state",
     "is_mobile_state",
     "is_silent",

@@ -1,0 +1,728 @@
+"""The count-based simulation backend: O(states) memory, O(1) amortized
+per-interaction cost, independent of the population size.
+
+Population-protocol agents are anonymous, so under the uniform-random pair
+scheduler a configuration is fully described by the *counts vector* of its
+mobile states plus the leader's state (the paper's Section 3.1 equivalence,
+and the multiset view the counting line of work reasons in).  The counts
+process is itself a Markov chain: the probability that the next interaction
+realizes the ordered state pair ``(i, j)`` is
+
+    ``w_ij(c) = c_i * (c_j - [i = j])  over  N * (N - 1)``
+
+which depends only on the current counts ``c``.  :class:`CountSimulator`
+exploits this:
+
+* the state space is interned once through the shared
+  :class:`~repro.engine.fast.TransitionTable` (compiled and cached per
+  protocol, exactly as the fast backend does);
+* the configuration is a small integer vector ``c`` (one entry per state;
+  the leader's state is the unique count-1 entry among leader-only
+  indices), so memory is O(states), not O(N);
+* interacting state pairs are sampled **directly from the counts** in
+  NumPy-generated batches of thousands of trials per Python-level step;
+* a transition updates four counts; the naming predicate (every mobile
+  count <= 1) and the silence certificate (total non-null pair weight
+  zero) are evaluated straight off the vector.
+
+Sampling: exact thinning with batched proposals
+-----------------------------------------------
+
+Between two non-null interactions the counts are constant, so the run of
+consecutive nulls is geometric and can be skipped in O(1).  To batch the
+non-null draws without resampling per event, the backend fixes an
+*envelope* ``ĉ = c + 2 * nu`` (no count can grow by more than 2 per event,
+so ``ĉ`` dominates ``c`` for the next ``nu`` events) and presamples, per
+batch, geometric gaps with success probability ``min(1, Ŵ / (N(N-1)))``
+plus a uniform position inside the envelope's cumulative weight.  Each
+candidate pair ``f`` is then *thinned* against the true weight: accepted
+with probability ``w_f(c) / ŵ_f``, where ``c`` is the counts at that very
+trial.  By the standard composition/thinning argument every trial realizes
+pair ``f`` with probability exactly ``w_f(c) / (N(N-1))`` - the true
+chain - while rejected candidates and skipped trials are exactly the null
+interactions.  Convergence checks keep the reference semantics: they fire
+at ``check_interval`` boundaries, only when a non-null interaction
+happened since the previous check (geometric memorylessness makes
+discarding a candidate at a boundary exact).
+
+The native path is therefore *distribution-exact* (up to the float64
+resolution of the sampler, the same caveat as any floating-point RNG):
+convergence verdicts, convergence-time distributions and counts
+trajectories match the agent-based backends statistically, which the
+KS-style tests in ``tests/engine/test_counts.py`` verify.  It is *not*
+stream-identical to the fast backend - it consumes NumPy randomness, not
+the scheduler's Mersenne stream - so ``final_configuration`` is a
+canonical representative of the reached equivalence class (mobile states
+in interned order), exact up to the paper's Section 3.1 equivalence.
+
+Runs the counts view cannot honour - non-uniform or adversarial
+schedulers, fault hooks, traces/observers (which need agent identities),
+protocols whose rules move states across the mobile/leader role boundary,
+or missing NumPy - fall back to :class:`~repro.engine.fast.FastSimulator`
+(which may itself fall back to the reference loop), with a
+:class:`~repro.errors.BackendFallbackWarning` naming the reason.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from collections import Counter
+
+from repro.engine.configuration import Configuration
+from repro.engine.fast import (
+    BACKENDS,
+    DEFAULT_COMPILE_LIMIT,
+    FastSimulator,
+    TransitionTable,
+    compile_table,
+    warn_fallback,
+)
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem, Problem
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.simulator import (
+    FaultHook,
+    Observer,
+    RunStats,
+    SimulationResult,
+)
+from repro.engine.trace import InteractionRecord, Trace
+from repro.errors import ConvergenceError, SimulationError
+from repro.schedulers.base import Scheduler
+
+try:  # NumPy powers the batched sampler; without it the backend delegates.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test image ships NumPy
+    _np = None
+
+
+def configuration_counts(
+    table: TransitionTable, config: Configuration
+) -> list[int]:
+    """The counts vector of ``config`` over ``table``'s interned states.
+
+    Includes the leader's state (as a count-1 entry), matching the
+    internal representation of :class:`CountSimulator`; used by the
+    differential trajectory tests.
+    """
+    counts = [0] * table.n_states
+    index = table.index
+    for state in config.states:
+        counts[index[state]] += 1
+    return counts
+
+
+def apply_record(
+    table: TransitionTable, counts: list[int], record: InteractionRecord
+) -> None:
+    """Apply one trace record to a counts vector, in place.
+
+    The aggregate effect of a pair stream on the counts telescopes over
+    per-record deltas, so replaying a :class:`~repro.engine.trace.Trace`
+    this way reproduces the counts trajectory of the agent-based backends
+    exactly - the basis of the shared-pair-stream differential test.
+    """
+    index = table.index
+    counts[index[record.before_initiator]] -= 1
+    counts[index[record.before_responder]] -= 1
+    counts[index[record.after_initiator]] += 1
+    counts[index[record.after_responder]] += 1
+
+
+class _CountsPlan:
+    """Per-table sampling tables: the non-null pairs, flattened.
+
+    ``pair_i/pair_j`` (NumPy) index the interacting states of every
+    non-null table entry, ``diag`` flags self-pairs (their weight is
+    ``c * (c - 1)``); ``quads`` carries the same rows as plain tuples
+    for the Python hot loop.  ``closed`` records whether every rule
+    preserves the mobile/leader role split - the invariant that keeps
+    the leader identifiable as the unique count among leader-only
+    indices.
+    """
+
+    __slots__ = (
+        "n_states",
+        "n_mobile",
+        "closed",
+        "pair_i",
+        "pair_j",
+        "diag",
+        "quads",
+    )
+
+    def __init__(self, table: TransitionTable) -> None:
+        n = table.n_states
+        n_mobile = len(table.mobile_indices)
+        pi: list[int] = []
+        pj: list[int] = []
+        ri: list[int] = []
+        rj: list[int] = []
+        closed = True
+        delta = table.delta
+        for i in range(n):
+            row = i * n
+            for j in range(n):
+                hit = delta[row + j]
+                if hit is None:
+                    continue
+                i2, j2 = hit
+                pi.append(i)
+                pj.append(j)
+                ri.append(i2)
+                rj.append(j2)
+                if (i < n_mobile) != (i2 < n_mobile) or (j < n_mobile) != (
+                    j2 < n_mobile
+                ):
+                    closed = False
+        self.n_states = n
+        self.n_mobile = n_mobile
+        self.closed = closed
+        # One tuple per non-null pair for the Python hot loop:
+        # (i, j, i2, j2, [i = j]) - a single index + unpack per event.
+        self.quads = [
+            (a, b, a2, b2, int(a == b))
+            for a, b, a2, b2 in zip(pi, pj, ri, rj)
+        ]
+        self.pair_i = _np.asarray(pi, dtype=_np.int64)
+        self.pair_j = _np.asarray(pj, dtype=_np.int64)
+        self.diag = (self.pair_i == self.pair_j).astype(_np.int64)
+
+
+#: Sampling plans, cached per protocol instance (like the table cache).
+_PLAN_CACHE: "weakref.WeakKeyDictionary[PopulationProtocol, _CountsPlan]"
+_PLAN_CACHE = weakref.WeakKeyDictionary()
+
+
+def _plan_for(
+    protocol: PopulationProtocol, table: TransitionTable
+) -> _CountsPlan:
+    """Build (or fetch the cached) sampling plan for ``protocol``."""
+    try:
+        cached = _PLAN_CACHE.get(protocol)
+    except TypeError:  # unhashable protocol instance
+        cached = None
+    if cached is not None:
+        return cached
+    plan = _CountsPlan(table)
+    try:
+        _PLAN_CACHE[protocol] = plan
+    except TypeError:
+        pass
+    return plan
+
+
+class CountSimulator:
+    """Counts-vector simulator: per-interaction cost independent of N.
+
+    Accepts the same constructor arguments and exposes the same
+    :meth:`run` contract as the other backends.  Runs served natively
+    are *statistically* equivalent to the agent-based backends (same
+    counts Markov chain, same convergence-check semantics), with
+    ``final_configuration`` a canonical representative of the reached
+    equivalence class; runs the counts view cannot honour delegate to an
+    internal :class:`~repro.engine.fast.FastSimulator` with a
+    :class:`~repro.errors.BackendFallbackWarning`.  :attr:`last_run_native`
+    reports which path served the last :meth:`run` call.
+
+    Parameters
+    ----------
+    protocol, population, scheduler, problem, check_interval:
+        As for :class:`~repro.engine.simulator.Simulator`.
+    compile_limit:
+        Largest state-space size eagerly compiled (shared with the fast
+        backend); larger protocols delegate.
+    events_per_batch:
+        Non-null events simulated per envelope refresh (the ``nu`` of the
+        module docstring).  Defaults to ``clamp(N // 32, 8, 512)``.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        population: Population,
+        scheduler: Scheduler,
+        problem: Problem | None = None,
+        check_interval: int | None = None,
+        compile_limit: int = DEFAULT_COMPILE_LIMIT,
+        events_per_batch: int | None = None,
+    ) -> None:
+        # The fast simulator validates the wiring and serves as the
+        # graceful-fallback delegate (it may in turn delegate to the
+        # reference loop).
+        self._fast = FastSimulator(
+            protocol, population, scheduler, problem, check_interval,
+            compile_limit,
+        )
+        self.protocol = protocol
+        self.population = population
+        self.scheduler = scheduler
+        self.problem = problem
+        self.check_interval = self._fast.check_interval
+        self._table = compile_table(protocol, compile_limit)
+        self._plan = (
+            _plan_for(protocol, self._table)
+            if _np is not None and self._table is not None
+            else None
+        )
+        self._rng = (
+            _np.random.default_rng(getattr(scheduler, "seed", None))
+            if _np is not None
+            else None
+        )
+        self._events_per_batch = events_per_batch or max(
+            8, min(512, population.size // 32)
+        )
+        #: Whether the most recent :meth:`run` used the counts path.
+        self.last_run_native = False
+        #: Final counts vector of the most recent native run (interned
+        #: order, leader included); ``None`` after delegated runs.
+        self.last_counts: list[int] | None = None
+        self._leader_pos: int | None = None
+
+    @property
+    def compiled(self) -> bool:
+        """Whether the protocol compiled to a transition table."""
+        return self._table is not None
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        initial: Configuration,
+        max_interactions: int = 1_000_000,
+        trace: Trace | None = None,
+        fault_hook: FaultHook | None = None,
+        raise_on_timeout: bool = False,
+        observer: Observer | None = None,
+    ) -> SimulationResult:
+        """Execute until certified convergence or the budget is exhausted.
+
+        Same parameters and semantics as :meth:`Simulator.run`.  Traces,
+        observers and fault hooks need agent identities, and non-uniform
+        schedulers need the full agent vector, so those runs delegate.
+        """
+        if len(initial) != self.population.size:
+            raise SimulationError(
+                f"initial configuration has {len(initial)} agents, "
+                f"population has {self.population.size}"
+            )
+        counts, reason = self._native_preconditions(
+            initial, trace, fault_hook, observer
+        )
+        if reason is not None:
+            warn_fallback("counts", "fast", reason)
+            self.last_run_native = False
+            self.last_counts = None
+            return self._fast.run(
+                initial,
+                max_interactions=max_interactions,
+                trace=trace,
+                fault_hook=fault_hook,
+                raise_on_timeout=raise_on_timeout,
+                observer=observer,
+            )
+        self.last_run_native = True
+        self._leader_pos = initial.leader_index
+        return self._run_native(counts, max_interactions, raise_on_timeout)
+
+    # ------------------------------------------------------------------
+    # Native-path preconditions
+    # ------------------------------------------------------------------
+
+    def _native_preconditions(
+        self,
+        initial: Configuration,
+        trace: Trace | None,
+        fault_hook: FaultHook | None,
+        observer: Observer | None,
+    ) -> tuple[list[int] | None, str | None]:
+        """Intern the initial configuration, or explain why we cannot."""
+        if _np is None:
+            return None, "NumPy is not installed (batched sampling needs it)"
+        if self._table is None:
+            return None, (
+                "the protocol's state space could not be compiled to a "
+                "transition table (unhashable, unenumerable or oversized)"
+            )
+        if not self._plan.closed:
+            return None, (
+                "a rule moves a state across the mobile/leader role "
+                "boundary, so counts alone cannot identify the leader"
+            )
+        if not getattr(self.scheduler, "uniform_pairs", False):
+            return None, (
+                f"scheduler {self.scheduler.display_name!r} is not the "
+                "uniform-random pair scheduler (counts sampling assumes "
+                "independent uniform ordered pairs)"
+            )
+        if fault_hook is not None:
+            return None, "fault hooks rewrite per-agent configurations"
+        if trace is not None or observer is not None:
+            return None, "traces and observers need agent identities"
+        if self.problem is not None and not getattr(
+            self.problem, "permutation_invariant", False
+        ):
+            return None, (
+                "the problem is not permutation-invariant, so it cannot "
+                "be evaluated on a canonical representative"
+            )
+        table = self._table
+        n_mobile = self._plan.n_mobile
+        counts = [0] * table.n_states
+        leader_pos = initial.leader_index
+        leader_state = (
+            initial.states[leader_pos] if leader_pos is not None else None
+        )
+        # Tally distinct states at C speed (the per-agent Python loop
+        # would dominate run() at N = 10^5+), then intern and role-check
+        # per *distinct* state only.
+        try:
+            tally = Counter(initial.states)
+            for state, k in tally.items():
+                idx = table.index[state]
+                if idx >= n_mobile and (k != 1 or state != leader_state):
+                    return None, "a mobile agent holds a leader-only state"
+                counts[idx] += k
+        except (KeyError, TypeError):
+            return None, (
+                "the initial configuration holds states outside the "
+                "protocol's declared state space"
+            )
+        if leader_state is not None and table.index[leader_state] < n_mobile:
+            return None, (
+                "the leader holds a mobile state, which is "
+                "ambiguous in the counts representation"
+            )
+        return counts, None
+
+    # ------------------------------------------------------------------
+    # Counts hot loop
+    # ------------------------------------------------------------------
+
+    def _materialize(self, counts: list[int]) -> Configuration:
+        """A canonical representative of the counts' equivalence class.
+
+        Mobile states are expanded in interned (``sort_key``) order; the
+        leader - the unique count among leader-only indices - returns to
+        the agent slot it occupied initially.  Exact up to the paper's
+        Section 3.1 equivalence; O(N), called once per run plus once per
+        generic-problem convergence check.
+        """
+        table = self._table
+        objs = table.states
+        n_mobile = self._plan.n_mobile
+        states: list = []
+        for i in range(n_mobile):
+            k = counts[i]
+            if k:
+                states.extend([objs[i]] * k)
+        leader_pos = self._leader_pos
+        if leader_pos is None:
+            return Configuration(tuple(states), None)
+        leader_state = None
+        for i in range(n_mobile, table.n_states):
+            if counts[i]:
+                leader_state = objs[i]
+                break
+        states.insert(leader_pos, leader_state)
+        return Configuration(tuple(states), leader_pos)
+
+    def _run_native(
+        self,
+        counts: list[int],
+        max_interactions: int,
+        raise_on_timeout: bool,
+    ) -> SimulationResult:
+        """The batched-thinning hot loop; assumes all preconditions."""
+        np = _np
+        started = time.perf_counter()
+        plan = self._plan
+        rng = self._rng
+        problem = self.problem
+        protocol = self.protocol
+        check_interval = self.check_interval
+        n_mobile = plan.n_mobile
+        pair_i, pair_j, diag = plan.pair_i, plan.pair_j, plan.diag
+        quads = plan.quads
+        c = counts
+        size = self.population.size
+        total_pairs = size * (size - 1)
+        nu = self._events_per_batch
+
+        # Number of duplicated mobile states; the naming predicate
+        # (names_distinct) is exactly ``dup == 0``.
+        dup = 0
+        for i in range(n_mobile):
+            if c[i] >= 2:
+                dup += 1
+
+        checking = problem is not None
+        fast_naming = checking and type(problem) is NamingProblem
+
+        def total_weight() -> int:
+            """Sum of non-null ordered-pair weights at the current counts.
+
+            Zero exactly when the configuration is silent (every
+            realizable meeting is null): counts-native mirror of
+            :func:`repro.engine.problems.is_silent`.
+            """
+            a = np.asarray(c, dtype=np.int64)
+            return int((a[pair_i] * (a[pair_j] - diag)).sum())
+
+        def solved() -> bool:
+            """Certified convergence, matching ``problem.is_solved``."""
+            if fast_naming:
+                return dup == 0 and total_weight() == 0
+            return problem.is_solved(protocol, self._materialize(c))
+
+        pos = 0  # completed interactions (nulls included)
+        events = 0  # non-null interactions
+        converged_at: int | None = None
+        if problem is not None and solved():
+            converged_at = 0
+
+        budget = max_interactions
+        # ``stop`` is the next position the gap jumps must not cross:
+        # either a pending convergence-check boundary or the budget.
+        stop = budget
+        pending_check = False
+
+        while pos < budget and converged_at is None:
+            # -- refresh: true weights at the current counts --
+            a = np.asarray(c, dtype=np.int64)
+            w_true = a[pair_i] * (a[pair_j] - diag)
+            weight = int(w_true.sum())
+            if weight == 0:
+                # Silent configuration: frozen forever - fast-forward.
+                if pending_check:
+                    pos = stop
+                    pending_check = False
+                    stop = budget
+                    if solved():
+                        converged_at = pos
+                        break
+                pos = budget
+                break
+            envelope = a + 2 * nu  # dominates the counts for nu events
+            w_hat = envelope[pair_i] * (envelope[pair_j] - diag)
+            cum = np.cumsum(w_hat, dtype=np.float64)
+            w_hat_total = float(cum[-1])
+            p_hat = w_hat_total / total_pairs
+            if p_hat >= 1.0:
+                # Dense regime (small populations or heavy churn): the
+                # inflated envelope is no thinning bound at all here, so
+                # draw the next non-null event straight from the *true*
+                # weights instead - gap ~ Geometric(W / N(N-1)), event f
+                # with probability w_f / W.  Exact; one event per
+                # refresh, which only costs where N is small anyway.
+                gap = int(rng.geometric(weight / total_pairs))
+                npos = pos + gap
+                if npos > stop:
+                    pos = stop
+                    if not pending_check:
+                        break  # budget exhausted mid-gap
+                    # Memoryless gap: discard and redraw next iteration.
+                    pending_check = False
+                    stop = budget
+                    if solved():
+                        converged_at = pos
+                    continue
+                pos = npos
+                cum_true = np.cumsum(w_true, dtype=np.float64)
+                f = int(
+                    np.searchsorted(
+                        cum_true, rng.random() * weight, side="right"
+                    )
+                )
+                i, j, i2, j2, _ = quads[f]
+                if i != i2:
+                    v = c[i] - 1
+                    c[i] = v
+                    if v == 1 and i < n_mobile:
+                        dup -= 1
+                    v = c[i2] + 1
+                    c[i2] = v
+                    if v == 2 and i2 < n_mobile:
+                        dup += 1
+                if j != j2:
+                    v = c[j] - 1
+                    c[j] = v
+                    if v == 1 and j < n_mobile:
+                        dup -= 1
+                    v = c[j2] + 1
+                    c[j2] = v
+                    if v == 2 and j2 < n_mobile:
+                        dup += 1
+                events += 1
+                if checking:
+                    if pos % check_interval == 0:
+                        pending_check = False
+                        stop = budget
+                        if solved():
+                            converged_at = pos
+                    elif not pending_check:
+                        boundary = (
+                            pos - pos % check_interval + check_interval
+                        )
+                        if boundary < budget:
+                            stop = boundary
+                            pending_check = True
+                continue
+
+            # Sparse regime: presample geometric gaps against the
+            # envelope plus a position inside its cumulative weight,
+            # then thin each candidate against the true weights.  At
+            # most ``nu`` of the ``nu`` candidates can be accepted, so
+            # the envelope guarantee holds for the whole batch.
+            garr = rng.geometric(p_hat, size=nu)
+            total_gap = int(garr.sum())
+            gaps = garr.tolist()
+            values = rng.random(nu) * w_hat_total
+            buckets = np.searchsorted(cum, values, side="right")
+            lower = cum[buckets - 1]
+            lower[buckets == 0] = 0.0
+            offsets = (values - lower).tolist()
+            buckets = buckets.tolist()
+
+            if checking:
+                next_boundary = (
+                    pos - pos % check_interval + check_interval
+                )
+                limit = next_boundary if next_boundary < stop else stop
+            else:
+                next_boundary = budget
+                limit = stop
+            if pos + total_gap < limit:
+                # Bare loop: the whole batch provably stays short of the
+                # next check boundary, any pending boundary and the
+                # budget, so every per-candidate boundary test - and the
+                # per-event check bookkeeping - can be hoisted out.
+                before = events
+                for gap, f, off in zip(gaps, buckets, offsets):
+                    pos += gap
+                    i, j, i2, j2, d = quads[f]
+                    if off >= c[i] * (c[j] - d):
+                        continue  # thinned candidate: a null interaction
+                    if i != i2:
+                        v = c[i] - 1
+                        c[i] = v
+                        if v == 1 and i < n_mobile:
+                            dup -= 1
+                        v = c[i2] + 1
+                        c[i2] = v
+                        if v == 2 and i2 < n_mobile:
+                            dup += 1
+                    if j != j2:
+                        v = c[j] - 1
+                        c[j] = v
+                        if v == 1 and j < n_mobile:
+                            dup -= 1
+                        v = c[j2] + 1
+                        c[j2] = v
+                        if v == 2 and j2 < n_mobile:
+                            dup += 1
+                    events += 1
+                # All events of this batch share one check boundary
+                # (they happened strictly inside one check interval).
+                if (
+                    checking
+                    and events != before
+                    and not pending_check
+                    and next_boundary < budget
+                ):
+                    stop = next_boundary
+                    pending_check = True
+                continue
+
+            done = False
+            for gap, f, off in zip(gaps, buckets, offsets):
+                npos = pos + gap
+                if npos > stop:
+                    pos = stop
+                    if not pending_check:
+                        done = True  # budget exhausted mid-gap
+                        break
+                    # Check boundary crossed: the geometric gap is
+                    # memoryless, so discarding this candidate and moving
+                    # on to the next (a fresh draw) is exact.
+                    pending_check = False
+                    stop = budget
+                    if solved():
+                        converged_at = pos
+                        done = True
+                        break
+                    continue
+                pos = npos
+                i, j, i2, j2, d = quads[f]
+                if off >= c[i] * (c[j] - d):
+                    continue  # thinned candidate: a null interaction
+                # Accepted: the non-null event (i, j) -> (i2, j2).
+                if i != i2:
+                    v = c[i] - 1
+                    c[i] = v
+                    if v == 1 and i < n_mobile:
+                        dup -= 1
+                    v = c[i2] + 1
+                    c[i2] = v
+                    if v == 2 and i2 < n_mobile:
+                        dup += 1
+                if j != j2:
+                    v = c[j] - 1
+                    c[j] = v
+                    if v == 1 and j < n_mobile:
+                        dup -= 1
+                    v = c[j2] + 1
+                    c[j2] = v
+                    if v == 2 and j2 < n_mobile:
+                        dup += 1
+                events += 1
+                if checking:
+                    if pos % check_interval == 0:
+                        pending_check = False
+                        stop = budget
+                        if solved():
+                            converged_at = pos
+                            done = True
+                            break
+                    elif not pending_check:
+                        boundary = (
+                            pos - pos % check_interval + check_interval
+                        )
+                        if boundary < budget:
+                            stop = boundary
+                            pending_check = True
+                        # Boundaries at/after the budget are covered by
+                        # the final check below, as in the reference loop.
+            if done:
+                break
+
+        # Final check: the budget may end mid check-interval.
+        if converged_at is None and problem is not None and solved():
+            converged_at = pos
+
+        converged = converged_at is not None
+        if not converged and raise_on_timeout:
+            raise ConvergenceError(
+                f"{protocol.display_name} did not converge within "
+                f"{max_interactions} interactions",
+                interactions=pos,
+            )
+        self.last_counts = list(c)
+        return SimulationResult(
+            converged=converged,
+            interactions=pos,
+            non_null_interactions=events,
+            final_configuration=self._materialize(c),
+            population=self.population,
+            trace=None,
+            convergence_interaction=converged_at,
+            faults_injected=0,
+            stats=RunStats.measure(started, pos, events),
+        )
+
+
+BACKENDS["counts"] = CountSimulator

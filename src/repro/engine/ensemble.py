@@ -5,12 +5,13 @@ scheduler per seed, run to certified convergence, aggregate.  This module
 makes that pattern a public API so downstream users measure their own
 protocols the same way the reproduction measures the paper's.
 
-Ensembles can run on either simulation backend (``backend="fast"`` uses
-:class:`repro.engine.fast.FastSimulator`) and, because per-seed runs are
-independent, across processes (``n_jobs > 1``).  Parallel runs return
-seed-identical results to serial runs; the only requirement is that the
-protocol, problem, factories and fault hook are picklable (module-level
-callables, not lambdas).
+Ensembles can run on any registered simulation backend (``"reference"``,
+``"fast"`` or ``"counts"``; see :data:`repro.engine.fast.BACKENDS`) and,
+because per-seed runs are independent, across processes (``n_jobs > 1``,
+with seeds dispatched to workers in contiguous chunks).  Parallel runs
+return seed-identical results to serial runs; the only requirement is
+that the protocol, problem, factories and fault hook are picklable
+(module-level callables, not lambdas).
 """
 
 from __future__ import annotations
@@ -106,6 +107,60 @@ def _run_single(task: tuple) -> SimulationResult:
     )
 
 
+def _run_chunk(task: tuple) -> list[SimulationResult]:
+    """Run a contiguous chunk of seeds inside one worker task.
+
+    Dispatching chunks instead of single seeds amortizes the pool's
+    per-task pickling of the protocol, population and factories over
+    many runs.  Results are seed-identical to the serial path because
+    every seed still builds its own scheduler, simulator and initial
+    configuration through the factories.
+    """
+    common, seeds = task
+    (
+        protocol,
+        population,
+        scheduler_factory,
+        initial_factory,
+        problem,
+        max_interactions,
+        backend,
+        check_interval,
+        raise_on_timeout,
+        fault_hook,
+    ) = common
+    return [
+        _run_single(
+            (
+                protocol,
+                population,
+                scheduler_factory,
+                initial_factory,
+                problem,
+                seed,
+                max_interactions,
+                backend,
+                check_interval,
+                raise_on_timeout,
+                fault_hook,
+            )
+        )
+        for seed in seeds
+    ]
+
+
+def _chunk_seeds(seeds: list[int], n_chunks: int) -> list[list[int]]:
+    """Split seeds into ``n_chunks`` contiguous, balanced chunks."""
+    base, extra = divmod(len(seeds), n_chunks)
+    chunks: list[list[int]] = []
+    start = 0
+    for k in range(n_chunks):
+        size = base + (1 if k < extra else 0)
+        chunks.append(seeds[start : start + size])
+        start += size
+    return chunks
+
+
 def run_ensemble(
     protocol: PopulationProtocol,
     population: Population,
@@ -133,15 +188,17 @@ def run_ensemble(
         :class:`ConvergenceError` (carrying the offending seed in its
         message) instead of being recorded.
     backend:
-        Simulation backend per run: ``"reference"`` (the default) or
-        ``"fast"`` (see :mod:`repro.engine.fast`).
+        Simulation backend per run: ``"reference"`` (the default),
+        ``"fast"`` (see :mod:`repro.engine.fast`) or ``"counts"`` (see
+        :mod:`repro.engine.counts`).
     n_jobs:
         Number of worker processes.  ``1`` runs serially in-process;
         larger values fan the seeds out over a
         :class:`~concurrent.futures.ProcessPoolExecutor`, which requires
         every task ingredient to be picklable (module-level factories).
-        Results are returned in seed order and are identical to a serial
-        run.
+        Seeds travel in contiguous chunks (about four per worker) so the
+        per-task pickling overhead is amortized over many runs.  Results
+        are returned in seed order and are identical to a serial run.
     check_interval, raise_on_timeout, fault_hook:
         Forwarded to each per-seed simulator/run, so ensemble runs can use
         the same knobs as single runs.
@@ -149,32 +206,36 @@ def run_ensemble(
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be a positive integer, got {n_jobs}")
     seeds = list(seeds)
-    tasks = [
-        (
-            protocol,
-            population,
-            scheduler_factory,
-            initial_factory,
-            problem,
-            seed,
-            max_interactions,
-            backend,
-            check_interval,
-            raise_on_timeout,
-            fault_hook,
-        )
-        for seed in seeds
-    ]
+    common = (
+        protocol,
+        population,
+        scheduler_factory,
+        initial_factory,
+        problem,
+        max_interactions,
+        backend,
+        check_interval,
+        raise_on_timeout,
+        fault_hook,
+    )
     ensemble = EnsembleResult()
-    if n_jobs > 1 and len(tasks) > 1:
+    if n_jobs > 1 and len(seeds) > 1:
+        n_chunks = min(len(seeds), n_jobs * 4)
+        chunks = _chunk_seeds(seeds, n_chunks)
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            results = list(pool.map(_run_single, tasks))
+            chunk_results = list(
+                pool.map(_run_chunk, [(common, chunk) for chunk in chunks])
+            )
+        results = [r for chunk in chunk_results for r in chunk]
         for seed, result in zip(seeds, results):
             _record(ensemble, seed, result, max_interactions,
                     require_convergence)
     else:
-        for seed, task in zip(seeds, tasks):
-            _record(ensemble, seed, _run_single(task), max_interactions,
+        # Seed-by-seed, so ``require_convergence`` still aborts at the
+        # first failing seed without running the rest.
+        for seed in seeds:
+            result = _run_chunk((common, [seed]))[0]
+            _record(ensemble, seed, result, max_interactions,
                     require_convergence)
     return ensemble
 

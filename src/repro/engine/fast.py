@@ -32,6 +32,8 @@ hooks, or initial states outside the declared space.
 
 from __future__ import annotations
 
+import time
+import warnings
 import weakref
 
 from repro.engine.configuration import Configuration
@@ -41,11 +43,17 @@ from repro.engine.protocol import PopulationProtocol
 from repro.engine.simulator import (
     FaultHook,
     Observer,
+    RunStats,
     SimulationResult,
     Simulator,
 )
 from repro.engine.trace import InteractionRecord, Trace
-from repro.errors import ConfigurationError, ConvergenceError, SimulationError
+from repro.errors import (
+    BackendFallbackWarning,
+    ConfigurationError,
+    ConvergenceError,
+    SimulationError,
+)
 from repro.schedulers.base import Scheduler
 
 #: Largest combined state-space size eagerly compiled into a transition
@@ -104,6 +112,21 @@ class TransitionTable:
 #: Compiled tables, cached per protocol instance (built once per protocol).
 _TABLE_CACHE: "weakref.WeakKeyDictionary[PopulationProtocol, TransitionTable]"
 _TABLE_CACHE = weakref.WeakKeyDictionary()
+
+
+def warn_fallback(backend: str, delegate: str, reason: str) -> None:
+    """Warn that ``backend`` delegates the current run to ``delegate``.
+
+    The run's results are unaffected (the delegate is exact); the warning
+    exists so users relying on an accelerated path learn why they did not
+    get it.  Emits :class:`repro.errors.BackendFallbackWarning`.
+    """
+    warnings.warn(
+        f"{backend} backend falling back to the {delegate} simulator: "
+        f"{reason}",
+        BackendFallbackWarning,
+        stacklevel=3,
+    )
 
 
 def compile_table(
@@ -206,11 +229,21 @@ class FastSimulator:
         those runs delegate to the reference simulator.
         """
         table = self._table
-        if (
-            table is None
-            or fault_hook is not None
-            or self.scheduler.inspects_configuration
-        ):
+        reason = None
+        if table is None:
+            reason = (
+                "the protocol's state space could not be compiled to a "
+                "transition table (unhashable, unenumerable or oversized)"
+            )
+        elif fault_hook is not None:
+            reason = "fault hooks mutate whole configurations per interaction"
+        elif self.scheduler.inspects_configuration:
+            reason = (
+                f"scheduler {self.scheduler.display_name!r} inspects the "
+                "configuration, which defeats batched pair sampling"
+            )
+        if reason is not None:
+            warn_fallback("fast", "reference", reason)
             self.last_run_fast = False
             return self._reference.run(
                 initial,
@@ -230,6 +263,12 @@ class FastSimulator:
         except (KeyError, TypeError):
             # States outside the declared space (or unhashable): the
             # reference loop handles them by construction.
+            warn_fallback(
+                "fast",
+                "reference",
+                "the initial configuration holds states outside the "
+                "protocol's declared state space",
+            )
             self.last_run_fast = False
             return self._reference.run(
                 initial,
@@ -247,6 +286,11 @@ class FastSimulator:
         ):
             # A mobile agent holding a leader-only state is pathological;
             # only the reference loop defines its semantics.
+            warn_fallback(
+                "fast",
+                "reference",
+                "a mobile agent holds a leader-only state",
+            )
             self.last_run_fast = False
             return self._reference.run(
                 initial,
@@ -279,6 +323,7 @@ class FastSimulator:
         observer: Observer | None,
     ) -> SimulationResult:
         """The array-based hot loop; assumes all fast-path preconditions."""
+        started = time.perf_counter()
         table = self._table
         assert table is not None
         nst = table.n_states
@@ -470,6 +515,7 @@ class FastSimulator:
             trace=trace,
             convergence_interaction=converged_at,
             faults_injected=0,
+            stats=RunStats.measure(started, interaction, non_null),
         )
 
 
@@ -488,9 +534,12 @@ def make_simulator(
     problem: Problem | None = None,
     check_interval: int | None = None,
 ):
-    """Build a simulator for ``backend`` (``"reference"`` or ``"fast"``).
+    """Build a simulator for ``backend``.
 
-    Raises :class:`SimulationError` for unknown backend names.
+    Known names are the :data:`BACKENDS` keys: ``"reference"``,
+    ``"fast"`` and (once :mod:`repro.engine.counts` is imported, which
+    ``repro.engine`` always does) ``"counts"``.  Raises
+    :class:`SimulationError` for unknown backend names.
     """
     try:
         cls = BACKENDS[backend]

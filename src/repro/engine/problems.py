@@ -61,6 +61,15 @@ class Problem(ABC):
     #: Human-readable problem name.
     display_name: str = "problem"
 
+    #: Whether :meth:`is_solved` depends only on the *multiset* of mobile
+    #: states plus the leader state (the paper's Section 3.1 equivalence),
+    #: never on which agent id holds which state.  True for every problem
+    #: in this library (agents are anonymous); count-based backends
+    #: (:mod:`repro.engine.counts`) require it because they evaluate
+    #: predicates on a canonical representative configuration.  Subclasses
+    #: that inspect agent identities must set it to ``False``.
+    permutation_invariant: bool = True
+
     @abstractmethod
     def is_satisfied(self, config: Configuration) -> bool:
         """The problem predicate on a single configuration."""

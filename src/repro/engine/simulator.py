@@ -12,6 +12,7 @@ falsified, never a "looks quiet" heuristic.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Protocol as TypingProtocol
 
@@ -41,6 +42,45 @@ class Observer(TypingProtocol):
     def __call__(self, interaction: int, config: Configuration) -> None: ...
 
 
+@dataclass(frozen=True)
+class RunStats:
+    """Lightweight measurements of how a run performed (not what it did).
+
+    Populated by every backend.  Excluded from :class:`SimulationResult`
+    equality because wall-clock numbers differ between otherwise identical
+    runs; the differential tests compare semantics, not timings.
+    """
+
+    wall_seconds: float
+    interactions_per_second: float
+    null_fraction: float
+
+    @classmethod
+    def measure(
+        cls, started: float, interactions: int, non_null: int
+    ) -> "RunStats":
+        """Build stats from a ``time.perf_counter()`` start mark."""
+        elapsed = time.perf_counter() - started
+        return cls(
+            wall_seconds=elapsed,
+            interactions_per_second=(
+                interactions / elapsed if elapsed > 0 else 0.0
+            ),
+            null_fraction=(
+                (interactions - non_null) / interactions
+                if interactions
+                else 0.0
+            ),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.wall_seconds:.3f} s wall, "
+            f"{self.interactions_per_second:,.0f} interactions/s, "
+            f"{self.null_fraction:.1%} null"
+        )
+
+
 @dataclass
 class SimulationResult:
     """Outcome of a simulation run.
@@ -59,6 +99,9 @@ class SimulationResult:
     convergence_interaction: int | None = None
     faults_injected: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Run performance measurements; ``compare=False`` keeps backend
+    #: differential tests (``reference == fast``) meaningful.
+    stats: RunStats | None = field(default=None, compare=False, repr=False)
 
     @property
     def parallel_time(self) -> float:
@@ -165,6 +208,7 @@ class Simulator:
                 f"initial configuration has {len(initial)} agents, "
                 f"population has {self.population.size}"
             )
+        started = time.perf_counter()
         config = initial
         non_null = 0
         faults = 0
@@ -241,6 +285,7 @@ class Simulator:
             trace=trace,
             convergence_interaction=converged_at,
             faults_injected=faults,
+            stats=RunStats.measure(started, interaction, non_null),
         )
 
 

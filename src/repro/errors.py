@@ -54,3 +54,15 @@ class ConvergenceError(SimulationError):
 
 class VerificationError(ReproError):
     """A model-checking or enumeration routine received invalid input."""
+
+
+class BackendFallbackWarning(RuntimeWarning):
+    """An accelerated simulation backend silently delegated a run to a
+    slower backend.
+
+    Emitted (via :func:`warnings.warn`) by :class:`repro.engine.fast.
+    FastSimulator` and :class:`repro.engine.counts.CountSimulator` when a
+    run cannot be served by their optimized paths - e.g. uncompilable
+    state spaces, configuration-inspecting schedulers, fault hooks, or
+    initial states outside the declared space.  The warning message names
+    the reason; results are unaffected (the delegate backend is exact)."""

@@ -1,19 +1,32 @@
 """Micro-benchmark ``repro bench``: simulation-backend throughput.
 
-Measures interactions/second of the reference simulator and the fast
-array-based backend (:mod:`repro.engine.fast`) under the uniform-random
-scheduler, across population sizes, on two workloads:
+Measures interactions/second of the reference simulator, the fast
+array-based backend (:mod:`repro.engine.fast`) and the count-based
+backend (:mod:`repro.engine.counts`) under the uniform-random scheduler,
+across population sizes, on two workloads:
 
 * ``naming`` - the paper's single-rule asymmetric naming protocol
   (Proposition 12) with a small bound, a mixed null/non-null workload;
 * ``churn``  - a stress protocol whose every interaction rewrites both
-  agents, the reference backend's worst case (it pays the full O(N)
-  configuration copy on every step).
+  agents, the per-interaction worst case for every backend (the
+  reference pays an O(N) configuration copy per step, the counts
+  backend a Python-level counts update per step).
 
-Besides timing, the run doubles as a differential smoke check: both
-backends must return *equal* :class:`SimulationResult`\\ s, or the bench
-aborts.  ``python -m repro bench`` prints the table and writes
-``BENCH_simulator.json`` with per-workload speedups.
+Workloads start from a *spread* initial configuration (states dealt
+round-robin), so the null/non-null mix is stationary from the first
+interaction and the numbers measure per-interaction engine overhead
+rather than a protocol-specific transient.
+
+Besides timing, the run doubles as a differential smoke check: the fast
+and reference backends consume the same scheduler stream, so they must
+return *equal* :class:`SimulationResult`\\ s or the bench aborts (the
+counts backend draws its own randomness and is validated statistically
+in the test suite instead).  The reference backend is skipped above
+``REFERENCE_MAX_N`` agents, where its O(N)-per-interaction loop would
+dominate the wall-clock budget.  ``python -m repro bench`` prints the
+table and writes ``BENCH_simulator.json`` with per-workload speedups;
+``--floor`` turns the run into a perf gate on the counts backend's
+naming throughput at the largest size.
 """
 
 from __future__ import annotations
@@ -42,6 +55,10 @@ DEFAULT_SEED = 2018
 
 #: Default output file, relative to the working directory.
 DEFAULT_OUT = "BENCH_simulator.json"
+
+#: Largest population the O(N)-per-interaction reference backend is
+#: timed at; beyond this it is skipped (the fast/counts cells remain).
+REFERENCE_MAX_N = 2_000
 
 
 class ChurnProtocol(PopulationProtocol):
@@ -102,9 +119,32 @@ def workloads() -> dict[str, PopulationProtocol]:
 
 
 def _budget(n_mobile: int, scale: float) -> int:
-    """Interaction budget for a population size (same for both backends)."""
-    base = max(50_000, 2_000_000 // n_mobile)
+    """Interaction budget for a population size (same for all backends).
+
+    Small populations get budgets inversely proportional to N (the
+    reference backend pays O(N) per interaction); large populations -
+    where only the fast and counts backends run - get ``10 * N`` capped
+    at two million, enough interactions for the rates to stabilize.
+    """
+    if n_mobile >= 10_000:
+        base = min(10 * n_mobile, 2_000_000)
+    else:
+        base = max(50_000, 2_000_000 // n_mobile)
     return max(2_000, int(base * scale))
+
+
+def _spread_initial(
+    protocol: PopulationProtocol, population: Population
+) -> Configuration:
+    """Deal the protocol's mobile states round-robin over the agents.
+
+    Keeps the null/non-null interaction mix stationary from the first
+    interaction, so the bench measures steady per-interaction cost
+    rather than the protocol's transient from a uniform start.
+    """
+    space = sorted(protocol.mobile_state_space())
+    states = tuple(space[i % len(space)] for i in range(population.size))
+    return Configuration(states, None)
 
 
 def run_bench(
@@ -124,12 +164,14 @@ def run_bench(
             budget = _budget(n, scale)
             outcomes = {}
             for backend in sorted(BACKENDS):
+                if backend == "reference" and n > REFERENCE_MAX_N:
+                    continue  # O(N) per interaction: prohibitive here
                 population = Population(n)
                 scheduler = RandomPairScheduler(population, seed=seed)
                 simulator = make_simulator(
                     backend, protocol, population, scheduler, NamingProblem()
                 )
-                initial = Configuration.uniform(population, 0)
+                initial = _spread_initial(protocol, population)
                 start = time.perf_counter()
                 result = simulator.run(initial, max_interactions=budget)
                 elapsed = time.perf_counter() - start
@@ -144,7 +186,14 @@ def run_bench(
                         seconds=elapsed,
                     )
                 )
-            if outcomes["fast"] != outcomes["reference"]:
+            # The fast backend consumes the scheduler stream identically
+            # to the reference loop, so their results must be equal (the
+            # counts backend uses its own randomness and is validated
+            # statistically in the test suite).
+            if (
+                "reference" in outcomes
+                and outcomes["fast"] != outcomes["reference"]
+            ):
                 raise SimulationError(
                     f"backend divergence on workload {workload!r} at "
                     f"N={n}, seed={seed}: fast and reference results differ"
@@ -152,18 +201,48 @@ def run_bench(
     return points
 
 
-def speedups(points: list[BenchPoint]) -> dict[str, dict[str, float]]:
-    """Fast-over-reference rate ratios, ``{workload: {str(N): ratio}}``."""
+def speedups(
+    points: list[BenchPoint],
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Pairwise rate ratios, ``{workload: {str(N): {pair: ratio}}}``.
+
+    Reported pairs are ``"fast/reference"`` and ``"counts/fast"``, each
+    present only when both of its backends ran at that size.
+    """
     rates: dict[tuple[str, int], dict[str, float]] = {}
     for p in points:
         rates.setdefault((p.workload, p.n_mobile), {})[p.backend] = p.rate
-    out: dict[str, dict[str, float]] = {}
+    out: dict[str, dict[str, dict[str, float]]] = {}
     for (workload, n), per_backend in rates.items():
         ref = per_backend.get("reference")
         fast = per_backend.get("fast")
+        counts = per_backend.get("counts")
+        cell: dict[str, float] = {}
         if ref and fast:
-            out.setdefault(workload, {})[str(n)] = fast / ref
+            cell["fast/reference"] = fast / ref
+        if fast and counts:
+            cell["counts/fast"] = counts / fast
+        if cell:
+            out.setdefault(workload, {})[str(n)] = cell
     return out
+
+
+def floor_rate(points: list[BenchPoint]) -> float | None:
+    """The counts backend's naming rate at the largest measured size.
+
+    This is the number the ``--floor`` perf gate guards: the headline
+    claim of the counts backend is large-N naming throughput, so that is
+    the cell that must not regress.  Returns ``None`` when no such cell
+    was measured.
+    """
+    cells = [
+        p
+        for p in points
+        if p.workload == "naming" and p.backend == "counts"
+    ]
+    if not cells:
+        return None
+    return max(cells, key=lambda p: p.n_mobile).rate
 
 
 def write_json(
@@ -202,7 +281,15 @@ def render_points(points: list[BenchPoint]) -> str:
     ratio = speedups(points)
     rows = []
     for p in points:
-        cell = ratio.get(p.workload, {}).get(str(p.n_mobile))
+        cell = ratio.get(p.workload, {}).get(str(p.n_mobile), {})
+        if p.backend == "fast":
+            pair = cell.get("fast/reference")
+            shown = f"{pair:.1f}x vs reference" if pair else ""
+        elif p.backend == "counts":
+            pair = cell.get("counts/fast")
+            shown = f"{pair:.1f}x vs fast" if pair else ""
+        else:
+            shown = ""
         rows.append(
             (
                 p.workload,
@@ -211,7 +298,7 @@ def render_points(points: list[BenchPoint]) -> str:
                 p.interactions,
                 f"{p.seconds * 1000:.0f} ms",
                 f"{p.rate:,.0f}/s",
-                f"{cell:.1f}x" if p.backend == "fast" and cell else "",
+                shown,
             )
         )
     return render_table(
@@ -243,12 +330,34 @@ def main(argv: list[str] | None = None) -> int:
         help="tiny budgets for CI smoke runs (equivalent to --scale 0.02)",
     )
     parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "fail (exit 1) unless the counts backend's naming rate at "
+            "the largest size reaches RATE interactions/second"
+        ),
+    )
     args = parser.parse_args(argv)
     scale = 0.02 if args.smoke else args.scale
     points = run_bench(tuple(args.sizes), seed=args.seed, scale=scale)
     print(render_points(points))
     write_json(points, args.out, seed=args.seed, scale=scale)
     print(f"\nJSON written to {args.out}")
+    if args.floor is not None:
+        rate = floor_rate(points)
+        if rate is None:
+            print("floor check: no counts naming cell was measured")
+            return 1
+        verdict = "ok" if rate >= args.floor else "FAIL"
+        print(
+            f"floor check: counts naming rate {rate:,.0f}/s vs floor "
+            f"{args.floor:,.0f}/s -> {verdict}"
+        )
+        if rate < args.floor:
+            return 1
     return 0
 
 

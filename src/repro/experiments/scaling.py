@@ -1,4 +1,5 @@
-"""Experiment ``exp-s5``: exact-verification scaling.
+"""Experiment ``exp-s5``: exact-verification scaling (plus, with
+``--simulate``, a large-N simulation-backend sweep).
 
 How far does each verification technique reach?  This experiment measures
 explored state-space sizes and wall-clock time for the labelled checker,
@@ -7,6 +8,14 @@ on the paper's protocols.  It quantifies the reproduction's verification
 story: the quotient abstraction buys roughly ``N!`` and pushes exact
 verification past everything simulation can certify (most strikingly
 Protocol 3 at ``N = P = 5``).
+
+The ``--simulate`` mode asks the complementary question - how far does
+*simulation* reach?  It sweeps the asymmetric naming dynamics
+(Proposition 12) up to a million agents on the fast and count-based
+backends, measuring interactions/second at each size.  The fast backend's
+rate is size-independent but it stops being practical to *hold* the
+population beyond ~10^5 agents; the counts backend keeps O(states)
+memory and a size-independent rate all the way to N = 10^6.
 
 ``python -m repro.experiments.scaling`` prints the table.  Points are
 independent, so ``--jobs K`` fans them out over worker processes.
@@ -26,11 +35,16 @@ from repro.analysis.quotient import (
 )
 from repro.analysis.reachability import arbitrary_initial_configurations
 from repro.analysis.weak_fairness import check_naming_weak
+from repro.core.asymmetric import AsymmetricNamingProtocol
 from repro.core.global_naming import GlobalNamingProtocol
 from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
 from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.fast import make_simulator
 from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
 from repro.experiments.report import render_table
+from repro.schedulers.random_pair import RandomPairScheduler
 
 
 @dataclass(frozen=True)
@@ -125,6 +139,106 @@ def _run_point(spec: tuple[str, int, str]) -> ScalePoint:
     )
 
 
+@dataclass(frozen=True)
+class SimulationScalePoint:
+    """One (backend, N) simulation-throughput measurement."""
+
+    backend: str
+    n_mobile: int
+    interactions: int
+    non_null_interactions: int
+    seconds: float
+
+    @property
+    def rate(self) -> float:
+        """Interactions per second."""
+        return self.interactions / self.seconds if self.seconds else 0.0
+
+
+#: Population sizes of the default ``--simulate`` sweep.
+SIMULATION_SIZES = (10**3, 10**4, 10**5, 10**6)
+
+#: Largest population the fast (per-agent) backend is swept to; above
+#: this only the counts backend runs.
+FAST_MAX_N = 10**5
+
+#: Name bound of the swept asymmetric naming dynamics; with N far above
+#: it the workload never converges, so every budgeted interaction is
+#: measured.
+SIMULATION_BOUND = 8
+
+
+def _run_simulation_point(
+    spec: tuple[str, int, int],
+) -> SimulationScalePoint:
+    """Time one (backend, N) sweep cell.  Module-level for pickling."""
+    backend, n, seed = spec
+    protocol = AsymmetricNamingProtocol(SIMULATION_BOUND)
+    population = Population(n)
+    scheduler = RandomPairScheduler(population, seed=seed)
+    simulator = make_simulator(
+        backend, protocol, population, scheduler, NamingProblem()
+    )
+    space = sorted(protocol.mobile_state_space())
+    initial = Configuration(
+        tuple(space[i % len(space)] for i in range(n)), None
+    )
+    budget = min(10 * n, 2_000_000)
+    start = time.perf_counter()
+    result = simulator.run(initial, max_interactions=budget)
+    return SimulationScalePoint(
+        backend=backend,
+        n_mobile=n,
+        interactions=result.interactions,
+        non_null_interactions=result.non_null_interactions,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def run_simulation_scaling(
+    max_n: int = 10**6, seed: int = 2018, n_jobs: int = 1
+) -> list[SimulationScalePoint]:
+    """Sweep the naming dynamics across backends and population sizes.
+
+    The fast backend runs up to :data:`FAST_MAX_N`; the counts backend
+    runs at every size up to ``max_n``.
+    """
+    specs = [
+        (backend, n, seed)
+        for n in SIMULATION_SIZES
+        if n <= max_n
+        for backend in ("fast", "counts")
+        if backend == "counts" or n <= FAST_MAX_N
+    ]
+    if n_jobs > 1 and len(specs) > 1:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(_run_simulation_point, specs))
+    return [_run_simulation_point(spec) for spec in specs]
+
+
+def render_simulation_points(points: list[SimulationScalePoint]) -> str:
+    """Render the simulation sweep as an aligned text table."""
+    rows = [
+        (
+            p.n_mobile,
+            p.backend,
+            p.interactions,
+            p.non_null_interactions,
+            f"{p.seconds * 1000:.0f} ms",
+            f"{p.rate:,.0f}/s",
+        )
+        for p in points
+    ]
+    return render_table(
+        ("N", "backend", "interactions", "non-null", "time", "rate"),
+        rows,
+        title=(
+            "simulation scaling: asymmetric naming dynamics "
+            f"(P = {SIMULATION_BOUND}, uniform random scheduler)"
+        ),
+    )
+
+
 def run_scaling(
     max_quotient_n: int = 6, n_jobs: int = 1
 ) -> list[ScalePoint]:
@@ -169,7 +283,25 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="worker processes for independent points",
     )
+    parser.add_argument(
+        "--simulate",
+        action="store_true",
+        help=(
+            "run the large-N simulation-backend sweep instead of the "
+            "exact-verification study (--max-n is the largest population)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2018, help="--simulate scheduler seed"
+    )
     args = parser.parse_args(argv)
+    if args.simulate:
+        max_n = args.max_n if args.max_n > 6 else 10**6
+        sim_points = run_simulation_scaling(
+            max_n=max_n, seed=args.seed, n_jobs=args.jobs
+        )
+        print(render_simulation_points(sim_points))
+        return 0
     points = run_scaling(max_quotient_n=args.max_n, n_jobs=args.jobs)
     print(render_points(points))
     return 0 if all(p.solves for p in points) else 1

@@ -49,6 +49,14 @@ class Scheduler(ABC):
     #: may be handed ``config=None``.  The conservative default is ``True``.
     inspects_configuration: bool = True
 
+    #: Whether every proposal is an independent uniform draw over ordered
+    #: pairs of distinct agents (the model's canonical randomized
+    #: scheduler).  Count-based backends (:mod:`repro.engine.counts`) rely
+    #: on this to sample interacting *state* pairs directly from the
+    #: configuration's multiset, without agent identities.  Schedulers
+    #: that bias, order or restrict pairs must leave it ``False``.
+    uniform_pairs: bool = False
+
     def __init__(self, population: Population, seed: int | None = None) -> None:
         if population.size < 2:
             raise SchedulerError(
@@ -56,6 +64,7 @@ class Scheduler(ABC):
                 f"population of size {population.size}"
             )
         self.population = population
+        self.seed = seed
         self._rng = random.Random(seed)
 
     @abstractmethod

@@ -20,6 +20,7 @@ class RandomPairScheduler(Scheduler):
     weakly_fair = True  # with probability 1
     globally_fair = True  # with probability 1
     inspects_configuration = False
+    uniform_pairs = True
 
     def __init__(self, population: Population, seed: int | None = None) -> None:
         super().__init__(population, seed)

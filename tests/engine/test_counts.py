@@ -1,0 +1,359 @@
+"""Tests for the count-based backend (:mod:`repro.engine.counts`).
+
+The counts backend is *statistically* equivalent to the agent-based
+backends, not stream-identical, so the differential tests here compare
+counts trajectories under a shared pair stream (exact) and
+convergence-time distributions under independent randomness (KS-style),
+rather than asserting byte-equal results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.counts import (
+    CountSimulator,
+    apply_record,
+    configuration_counts,
+)
+from repro.engine.fast import FastSimulator, make_simulator
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.protocol import TableProtocol
+from repro.engine.trace import Trace
+from repro.errors import (
+    BackendFallbackWarning,
+    ConvergenceError,
+    SimulationError,
+)
+from repro.schedulers.adversarial import HomonymPreservingScheduler
+from repro.schedulers.random_pair import RandomPairScheduler
+
+
+def build(n, bound=8, seed=0, problem=True, **kwargs):
+    """A counts simulator for the asymmetric naming protocol."""
+    protocol = AsymmetricNamingProtocol(bound)
+    population = Population(n)
+    scheduler = RandomPairScheduler(population, seed=seed)
+    simulator = CountSimulator(
+        protocol,
+        population,
+        scheduler,
+        NamingProblem() if problem else None,
+        **kwargs,
+    )
+    return protocol, population, simulator
+
+
+def uniform_initial(population, state=0):
+    return Configuration.uniform(population, state)
+
+
+class TestConstruction:
+    def test_make_simulator_builds_counts_backend(self):
+        protocol = AsymmetricNamingProtocol(4)
+        population = Population(5)
+        scheduler = RandomPairScheduler(population, seed=0)
+        simulator = make_simulator(
+            "counts", protocol, population, scheduler, NamingProblem()
+        )
+        assert isinstance(simulator, CountSimulator)
+        assert simulator.compiled
+
+    def test_size_mismatch_raises(self):
+        _, population, simulator = build(6)
+        wrong = Configuration.uniform(Population(4), 0)
+        with pytest.raises(SimulationError, match="4 agents"):
+            simulator.run(wrong, max_interactions=10)
+
+
+class TestNativeRuns:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_converges_to_distinct_names(self, seed):
+        _, population, simulator = build(8, seed=seed)
+        result = simulator.run(
+            uniform_initial(population), max_interactions=200_000
+        )
+        assert simulator.last_run_native
+        assert result.converged
+        assert result.trace is None
+        names = result.final_configuration.mobile_states
+        assert len(set(names)) == len(names)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_final_configuration_matches_counts_vector(self, seed):
+        """The materialized representative reproduces ``last_counts``."""
+        _, population, simulator = build(12, seed=seed)
+        result = simulator.run(
+            uniform_initial(population), max_interactions=200_000
+        )
+        assert simulator.last_run_native
+        reconstructed = configuration_counts(
+            simulator._table, result.final_configuration
+        )
+        assert reconstructed == simulator.last_counts
+
+    def test_small_events_per_batch_still_converges(self):
+        _, population, simulator = build(8, seed=1, events_per_batch=4)
+        result = simulator.run(
+            uniform_initial(population), max_interactions=200_000
+        )
+        assert simulator.last_run_native
+        assert result.converged
+
+    def test_dense_regime_small_population(self):
+        """Small N puts the sampler in the per-event true-weight path."""
+        _, population, simulator = build(6, seed=7)
+        result = simulator.run(
+            uniform_initial(population), max_interactions=200_000
+        )
+        assert simulator.last_run_native
+        assert result.converged
+        names = result.final_configuration.mobile_states
+        assert len(set(names)) == len(names)
+
+    def test_already_silent_initial_configuration(self):
+        protocol, population, simulator = build(8)
+        space = sorted(protocol.mobile_state_space())
+        initial = Configuration(tuple(space[:8]), None)
+        result = simulator.run(initial, max_interactions=1_000)
+        assert simulator.last_run_native
+        assert result.converged
+        assert result.convergence_interaction == 0
+        assert result.non_null_interactions == 0
+
+    def test_stats_populated(self):
+        _, population, simulator = build(8)
+        result = simulator.run(
+            uniform_initial(population), max_interactions=50_000
+        )
+        assert result.stats is not None
+        assert result.stats.wall_seconds >= 0.0
+        assert 0.0 <= result.stats.null_fraction <= 1.0
+
+    def test_raise_on_timeout(self):
+        # N far above the name bound: naming is impossible, the run
+        # must exhaust its budget and raise.
+        _, population, simulator = build(20, bound=4)
+        with pytest.raises(ConvergenceError, match="did not converge"):
+            simulator.run(
+                uniform_initial(population),
+                max_interactions=5_000,
+                raise_on_timeout=True,
+            )
+        assert simulator.last_run_native
+
+    def test_leader_protocol_keeps_leader_slot_and_counts(self):
+        protocol = GlobalNamingProtocol(4)
+        population = Population(4, has_leader=True)
+        scheduler = RandomPairScheduler(population, seed=3)
+        simulator = CountSimulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        initial = Configuration.from_states(
+            population,
+            [sorted(protocol.mobile_state_space())[0]] * 4,
+            protocol.initial_leader_state(),
+        )
+        result = simulator.run(initial, max_interactions=100_000)
+        assert simulator.last_run_native
+        final = result.final_configuration
+        assert final.leader_index == initial.leader_index
+        assert (
+            configuration_counts(simulator._table, final)
+            == simulator.last_counts
+        )
+
+
+class TestCountsTrajectory:
+    """Exact differential check: replaying an agent-based trace through
+    :func:`apply_record` must land on the agent-based final counts."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_trace_replay_matches_fast_backend(self, seed):
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(10)
+        scheduler = RandomPairScheduler(population, seed=seed)
+        simulator = FastSimulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        trace = Trace(capacity=None)
+        initial = uniform_initial(population)
+        result = simulator.run(
+            initial, max_interactions=50_000, trace=trace
+        )
+        table = simulator._table
+        counts = configuration_counts(table, initial)
+        for record in trace.records:
+            apply_record(table, counts, record)
+        assert counts == configuration_counts(
+            table, result.final_configuration
+        )
+
+
+class TestStatisticalEquivalence:
+    def test_convergence_time_distribution_matches_fast(self):
+        """Two-sample KS-style check on convergence interactions.
+
+        The backends draw independent randomness, so their convergence
+        times are compared as distributions: the empirical-CDF gap must
+        stay under the large-sample KS bound ``1.95 * sqrt((n+m)/(nm))``
+        (far into the tail; a genuine dynamics bug trips it reliably).
+        """
+        seeds = range(40)
+        samples = {"fast": [], "counts": []}
+        for backend in samples:
+            for seed in seeds:
+                protocol = AsymmetricNamingProtocol(8)
+                population = Population(8)
+                scheduler = RandomPairScheduler(population, seed=seed)
+                simulator = make_simulator(
+                    backend, protocol, population, scheduler, NamingProblem()
+                )
+                result = simulator.run(
+                    uniform_initial(population), max_interactions=200_000
+                )
+                assert result.converged
+                samples[backend].append(result.convergence_interaction)
+
+        fast = sorted(samples["fast"])
+        counts = sorted(samples["counts"])
+        pooled = sorted(set(fast + counts))
+        n, m = len(fast), len(counts)
+
+        def cdf(sample, x):
+            lo, hi = 0, len(sample)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if sample[mid] <= x:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            return lo / len(sample)
+
+        d_stat = max(abs(cdf(fast, x) - cdf(counts, x)) for x in pooled)
+        bound = 1.95 * math.sqrt((n + m) / (n * m))
+        assert d_stat < bound, (
+            f"KS statistic {d_stat:.3f} exceeds bound {bound:.3f}"
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_verdicts_agree_with_fast(self, seed):
+        for backend in ("fast", "counts"):
+            protocol = AsymmetricNamingProtocol(64)
+            population = Population(64)
+            scheduler = RandomPairScheduler(population, seed=seed)
+            simulator = make_simulator(
+                backend, protocol, population, scheduler, NamingProblem()
+            )
+            result = simulator.run(
+                uniform_initial(population), max_interactions=500_000
+            )
+            assert result.converged, f"{backend} failed at seed {seed}"
+
+
+class TestFallbacks:
+    def test_trace_falls_back(self):
+        _, population, simulator = build(8)
+        trace = Trace(capacity=None)
+        with pytest.warns(
+            BackendFallbackWarning, match="need agent identities"
+        ):
+            result = simulator.run(
+                uniform_initial(population),
+                max_interactions=100_000,
+                trace=trace,
+            )
+        assert not simulator.last_run_native
+        assert simulator.last_counts is None
+        assert result.converged
+        assert trace.records  # the delegate honoured the trace
+
+    def test_fault_hook_falls_back(self):
+        _, population, simulator = build(8)
+        calls = []
+
+        def hook(interaction, config):
+            calls.append(interaction)
+            return None
+
+        with pytest.warns(
+            BackendFallbackWarning, match="rewrite per-agent"
+        ):
+            simulator.run(
+                uniform_initial(population),
+                max_interactions=50,
+                fault_hook=hook,
+            )
+        assert not simulator.last_run_native
+        assert calls
+
+    def test_non_uniform_scheduler_falls_back(self):
+        protocol = AsymmetricNamingProtocol(4)
+        population = Population(6)
+        scheduler = HomonymPreservingScheduler(population, protocol, seed=0)
+        simulator = CountSimulator(
+            protocol, population, scheduler, NamingProblem()
+        )
+        with pytest.warns(
+            BackendFallbackWarning,
+            match="not the uniform-random pair scheduler",
+        ):
+            result = simulator.run(
+                uniform_initial(population), max_interactions=500
+            )
+        assert not simulator.last_run_native
+        assert not result.converged  # the adversary preserves homonyms
+
+    def test_non_permutation_invariant_problem_falls_back(self):
+        class PositionalNaming(NamingProblem):
+            permutation_invariant = False
+
+        protocol = AsymmetricNamingProtocol(8)
+        population = Population(8)
+        scheduler = RandomPairScheduler(population, seed=0)
+        simulator = CountSimulator(
+            protocol, population, scheduler, PositionalNaming()
+        )
+        with pytest.warns(
+            BackendFallbackWarning, match="not permutation-invariant"
+        ):
+            result = simulator.run(
+                uniform_initial(population), max_interactions=200_000
+            )
+        assert not simulator.last_run_native
+        assert result.converged
+
+    def test_role_boundary_crossing_protocol_falls_back(self):
+        # A rule that turns a mobile state into a leader-only state:
+        # counts alone can no longer identify the leader.
+        protocol = TableProtocol(
+            {(0, "L"): ("L", 0)},
+            mobile_states=(0, 1),
+            leader_states=("L",),
+            display_name="role swapper",
+        )
+        population = Population(4, has_leader=True)
+        scheduler = RandomPairScheduler(population, seed=0)
+        simulator = CountSimulator(protocol, population, scheduler, None)
+        initial = Configuration.from_states(population, [0, 0, 1, 1], "L")
+        with pytest.warns(
+            BackendFallbackWarning, match="role boundary"
+        ):
+            simulator.run(initial, max_interactions=100)
+        assert not simulator.last_run_native
+
+    def test_rogue_state_falls_back(self):
+        _, population, simulator = build(3)
+        rogue = Configuration.from_states(population, (0, 1, "rogue"))
+        with pytest.warns(
+            BackendFallbackWarning,
+            match="outside the protocol's declared",
+        ):
+            simulator.run(rogue, max_interactions=100)
+        assert not simulator.last_run_native

@@ -153,3 +153,47 @@ class TestForwardedKnobs:
                 seeds=range(1),
                 backend="warp",
             )
+
+
+class TestSeedChunking:
+    """The parallel path ships seeds to workers in contiguous chunks;
+    the split must be balanced, ordered and lossless."""
+
+    def test_chunks_are_contiguous_and_balanced(self):
+        from repro.engine.ensemble import _chunk_seeds
+
+        seeds = list(range(11))
+        chunks = _chunk_seeds(seeds, 4)
+        assert len(chunks) == 4
+        assert [s for chunk in chunks for s in chunk] == seeds
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_seeds(self):
+        from repro.engine.ensemble import _chunk_seeds
+
+        chunks = _chunk_seeds([1, 2], 5)
+        assert [s for chunk in chunks for s in chunk] == [1, 2]
+        assert all(len(chunk) <= 1 for chunk in chunks)
+
+    def test_chunked_serial_dispatch_matches_per_seed(self):
+        """Running seeds through the chunk runner yields the same
+        per-seed results as the one-seed-at-a-time path."""
+        from repro.engine.ensemble import _run_chunk
+
+        protocol, population, sf, inf = make_parts()
+        common = (
+            protocol,
+            population,
+            sf,
+            inf,
+            NamingProblem(),
+            100_000,
+            "reference",
+            None,
+            False,
+            None,
+        )
+        chunked = _run_chunk((common, [0, 1, 2]))
+        singles = [_run_chunk((common, [seed]))[0] for seed in (0, 1, 2)]
+        assert chunked == singles

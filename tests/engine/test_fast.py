@@ -19,6 +19,7 @@ from repro.core.global_naming import GlobalNamingProtocol
 from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
 from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
 from repro.engine.configuration import Configuration
+from repro.engine.counts import CountSimulator
 from repro.engine.ensemble import run_ensemble
 from repro.engine.fast import (
     BACKENDS,
@@ -31,7 +32,7 @@ from repro.engine.problems import NamingProblem
 from repro.engine.protocol import TableProtocol
 from repro.engine.simulator import Simulator
 from repro.engine.trace import Trace
-from repro.errors import SimulationError
+from repro.errors import BackendFallbackWarning, SimulationError
 from repro.schedulers.adversarial import HomonymPreservingScheduler
 from repro.schedulers.base import Scheduler
 from repro.schedulers.random_pair import RandomPairScheduler
@@ -227,9 +228,12 @@ class TestFallbacks:
         simulator = FastSimulator(
             protocol, population, scheduler, NamingProblem()
         )
-        result = simulator.run(
-            Configuration.uniform(population, 1), max_interactions=500
-        )
+        with pytest.warns(
+            BackendFallbackWarning, match="inspects the configuration"
+        ):
+            result = simulator.run(
+                Configuration.uniform(population, 1), max_interactions=500
+            )
         assert not simulator.last_run_fast
         assert not result.converged  # the adversary preserves homonyms
 
@@ -246,11 +250,12 @@ class TestFallbacks:
             calls.append(interaction)
             return None
 
-        simulator.run(
-            Configuration.uniform(population, 0),
-            max_interactions=50,
-            fault_hook=hook,
-        )
+        with pytest.warns(BackendFallbackWarning, match="fault hooks"):
+            simulator.run(
+                Configuration.uniform(population, 0),
+                max_interactions=50,
+                fault_hook=hook,
+            )
         assert not simulator.last_run_fast
         assert calls
 
@@ -266,9 +271,13 @@ class TestFallbacks:
             compile_limit=1,
         )
         assert not simulator.compiled
-        result = simulator.run(
-            Configuration.uniform(population, 0), max_interactions=30_000
-        )
+        with pytest.warns(
+            BackendFallbackWarning, match="could not be compiled"
+        ):
+            result = simulator.run(
+                Configuration.uniform(population, 0),
+                max_interactions=30_000,
+            )
         assert not simulator.last_run_fast
         # Fallback still matches a plain reference run.
         reference = Simulator(
@@ -290,7 +299,10 @@ class TestFallbacks:
             protocol, population, scheduler, NamingProblem()
         )
         rogue = Configuration.from_states(population, (0, 1, "rogue"))
-        simulator.run(rogue, max_interactions=100)
+        with pytest.warns(
+            BackendFallbackWarning, match="outside the protocol's declared"
+        ):
+            simulator.run(rogue, max_interactions=100)
         assert not simulator.last_run_fast
 
     def test_uncompilable_protocol_returns_none(self):
@@ -316,7 +328,11 @@ class TestFallbacks:
 
 class TestBackendRegistry:
     def test_registry_contents(self):
-        assert BACKENDS == {"reference": Simulator, "fast": FastSimulator}
+        assert BACKENDS == {
+            "reference": Simulator,
+            "fast": FastSimulator,
+            "counts": CountSimulator,
+        }
 
     def test_make_simulator_builds_each(self):
         protocol = AsymmetricNamingProtocol(4)

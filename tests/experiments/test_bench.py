@@ -6,7 +6,9 @@ import pytest
 
 from repro.engine.fast import compile_table
 from repro.experiments.bench import (
+    REFERENCE_MAX_N,
     ChurnProtocol,
+    floor_rate,
     run_bench,
     speedups,
     workloads,
@@ -31,11 +33,40 @@ class TestChurnProtocol:
 
 class TestRunBench:
     def test_smoke_run_produces_all_cells(self, tmp_path):
-        points = run_bench(sizes=(6,), seed=1, scale=0.02)
-        assert len(points) == len(workloads()) * 2  # two backends
+        # N = 12 exceeds the naming bound (8), so the spread start never
+        # converges and every backend runs its whole budget.
+        points = run_bench(sizes=(12,), seed=1, scale=0.02)
+        assert len(points) == len(workloads()) * 3  # three backends
         assert all(p.interactions > 0 and p.seconds >= 0 for p in points)
         ratios = speedups(points)
         assert set(ratios) == set(workloads())
+        for per_size in ratios.values():
+            cell = per_size["12"]
+            assert set(cell) == {"fast/reference", "counts/fast"}
+            assert all(v > 0 for v in cell.values())
+
+    def test_reference_backend_skipped_above_cap(self):
+        n = REFERENCE_MAX_N + 1
+        points = run_bench(sizes=(n,), seed=1, scale=0.002)
+        backends = {p.backend for p in points}
+        assert backends == {"fast", "counts"}
+        # Only the counts/fast pair is reportable without a reference.
+        ratios = speedups(points)
+        for per_size in ratios.values():
+            assert set(per_size[str(n)]) == {"counts/fast"}
+
+    def test_floor_rate_reads_largest_naming_cell(self):
+        points = run_bench(sizes=(6, 12), seed=1, scale=0.02)
+        rate = floor_rate(points)
+        expected = [
+            p
+            for p in points
+            if p.workload == "naming"
+            and p.backend == "counts"
+            and p.n_mobile == 12
+        ]
+        assert rate == expected[0].rate
+        assert floor_rate([]) is None
 
     def test_json_payload_round_trips(self, tmp_path):
         points = run_bench(sizes=(6,), seed=1, scale=0.02)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.scaling import render_points, run_scaling
+from repro.experiments.scaling import (
+    FAST_MAX_N,
+    render_points,
+    render_simulation_points,
+    run_scaling,
+    run_simulation_scaling,
+)
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +70,29 @@ class TestParallelScaling:
             for p in pts
         ]
         assert strip(parallel) == strip(serial)
+
+
+class TestSimulationScaling:
+    def test_small_sweep_measures_both_backends(self):
+        points = run_simulation_scaling(max_n=10**4, seed=7)
+        cells = {(p.backend, p.n_mobile) for p in points}
+        assert cells == {
+            ("fast", 10**3),
+            ("counts", 10**3),
+            ("fast", 10**4),
+            ("counts", 10**4),
+        }
+        assert all(p.interactions > 0 for p in points)
+        assert all(p.rate > 0 for p in points)
+
+    def test_fast_backend_capped(self):
+        # FAST_MAX_N bounds the fast backend; the counts backend has no
+        # cap, which is the point of the sweep.
+        assert FAST_MAX_N < 10**6
+
+    def test_render_simulation_table(self):
+        points = run_simulation_scaling(max_n=10**3, seed=7)
+        text = render_simulation_points(points)
+        assert "backend" in text
+        assert "counts" in text
+        assert "fast" in text

@@ -76,6 +76,29 @@ class TestSimulate:
         assert main(argv + ["--backend", "fast"]) == 0
         assert capsys.readouterr().out == reference_out
 
+    @pytest.mark.parametrize("backend", ["reference", "fast", "counts"])
+    def test_verbose_prints_perf_line(self, capsys, backend):
+        argv = [
+            "simulate",
+            "--symmetry",
+            "asymmetric",
+            "-P",
+            "5",
+            "-N",
+            "4",
+            "--backend",
+            backend,
+        ]
+        assert main(argv + ["--verbose"]) == 0
+        verbose_out = capsys.readouterr().out
+        assert "perf      :" in verbose_out
+        assert "interactions/s" in verbose_out
+        assert f"[{backend} backend]" in verbose_out
+        # Without --verbose the perf line must not appear (the default
+        # output stays byte-identical across stream-identical backends).
+        assert main(argv) == 0
+        assert "perf" not in capsys.readouterr().out
+
     def test_leadered_simulation(self, capsys):
         code = main(
             [
