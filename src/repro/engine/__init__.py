@@ -11,9 +11,10 @@ from repro.engine.fast import (
     make_simulator,
 )
 
-# Imported after ``fast`` so its registration lands in BACKENDS whenever
-# the engine package is loaded.
+# Imported after ``fast`` so their registrations land in BACKENDS
+# whenever the engine package is loaded (``batch`` builds on ``counts``).
 from repro.engine.counts import CountSimulator, configuration_counts
+from repro.engine.batch import BatchedEnsembleSimulator
 from repro.engine.population import AgentId, Population
 from repro.engine.problems import (
     CountingProblem,
@@ -47,6 +48,7 @@ from repro.engine.trace import InteractionRecord, Trace, replay
 __all__ = [
     "BACKENDS",
     "AgentId",
+    "BatchedEnsembleSimulator",
     "Configuration",
     "CountSimulator",
     "CountingProblem",

@@ -134,12 +134,12 @@ class _CountsPlan:
     """Per-table sampling tables: the non-null pairs, flattened.
 
     ``pair_i/pair_j`` (NumPy) index the interacting states of every
-    non-null table entry, ``diag`` flags self-pairs (their weight is
-    ``c * (c - 1)``); ``quads`` carries the same rows as plain tuples
-    for the Python hot loop.  ``closed`` records whether every rule
-    preserves the mobile/leader role split - the invariant that keeps
-    the leader identifiable as the unique count among leader-only
-    indices.
+    non-null table entry and ``res_i/res_j`` their successor states,
+    ``diag`` flags self-pairs (their weight is ``c * (c - 1)``);
+    ``quads`` carries the same rows as plain tuples for the Python hot
+    loop.  ``closed`` records whether every rule preserves the
+    mobile/leader role split - the invariant that keeps the leader
+    identifiable as the unique count among leader-only indices.
     """
 
     __slots__ = (
@@ -148,6 +148,8 @@ class _CountsPlan:
         "closed",
         "pair_i",
         "pair_j",
+        "res_i",
+        "res_j",
         "diag",
         "quads",
     )
@@ -187,7 +189,78 @@ class _CountsPlan:
         ]
         self.pair_i = _np.asarray(pi, dtype=_np.int64)
         self.pair_j = _np.asarray(pj, dtype=_np.int64)
+        self.res_i = _np.asarray(ri, dtype=_np.int64)
+        self.res_j = _np.asarray(rj, dtype=_np.int64)
         self.diag = (self.pair_i == self.pair_j).astype(_np.int64)
+
+
+def intern_initial(
+    table: TransitionTable, n_mobile: int, initial: Configuration
+) -> tuple[list[int] | None, str | None]:
+    """Intern ``initial`` into a counts vector over ``table``'s states.
+
+    Returns ``(counts, None)`` on success and ``(None, reason)`` when the
+    configuration cannot be represented by counts alone (states outside
+    the declared space, or a role mix-up that would make the leader
+    unidentifiable).  Shared by the counts and batch backends.
+    """
+    counts = [0] * table.n_states
+    leader_pos = initial.leader_index
+    leader_state = (
+        initial.states[leader_pos] if leader_pos is not None else None
+    )
+    # Tally distinct states at C speed (the per-agent Python loop
+    # would dominate run() at N = 10^5+), then intern and role-check
+    # per *distinct* state only.
+    try:
+        tally = Counter(initial.states)
+        for state, k in tally.items():
+            idx = table.index[state]
+            if idx >= n_mobile and (k != 1 or state != leader_state):
+                return None, "a mobile agent holds a leader-only state"
+            counts[idx] += k
+    except (KeyError, TypeError):
+        return None, (
+            "the initial configuration holds states outside the "
+            "protocol's declared state space"
+        )
+    if leader_state is not None and table.index[leader_state] < n_mobile:
+        return None, (
+            "the leader holds a mobile state, which is "
+            "ambiguous in the counts representation"
+        )
+    return counts, None
+
+
+def materialize_counts(
+    table: TransitionTable,
+    n_mobile: int,
+    counts: list[int],
+    leader_pos: int | None,
+) -> Configuration:
+    """A canonical representative of the counts' equivalence class.
+
+    Mobile states are expanded in interned (``sort_key``) order; the
+    leader - the unique count among leader-only indices - returns to the
+    agent slot it occupied initially.  Exact up to the paper's
+    Section 3.1 equivalence; O(N).  Shared by the counts and batch
+    backends.
+    """
+    objs = table.states
+    states: list = []
+    for i in range(n_mobile):
+        k = counts[i]
+        if k:
+            states.extend([objs[i]] * k)
+    if leader_pos is None:
+        return Configuration(tuple(states), None)
+    leader_state = None
+    for i in range(n_mobile, table.n_states):
+        if counts[i]:
+            leader_state = objs[i]
+            break
+    states.insert(leader_pos, leader_state)
+    return Configuration(tuple(states), leader_pos)
 
 
 #: Sampling plans, cached per protocol instance (like the table cache).
@@ -370,34 +443,7 @@ class CountSimulator:
                 "the problem is not permutation-invariant, so it cannot "
                 "be evaluated on a canonical representative"
             )
-        table = self._table
-        n_mobile = self._plan.n_mobile
-        counts = [0] * table.n_states
-        leader_pos = initial.leader_index
-        leader_state = (
-            initial.states[leader_pos] if leader_pos is not None else None
-        )
-        # Tally distinct states at C speed (the per-agent Python loop
-        # would dominate run() at N = 10^5+), then intern and role-check
-        # per *distinct* state only.
-        try:
-            tally = Counter(initial.states)
-            for state, k in tally.items():
-                idx = table.index[state]
-                if idx >= n_mobile and (k != 1 or state != leader_state):
-                    return None, "a mobile agent holds a leader-only state"
-                counts[idx] += k
-        except (KeyError, TypeError):
-            return None, (
-                "the initial configuration holds states outside the "
-                "protocol's declared state space"
-            )
-        if leader_state is not None and table.index[leader_state] < n_mobile:
-            return None, (
-                "the leader holds a mobile state, which is "
-                "ambiguous in the counts representation"
-            )
-        return counts, None
+        return intern_initial(self._table, self._plan.n_mobile, initial)
 
     # ------------------------------------------------------------------
     # Counts hot loop
@@ -412,24 +458,9 @@ class CountSimulator:
         Section 3.1 equivalence; O(N), called once per run plus once per
         generic-problem convergence check.
         """
-        table = self._table
-        objs = table.states
-        n_mobile = self._plan.n_mobile
-        states: list = []
-        for i in range(n_mobile):
-            k = counts[i]
-            if k:
-                states.extend([objs[i]] * k)
-        leader_pos = self._leader_pos
-        if leader_pos is None:
-            return Configuration(tuple(states), None)
-        leader_state = None
-        for i in range(n_mobile, table.n_states):
-            if counts[i]:
-                leader_state = objs[i]
-                break
-        states.insert(leader_pos, leader_state)
-        return Configuration(tuple(states), leader_pos)
+        return materialize_counts(
+            self._table, self._plan.n_mobile, counts, self._leader_pos
+        )
 
     def _run_native(
         self,

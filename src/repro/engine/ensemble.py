@@ -5,13 +5,19 @@ scheduler per seed, run to certified convergence, aggregate.  This module
 makes that pattern a public API so downstream users measure their own
 protocols the same way the reproduction measures the paper's.
 
-Ensembles can run on any registered simulation backend (``"reference"``,
-``"fast"`` or ``"counts"``; see :data:`repro.engine.fast.BACKENDS`) and,
-because per-seed runs are independent, across processes (``n_jobs > 1``,
-with seeds dispatched to workers in contiguous chunks).  Parallel runs
-return seed-identical results to serial runs; the only requirement is
-that the protocol, problem, factories and fault hook are picklable
-(module-level callables, not lambdas).
+Ensembles can run on any registered simulation backend (see
+:data:`repro.engine.fast.BACKENDS`).  The default, ``"batch"``, advances
+all replicates of the ensemble in lockstep as one ``(R, S)`` counts
+matrix (:class:`~repro.engine.batch.BatchedEnsembleSimulator`), falling
+back down the ladder ``batch -> counts -> fast -> reference`` with a
+:class:`~repro.errors.BackendFallbackWarning` when a scheduler, problem
+or protocol cannot be honoured natively.  Because per-seed runs are
+independent, every backend also fans out across processes (``n_jobs >
+1``, with seeds dispatched to workers in contiguous chunks - each worker
+running its chunk as its own lockstep batch under ``"batch"``).
+Parallel runs return seed-identical results to serial runs; the only
+requirement is that the protocol, problem, factories and fault hook are
+picklable (module-level callables, not lambdas).
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.engine.fast import make_simulator
 from repro.engine.population import Population
 from repro.engine.problems import Problem
 from repro.engine.protocol import PopulationProtocol
-from repro.engine.simulator import FaultHook, SimulationResult
+from repro.engine.simulator import FaultHook, RunStats, SimulationResult
 from repro.errors import ConvergenceError
 from repro.schedulers.base import Scheduler
 
@@ -72,6 +78,36 @@ class EnsembleResult:
             for seed, result in zip(self.seeds, self.results)
             if not result.converged
         ]
+
+    @property
+    def stats(self) -> RunStats | None:
+        """Aggregated :class:`RunStats` over the ensemble's runs.
+
+        ``wall_seconds`` totals the per-run wall clocks (lockstep batches
+        attribute each replicate an equal share of the batch, so the
+        total reflects real elapsed simulation time);
+        ``interactions_per_second`` is the mean of the per-run rates,
+        which for a lockstep batch sums back to the batch throughput;
+        ``null_fraction`` is computed over the pooled interactions.
+        ``None`` when no run carries stats.
+        """
+        timed = [r for r in self.results if r.stats is not None]
+        if not timed:
+            return None
+        interactions = sum(r.interactions for r in timed)
+        non_null = sum(r.non_null_interactions for r in timed)
+        return RunStats(
+            wall_seconds=sum(r.stats.wall_seconds for r in timed),
+            interactions_per_second=(
+                sum(r.stats.interactions_per_second for r in timed)
+                / len(timed)
+            ),
+            null_fraction=(
+                (interactions - non_null) / interactions
+                if interactions
+                else 0.0
+            ),
+        )
 
 
 def _run_single(task: tuple) -> SimulationResult:
@@ -150,15 +186,66 @@ def _run_chunk(task: tuple) -> list[SimulationResult]:
 
 
 def _chunk_seeds(seeds: list[int], n_chunks: int) -> list[list[int]]:
-    """Split seeds into ``n_chunks`` contiguous, balanced chunks."""
+    """Split seeds into at most ``n_chunks`` contiguous, balanced chunks.
+
+    When ``n_chunks`` exceeds the number of seeds the surplus chunks
+    would be empty; they are dropped rather than dispatched as no-op
+    worker tasks, so callers may pass ``n_jobs`` (or a multiple of it)
+    without sizing it against the ensemble first.
+    """
     base, extra = divmod(len(seeds), n_chunks)
     chunks: list[list[int]] = []
     start = 0
     for k in range(n_chunks):
         size = base + (1 if k < extra else 0)
+        if size == 0:
+            continue
         chunks.append(seeds[start : start + size])
         start += size
     return chunks
+
+
+def _run_batch_chunk(task: tuple) -> list[SimulationResult]:
+    """Run a chunk of seeds as one lockstep batch inside a worker.
+
+    The batch backend's per-row randomness depends only on each row's
+    own seed, so splitting an ensemble into chunks (or not) cannot
+    change any result - serial, parallel and per-seed executions are
+    bit-identical.
+    """
+    from repro.engine.batch import BatchedEnsembleSimulator
+
+    common, seeds = task
+    if not seeds:
+        return []
+    (
+        protocol,
+        population,
+        scheduler_factory,
+        initial_factory,
+        problem,
+        max_interactions,
+        _backend,
+        check_interval,
+        raise_on_timeout,
+        fault_hook,
+    ) = common
+    schedulers = [scheduler_factory(population, seed) for seed in seeds]
+    initials = [initial_factory(population, seed) for seed in seeds]
+    simulator = BatchedEnsembleSimulator(
+        protocol,
+        population,
+        schedulers[0],
+        problem,
+        check_interval,
+    )
+    return simulator.run_replicates(
+        initials,
+        schedulers,
+        max_interactions=max_interactions,
+        raise_on_timeout=raise_on_timeout,
+        fault_hook=fault_hook,
+    )
 
 
 def run_ensemble(
@@ -170,7 +257,7 @@ def run_ensemble(
     seeds: Sequence[int],
     max_interactions: int = 1_000_000,
     require_convergence: bool = False,
-    backend: str = "reference",
+    backend: str = "batch",
     n_jobs: int = 1,
     check_interval: int | None = None,
     raise_on_timeout: bool = False,
@@ -188,17 +275,22 @@ def run_ensemble(
         :class:`ConvergenceError` (carrying the offending seed in its
         message) instead of being recorded.
     backend:
-        Simulation backend per run: ``"reference"`` (the default),
-        ``"fast"`` (see :mod:`repro.engine.fast`) or ``"counts"`` (see
-        :mod:`repro.engine.counts`).
+        Simulation backend: ``"batch"`` (the default; all replicates in
+        lockstep, see :mod:`repro.engine.batch`), or per-run
+        ``"counts"``, ``"fast"`` and ``"reference"``.  Runs a backend
+        cannot honour fall down the ladder ``batch -> counts -> fast ->
+        reference`` with a :class:`~repro.errors.BackendFallbackWarning`.
     n_jobs:
         Number of worker processes.  ``1`` runs serially in-process;
         larger values fan the seeds out over a
         :class:`~concurrent.futures.ProcessPoolExecutor`, which requires
         every task ingredient to be picklable (module-level factories).
-        Seeds travel in contiguous chunks (about four per worker) so the
-        per-task pickling overhead is amortized over many runs.  Results
-        are returned in seed order and are identical to a serial run.
+        Under the batch backend each worker runs one contiguous seed
+        chunk as its own lockstep batch (one chunk per worker, to keep
+        the batches wide); per-run backends travel in chunks of about
+        four per worker so the per-task pickling overhead is amortized
+        over many runs.  Results are returned in seed order and are
+        identical to a serial run.
     check_interval, raise_on_timeout, fault_hook:
         Forwarded to each per-seed simulator/run, so ensemble runs can use
         the same knobs as single runs.
@@ -219,15 +311,32 @@ def run_ensemble(
         fault_hook,
     )
     ensemble = EnsembleResult()
+    if backend == "batch":
+        # Lockstep batches want to be wide: one chunk per worker (not
+        # four) so each worker advances as many rows per kernel step as
+        # possible.  Chunking cannot change results - each row's
+        # randomness is a function of its own seed.
+        worker = _run_batch_chunk
+        n_chunks = n_jobs
+    else:
+        worker = _run_chunk
+        n_chunks = n_jobs * 4
     if n_jobs > 1 and len(seeds) > 1:
-        n_chunks = min(len(seeds), n_jobs * 4)
         chunks = _chunk_seeds(seeds, n_chunks)
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             chunk_results = list(
-                pool.map(_run_chunk, [(common, chunk) for chunk in chunks])
+                pool.map(worker, [(common, chunk) for chunk in chunks])
             )
         results = [r for chunk in chunk_results for r in chunk]
         for seed, result in zip(seeds, results):
+            _record(ensemble, seed, result, max_interactions,
+                    require_convergence)
+    elif backend == "batch":
+        # One lockstep batch over the whole ensemble.  The batch raises
+        # on the first non-converged row only via raise_on_timeout;
+        # ``require_convergence`` is enforced seed-by-seed below, in
+        # seed order, exactly as the per-run path does.
+        for seed, result in zip(seeds, _run_batch_chunk((common, seeds))):
             _record(ensemble, seed, result, max_interactions,
                     require_convergence)
     else:

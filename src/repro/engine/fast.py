@@ -537,8 +537,9 @@ def make_simulator(
     """Build a simulator for ``backend``.
 
     Known names are the :data:`BACKENDS` keys: ``"reference"``,
-    ``"fast"`` and (once :mod:`repro.engine.counts` is imported, which
-    ``repro.engine`` always does) ``"counts"``.  Raises
+    ``"fast"`` and (once :mod:`repro.engine.counts` and
+    :mod:`repro.engine.batch` are imported, which ``repro.engine``
+    always does) ``"counts"`` and ``"batch"``.  Raises
     :class:`SimulationError` for unknown backend names.
     """
     try:

@@ -27,6 +27,13 @@ dominate the wall-clock budget.  ``python -m repro bench`` prints the
 table and writes ``BENCH_simulator.json`` with per-workload speedups;
 ``--floor`` turns the run into a perf gate on the counts backend's
 naming throughput at the largest size.
+
+A second, ensemble-throughput section compares the lockstep batch
+engine (:mod:`repro.engine.batch`) against chunked per-run counts
+dispatch on the naming workload at R replicates per cell (runs/s and
+pooled interactions/s), via :func:`~repro.engine.ensemble.run_ensemble`
+under both engines; ``--ensemble-floor`` gates the batch engine's rate
+at the widest cell the same way ``--floor`` gates the counts backend.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from dataclasses import dataclass
 
 from repro.core.asymmetric import AsymmetricNamingProtocol
 from repro.engine.configuration import Configuration
+from repro.engine.ensemble import run_ensemble
 from repro.engine.fast import BACKENDS, make_simulator
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem
@@ -59,6 +67,16 @@ DEFAULT_OUT = "BENCH_simulator.json"
 #: Largest population the O(N)-per-interaction reference backend is
 #: timed at; beyond this it is skipped (the fast/counts cells remain).
 REFERENCE_MAX_N = 2_000
+
+#: Population sizes of the ensemble-throughput section.
+ENSEMBLE_SIZES = (1_000, 100_000)
+
+#: Replicate counts of the ensemble-throughput section.
+ENSEMBLE_REPLICATES = (64, 256)
+
+#: Interaction budget per replicate in the ensemble section (scaled by
+#: ``--scale``/``--smoke`` like the per-run budgets).
+ENSEMBLE_BUDGET = 20_000
 
 
 class ChurnProtocol(PopulationProtocol):
@@ -166,6 +184,11 @@ def run_bench(
             for backend in sorted(BACKENDS):
                 if backend == "reference" and n > REFERENCE_MAX_N:
                     continue  # O(N) per interaction: prohibitive here
+                if backend == "batch":
+                    # An ensemble engine: a width-1 lockstep batch only
+                    # measures kernel-launch overhead.  Benchmarked at
+                    # its real width in the ensemble section instead.
+                    continue
                 population = Population(n)
                 scheduler = RandomPairScheduler(population, seed=seed)
                 simulator = make_simulator(
@@ -199,6 +222,164 @@ def run_bench(
                     f"N={n}, seed={seed}: fast and reference results differ"
                 )
     return points
+
+
+@dataclass(frozen=True)
+class EnsembleBenchPoint:
+    """One (engine, N, R) ensemble-throughput measurement."""
+
+    engine: str
+    n_mobile: int
+    replicates: int
+    interactions: int
+    non_null_interactions: int
+    seconds: float
+
+    @property
+    def rate(self) -> float:
+        """Pooled interactions per second across the ensemble."""
+        return self.interactions / self.seconds if self.seconds else 0.0
+
+    @property
+    def runs_per_second(self) -> float:
+        """Completed replicate runs per second."""
+        return self.replicates / self.seconds if self.seconds else 0.0
+
+
+def _bench_scheduler(population: Population, seed: int):
+    """Module-level scheduler factory for the ensemble section."""
+    return RandomPairScheduler(population, seed=seed)
+
+
+class _SpreadInitialFactory:
+    """Seed-independent spread initial, built once per population size.
+
+    The spread configuration does not depend on the seed, so building it
+    per replicate would charge O(R * N) pure-Python tuple construction
+    to both engines and drown the quantity under measurement.
+    """
+
+    def __init__(self, protocol: PopulationProtocol) -> None:
+        self.protocol = protocol
+        self._cache: dict[int, Configuration] = {}
+
+    def __call__(self, population: Population, seed: int) -> Configuration:
+        config = self._cache.get(population.size)
+        if config is None:
+            config = _spread_initial(self.protocol, population)
+            self._cache[population.size] = config
+        return config
+
+
+def run_ensemble_bench(
+    sizes: tuple[int, ...] = ENSEMBLE_SIZES,
+    replicates: tuple[int, ...] = ENSEMBLE_REPLICATES,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+) -> list[EnsembleBenchPoint]:
+    """Measure ensemble throughput: lockstep batch vs per-run counts.
+
+    Both engines run the identical naming workload - same seeds, same
+    spread initial, same per-replicate budget - through
+    :func:`~repro.engine.ensemble.run_ensemble` with ``n_jobs=1``, so
+    the comparison isolates lockstep batching from process parallelism
+    (the two compose: each worker of a parallel ensemble runs its chunk
+    as a lockstep batch).
+    """
+    protocol = workloads()["naming"]
+    budget = max(1_000, int(ENSEMBLE_BUDGET * scale))
+    points: list[EnsembleBenchPoint] = []
+    for n in sizes:
+        population = Population(n)
+        initial_factory = _SpreadInitialFactory(protocol)
+        for r in replicates:
+            seeds = range(seed, seed + r)
+            for engine in ("counts", "batch"):
+                start = time.perf_counter()
+                ensemble = run_ensemble(
+                    protocol,
+                    population,
+                    _bench_scheduler,
+                    initial_factory,
+                    NamingProblem(),
+                    seeds=seeds,
+                    max_interactions=budget,
+                    backend=engine,
+                )
+                elapsed = time.perf_counter() - start
+                points.append(
+                    EnsembleBenchPoint(
+                        engine=engine,
+                        n_mobile=n,
+                        replicates=r,
+                        interactions=sum(
+                            res.interactions for res in ensemble.results
+                        ),
+                        non_null_interactions=sum(
+                            res.non_null_interactions
+                            for res in ensemble.results
+                        ),
+                        seconds=elapsed,
+                    )
+                )
+    return points
+
+
+def ensemble_speedups(
+    points: list[EnsembleBenchPoint],
+) -> dict[str, dict[str, float]]:
+    """Batch-over-counts rate ratios, ``{str(N): {"R=r": ratio}}``."""
+    rates: dict[tuple[int, int], dict[str, float]] = {}
+    for p in points:
+        rates.setdefault((p.n_mobile, p.replicates), {})[p.engine] = p.rate
+    out: dict[str, dict[str, float]] = {}
+    for (n, r), per_engine in sorted(rates.items()):
+        counts = per_engine.get("counts")
+        batch = per_engine.get("batch")
+        if counts and batch:
+            out.setdefault(str(n), {})[f"R={r}"] = batch / counts
+    return out
+
+
+def ensemble_floor_rate(points: list[EnsembleBenchPoint]) -> float | None:
+    """The batch engine's rate at the widest, largest measured cell.
+
+    The headline claim of the batch engine is many-replicate throughput,
+    so the ``--ensemble-floor`` gate guards the cell with the most
+    replicates (ties broken by population size).  Returns ``None`` when
+    no batch cell was measured.
+    """
+    cells = [p for p in points if p.engine == "batch"]
+    if not cells:
+        return None
+    return max(cells, key=lambda p: (p.replicates, p.n_mobile)).rate
+
+
+def render_ensemble_points(points: list[EnsembleBenchPoint]) -> str:
+    """Render the ensemble measurements as an aligned text table."""
+    ratio = ensemble_speedups(points)
+    rows = []
+    for p in points:
+        shown = ""
+        if p.engine == "batch":
+            pair = ratio.get(str(p.n_mobile), {}).get(f"R={p.replicates}")
+            shown = f"{pair:.1f}x vs counts" if pair else ""
+        rows.append(
+            (
+                p.n_mobile,
+                p.replicates,
+                p.engine,
+                f"{p.seconds * 1000:.0f} ms",
+                f"{p.runs_per_second:,.1f}/s",
+                f"{p.rate:,.0f}/s",
+                shown,
+            )
+        )
+    return render_table(
+        ("N", "R", "engine", "time", "runs", "interactions", "speedup"),
+        rows,
+        title="ensemble throughput (naming workload, n_jobs=1)",
+    )
 
 
 def speedups(
@@ -250,6 +431,7 @@ def write_json(
     path: str,
     seed: int = DEFAULT_SEED,
     scale: float = 1.0,
+    ensemble: list[EnsembleBenchPoint] | None = None,
 ) -> None:
     """Write the measurements and speedups as a JSON report."""
     payload = {
@@ -271,6 +453,25 @@ def write_json(
         ],
         "speedup": speedups(points),
     }
+    if ensemble:
+        payload["ensemble"] = {
+            "workload": "naming",
+            "budget_per_replicate": max(1_000, int(ENSEMBLE_BUDGET * scale)),
+            "points": [
+                {
+                    "engine": p.engine,
+                    "n_mobile": p.n_mobile,
+                    "replicates": p.replicates,
+                    "interactions": p.interactions,
+                    "non_null_interactions": p.non_null_interactions,
+                    "seconds": round(p.seconds, 6),
+                    "interactions_per_sec": round(p.rate, 1),
+                    "runs_per_sec": round(p.runs_per_second, 2),
+                }
+                for p in ensemble
+            ],
+            "speedup": ensemble_speedups(ensemble),
+        }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -340,12 +541,48 @@ def main(argv: list[str] | None = None) -> int:
             "the largest size reaches RATE interactions/second"
         ),
     )
+    parser.add_argument(
+        "--ensemble-sizes",
+        type=int,
+        nargs="+",
+        default=list(ENSEMBLE_SIZES),
+        metavar="N",
+        help="population sizes of the ensemble-throughput section",
+    )
+    parser.add_argument(
+        "--ensemble-reps",
+        type=int,
+        nargs="+",
+        default=list(ENSEMBLE_REPLICATES),
+        metavar="R",
+        help="replicate counts of the ensemble-throughput section",
+    )
+    parser.add_argument(
+        "--ensemble-floor",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "fail (exit 1) unless the batch engine's pooled rate at the "
+            "widest, largest ensemble cell reaches RATE interactions/s"
+        ),
+    )
     args = parser.parse_args(argv)
     scale = 0.02 if args.smoke else args.scale
     points = run_bench(tuple(args.sizes), seed=args.seed, scale=scale)
     print(render_points(points))
-    write_json(points, args.out, seed=args.seed, scale=scale)
+    ensemble = run_ensemble_bench(
+        tuple(args.ensemble_sizes),
+        tuple(args.ensemble_reps),
+        seed=args.seed,
+        scale=scale,
+    )
+    print()
+    print(render_ensemble_points(ensemble))
+    write_json(points, args.out, seed=args.seed, scale=scale,
+               ensemble=ensemble)
     print(f"\nJSON written to {args.out}")
+    failed = False
     if args.floor is not None:
         rate = floor_rate(points)
         if rate is None:
@@ -356,9 +593,19 @@ def main(argv: list[str] | None = None) -> int:
             f"floor check: counts naming rate {rate:,.0f}/s vs floor "
             f"{args.floor:,.0f}/s -> {verdict}"
         )
-        if rate < args.floor:
+        failed = failed or rate < args.floor
+    if args.ensemble_floor is not None:
+        rate = ensemble_floor_rate(ensemble)
+        if rate is None:
+            print("ensemble floor check: no batch cell was measured")
             return 1
-    return 0
+        verdict = "ok" if rate >= args.ensemble_floor else "FAIL"
+        print(
+            f"ensemble floor check: batch rate {rate:,.0f}/s vs floor "
+            f"{args.ensemble_floor:,.0f}/s -> {verdict}"
+        )
+        failed = failed or rate < args.ensemble_floor
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

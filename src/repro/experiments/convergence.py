@@ -7,15 +7,17 @@ scheduler (the standard cost model of the population-protocol literature).
 
 ``python -m repro.experiments.convergence`` prints one series per protocol:
 mean/median/p90 interactions to certified convergence as ``N`` grows.
-``--backend fast`` runs on the array-based engine and ``--jobs K`` fans
-seeds out over processes; both options are seed-identical to the default.
+``--backend`` selects the simulation engine (default ``batch``: all seeds
+of a cell advanced in lockstep, falling back down the backend ladder per
+run when needed), ``--jobs K`` fans seeds out over processes, and
+``--verbose`` appends each cell's aggregated wall-clock/throughput stats.
 """
 
 from __future__ import annotations
 
 import argparse
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.stats import Summary, summarize
 from repro.core.asymmetric import AsymmetricNamingProtocol
@@ -29,6 +31,7 @@ from repro.engine.fast import BACKENDS
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem
 from repro.engine.protocol import PopulationProtocol
+from repro.engine.simulator import RunStats
 from repro.errors import ConvergenceError
 from repro.experiments.report import render_table
 from repro.schedulers.random_pair import RandomPairScheduler
@@ -36,12 +39,19 @@ from repro.schedulers.random_pair import RandomPairScheduler
 
 @dataclass(frozen=True)
 class SeriesPoint:
-    """Summary of one (protocol, N) cell."""
+    """Summary of one (protocol, N) cell.
+
+    ``stats`` aggregates the cell's ensemble performance
+    (:attr:`repro.engine.ensemble.EnsembleResult.stats`); excluded from
+    equality because wall-clock numbers differ between otherwise
+    identical runs.
+    """
 
     protocol: str
     n_mobile: int
     bound: int
     summary: Summary
+    stats: RunStats | None = field(default=None, compare=False)
 
 
 def _initial_for(
@@ -124,6 +134,7 @@ def measure(
         n_mobile=n_mobile,
         bound=bound,
         summary=summarize(sample),
+        stats=ensemble.stats,
     )
 
 
@@ -152,7 +163,7 @@ def run_convergence(
     bound: int = 8,
     runs: int = 20,
     budget: int = 2_000_000,
-    backend: str = "reference",
+    backend: str = "batch",
     n_jobs: int = 1,
 ) -> list[SeriesPoint]:
     """Measure every default series; returns all points."""
@@ -172,6 +183,17 @@ def run_convergence(
                 )
             )
     return points
+
+
+def render_stats(points: list[SeriesPoint]) -> str:
+    """Render per-cell ensemble performance lines (``--verbose``)."""
+    lines = ["ensemble performance per cell:"]
+    for p in points:
+        if p.stats is None:
+            lines.append(f"  {p.protocol} N={p.n_mobile}: no stats")
+        else:
+            lines.append(f"  {p.protocol} N={p.n_mobile}: {p.stats}")
+    return "\n".join(lines)
 
 
 def render_points(points: list[SeriesPoint]) -> str:
@@ -206,14 +228,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--backend",
         choices=sorted(BACKENDS),
-        default="reference",
-        help="simulation engine (seed-identical either way)",
+        default="batch",
+        help="simulation engine (batch runs all seeds in lockstep; "
+        "every backend is statistically equivalent)",
     )
     parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes for per-seed runs",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print per-cell ensemble wall-clock/throughput stats",
     )
     parser.add_argument(
         "--json", metavar="PATH", help="also write the series as JSON"
@@ -223,6 +251,9 @@ def main(argv: list[str] | None = None) -> int:
         args.bound, args.runs, args.budget, args.backend, args.jobs
     )
     print(render_points(points))
+    if args.verbose:
+        print()
+        print(render_stats(points))
     if args.json:
         from repro.reporting.jsonio import dump
 

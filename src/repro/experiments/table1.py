@@ -344,8 +344,10 @@ def run_table1(
     thorough:
         Also run the exhaustive 2-state refutation for the impossible cell.
     backend:
-        Simulation backend (``"reference"`` or ``"fast"``); verdicts are
-        identical either way, ``"fast"`` regenerates the table quicker.
+        Simulation backend (any key of
+        :data:`repro.engine.fast.BACKENDS`, including ``"batch"``);
+        verdicts are identical either way, the array/counts engines
+        regenerate the table quicker.
     """
     rows: list[Table1Row] = []
     for spec in all_specs():

@@ -27,6 +27,7 @@ from repro.core.global_naming import GlobalNamingProtocol
 from repro.core.leader_uniform import LeaderUniformNamingProtocol
 from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
 from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.fast import BACKENDS
 from repro.engine.protocol import PopulationProtocol
 from repro.errors import VerificationError
 from repro.experiments.convergence import measure
@@ -86,6 +87,8 @@ def measure_series(
     runs: int,
     budget: int,
     uniform: bool = False,
+    backend: str = "batch",
+    n_jobs: int = 1,
 ) -> PowerLawFit:
     """Measure a size series and fit its power law."""
     means = []
@@ -93,7 +96,7 @@ def measure_series(
     for n in sizes:
         point = measure(
             protocol, n, bound, seeds=range(runs), budget=budget,
-            uniform=uniform,
+            uniform=uniform, backend=backend, n_jobs=n_jobs,
         )
         if point.summary.mean > 0:
             kept_sizes.append(n)
@@ -102,40 +105,37 @@ def measure_series(
 
 
 def run_time_study(
-    bound: int = 10, runs: int = 20, budget: int = 10_000_000
+    bound: int = 10,
+    runs: int = 20,
+    budget: int = 10_000_000,
+    backend: str = "batch",
+    n_jobs: int = 1,
 ) -> list[PowerLawFit]:
     """Fit growth exponents for every positive protocol (N < P regimes
     where applicable)."""
     sizes = list(range(3, bound + 1))
-    fits = [
-        measure_series(AsymmetricNamingProtocol(bound), sizes, bound, runs, budget),
-        measure_series(
-            SymmetricGlobalNamingProtocol(bound), sizes, bound, runs, budget
-        ),
-        measure_series(
-            LeaderUniformNamingProtocol(bound),
-            sizes,
-            bound,
-            runs,
-            budget,
-            uniform=True,
-        ),
-        measure_series(
-            SelfStabilizingNamingProtocol(bound), sizes, bound, runs, budget
-        ),
-        measure_series(
-            GlobalNamingProtocol(bound),
-            [n for n in sizes if n < bound],
-            bound,
-            runs,
-            budget,
-        ),
+    series = [
+        (AsymmetricNamingProtocol(bound), sizes, False),
+        (SymmetricGlobalNamingProtocol(bound), sizes, False),
+        (LeaderUniformNamingProtocol(bound), sizes, True),
+        (SelfStabilizingNamingProtocol(bound), sizes, False),
+        (GlobalNamingProtocol(bound), [n for n in sizes if n < bound], False),
     ]
-    return fits
+    return [
+        measure_series(
+            protocol, series_sizes, bound, runs, budget,
+            uniform=uniform, backend=backend, n_jobs=n_jobs,
+        )
+        for protocol, series_sizes, uniform in series
+    ]
 
 
 def protocol3_blowup(
-    max_bound: int = 4, runs: int = 10, budget: int = 30_000_000
+    max_bound: int = 4,
+    runs: int = 10,
+    budget: int = 30_000_000,
+    backend: str = "batch",
+    n_jobs: int = 1,
 ) -> list[tuple[int, float]]:
     """Measured N = P sweep cost for Protocol 3 at tiny bounds: the
     super-exponential wall in numbers."""
@@ -147,6 +147,8 @@ def protocol3_blowup(
             bound,
             seeds=range(runs),
             budget=budget,
+            backend=backend,
+            n_jobs=n_jobs,
         )
         points.append((bound, point.summary.mean))
     return points
@@ -184,13 +186,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also measure Protocol 3's N = P sweep cost (slow)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="batch",
+        help="simulation engine (batch runs all seeds in lockstep)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-seed runs",
+    )
     args = parser.parse_args(argv)
-    fits = run_time_study(bound=args.bound, runs=args.runs)
+    fits = run_time_study(
+        bound=args.bound, runs=args.runs, backend=args.backend,
+        n_jobs=args.jobs,
+    )
     print(render_fits(fits))
     if args.blowup:
         print()
         print("Protocol 3, N = P sweep (mean interactions):")
-        for bound, mean in protocol3_blowup():
+        for bound, mean in protocol3_blowup(
+            backend=args.backend, n_jobs=args.jobs
+        ):
             print(f"  P = {bound}: {mean:,.0f}")
     return 0
 

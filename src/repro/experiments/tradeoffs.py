@@ -20,6 +20,7 @@ from repro.core.global_naming import GlobalNamingProtocol
 from repro.core.leader_uniform import LeaderUniformNamingProtocol
 from repro.core.selfstab_naming import SelfStabilizingNamingProtocol
 from repro.core.symmetric_global import SymmetricGlobalNamingProtocol
+from repro.engine.fast import BACKENDS
 from repro.engine.population import Population
 from repro.engine.protocol import PopulationProtocol
 from repro.experiments.convergence import measure
@@ -55,6 +56,8 @@ def _profile(
     budget: int,
     uniform_start: bool,
     self_stabilizing: bool,
+    backend: str = "batch",
+    n_jobs: int = 1,
 ) -> TradeoffRow:
     convergence = measure(
         protocol,
@@ -63,6 +66,8 @@ def _profile(
         seeds=range(runs),
         budget=budget,
         uniform=uniform_start,
+        backend=backend,
+        n_jobs=n_jobs,
     )
     recovery = None
     if self_stabilizing:
@@ -94,6 +99,8 @@ def run_tradeoffs(
     n_mobile: int = 6,
     runs: int = 12,
     budget: int = 5_000_000,
+    backend: str = "batch",
+    n_jobs: int = 1,
 ) -> list[TradeoffRow]:
     """Profile every positive protocol at one bound."""
     return [
@@ -109,6 +116,8 @@ def run_tradeoffs(
             budget,
             uniform_start=False,
             self_stabilizing=True,
+            backend=backend,
+            n_jobs=n_jobs,
         ),
         _profile(
             SymmetricGlobalNamingProtocol(bound),
@@ -122,6 +131,8 @@ def run_tradeoffs(
             budget,
             uniform_start=False,
             self_stabilizing=True,
+            backend=backend,
+            n_jobs=n_jobs,
         ),
         _profile(
             LeaderUniformNamingProtocol(bound),
@@ -135,6 +146,8 @@ def run_tradeoffs(
             budget,
             uniform_start=True,
             self_stabilizing=False,
+            backend=backend,
+            n_jobs=n_jobs,
         ),
         _profile(
             SelfStabilizingNamingProtocol(bound),
@@ -148,6 +161,8 @@ def run_tradeoffs(
             budget,
             uniform_start=False,
             self_stabilizing=True,
+            backend=backend,
+            n_jobs=n_jobs,
         ),
         _profile(
             GlobalNamingProtocol(bound),
@@ -161,6 +176,8 @@ def run_tradeoffs(
             budget,
             uniform_start=False,
             self_stabilizing=False,
+            backend=backend,
+            n_jobs=n_jobs,
         ),
     ]
 
@@ -204,8 +221,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--bound", type=int, default=8)
     parser.add_argument("--n", type=int, default=6, dest="n_mobile")
     parser.add_argument("--runs", type=int, default=12)
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="batch",
+        help="simulation engine for the convergence columns",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-seed runs",
+    )
     args = parser.parse_args(argv)
-    rows = run_tradeoffs(args.bound, args.n_mobile, args.runs)
+    rows = run_tradeoffs(
+        args.bound, args.n_mobile, args.runs,
+        backend=args.backend, n_jobs=args.jobs,
+    )
     print(render_rows(rows, args.bound))
     return 0
 

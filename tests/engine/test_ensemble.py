@@ -19,6 +19,15 @@ def make_parts(bound=5, n=5):
     return protocol, population, scheduler_factory, initial_factory
 
 
+# Module-level (picklable) factories for the process-parallel tests.
+def _scheduler_factory(population, seed):
+    return RandomPairScheduler(population, seed=seed)
+
+
+def _initial_factory(population, seed):
+    return Configuration.uniform(population, 0)
+
+
 class TestRunEnsemble:
     def test_one_result_per_seed(self):
         protocol, population, sf, inf = make_parts()
@@ -169,12 +178,19 @@ class TestSeedChunking:
         sizes = [len(chunk) for chunk in chunks]
         assert max(sizes) - min(sizes) <= 1
 
-    def test_more_chunks_than_seeds(self):
+    def test_more_chunks_than_seeds_drops_empty_chunks(self):
+        """Surplus chunks are dropped, not dispatched as empty no-op
+        worker tasks (regression: n_jobs larger than the ensemble)."""
         from repro.engine.ensemble import _chunk_seeds
 
         chunks = _chunk_seeds([1, 2], 5)
-        assert [s for chunk in chunks for s in chunk] == [1, 2]
-        assert all(len(chunk) <= 1 for chunk in chunks)
+        assert chunks == [[1], [2]]
+        assert all(chunk for chunk in chunks)
+
+    def test_no_seeds_yields_no_chunks(self):
+        from repro.engine.ensemble import _chunk_seeds
+
+        assert _chunk_seeds([], 4) == []
 
     def test_chunked_serial_dispatch_matches_per_seed(self):
         """Running seeds through the chunk runner yields the same
@@ -197,3 +213,82 @@ class TestSeedChunking:
         chunked = _run_chunk((common, [0, 1, 2]))
         singles = [_run_chunk((common, [seed]))[0] for seed in (0, 1, 2)]
         assert chunked == singles
+
+
+def result_key(result):
+    return (
+        result.converged,
+        result.convergence_interaction,
+        result.interactions,
+        result.non_null_interactions,
+        result.final_configuration,
+    )
+
+
+class TestBatchBackend:
+    """The default ``"batch"`` path: lockstep batches, seed-identical
+    across serial and process-parallel execution."""
+
+    def test_batch_is_default_and_converges(self):
+        protocol, population, sf, inf = make_parts(bound=8, n=8)
+        ensemble = run_ensemble(
+            protocol, population, sf, inf, NamingProblem(), seeds=range(6)
+        )
+        assert len(ensemble.results) == 6
+        assert ensemble.convergence_rate == 1.0
+
+    def test_serial_matches_parallel_and_overprovisioned_jobs(self):
+        """n_jobs cannot change any result, even when it exceeds the
+        number of seeds (the empty surplus chunks are dropped)."""
+        protocol = AsymmetricNamingProtocol(8)
+        population = Population(8)
+        seeds = list(range(10))
+        runs = {}
+        for n_jobs in (1, 3, 16):
+            ensemble = run_ensemble(
+                protocol,
+                population,
+                _scheduler_factory,
+                _initial_factory,
+                NamingProblem(),
+                seeds=seeds,
+                backend="batch",
+                n_jobs=n_jobs,
+            )
+            assert ensemble.seeds == seeds
+            runs[n_jobs] = [result_key(r) for r in ensemble.results]
+        assert runs[1] == runs[3] == runs[16]
+
+    def test_require_convergence_raises_with_seed(self):
+        protocol, population, sf, inf = make_parts()
+        with pytest.raises(ConvergenceError, match="seed 0"):
+            run_ensemble(
+                protocol,
+                population,
+                sf,
+                inf,
+                NamingProblem(),
+                seeds=range(3),
+                max_interactions=1,
+                backend="batch",
+                require_convergence=True,
+            )
+
+    def test_stats_aggregated(self):
+        protocol, population, sf, inf = make_parts(bound=8, n=8)
+        ensemble = run_ensemble(
+            protocol, population, sf, inf, NamingProblem(), seeds=range(5)
+        )
+        stats = ensemble.stats
+        assert stats is not None
+        assert stats.wall_seconds >= 0.0
+        assert stats.interactions_per_second > 0.0
+        assert 0.0 <= stats.null_fraction <= 1.0
+        assert stats.wall_seconds == pytest.approx(
+            sum(r.stats.wall_seconds for r in ensemble.results)
+        )
+
+    def test_stats_none_without_runs(self):
+        from repro.engine.ensemble import EnsembleResult
+
+        assert EnsembleResult().stats is None

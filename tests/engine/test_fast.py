@@ -328,10 +328,13 @@ class TestFallbacks:
 
 class TestBackendRegistry:
     def test_registry_contents(self):
+        from repro.engine.batch import BatchedEnsembleSimulator
+
         assert BACKENDS == {
             "reference": Simulator,
             "fast": FastSimulator,
             "counts": CountSimulator,
+            "batch": BatchedEnsembleSimulator,
         }
 
     def test_make_simulator_builds_each(self):

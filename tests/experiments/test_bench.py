@@ -8,8 +8,13 @@ from repro.engine.fast import compile_table
 from repro.experiments.bench import (
     REFERENCE_MAX_N,
     ChurnProtocol,
+    EnsembleBenchPoint,
+    ensemble_floor_rate,
+    ensemble_speedups,
     floor_rate,
+    render_ensemble_points,
     run_bench,
+    run_ensemble_bench,
     speedups,
     workloads,
     write_json,
@@ -76,3 +81,62 @@ class TestRunBench:
         assert payload["benchmark"] == "simulator"
         assert len(payload["points"]) == len(points)
         assert "speedup" in payload
+
+
+class TestEnsembleBench:
+    def test_smoke_run_produces_both_engines_per_cell(self):
+        points = run_ensemble_bench(
+            sizes=(12,), replicates=(4, 8), seed=1, scale=0.02
+        )
+        # counts and batch per (N, R) cell
+        assert len(points) == 2 * 2
+        assert {p.engine for p in points} == {"counts", "batch"}
+        assert all(p.interactions > 0 and p.seconds >= 0 for p in points)
+        assert all(p.runs_per_second > 0 for p in points)
+        ratios = ensemble_speedups(points)
+        assert set(ratios) == {"12"}
+        assert set(ratios["12"]) == {"R=4", "R=8"}
+        assert all(v > 0 for v in ratios["12"].values())
+
+    def test_ensemble_floor_rate_reads_widest_batch_cell(self):
+        def cell(engine, n, r, rate):
+            return EnsembleBenchPoint(
+                engine=engine,
+                n_mobile=n,
+                replicates=r,
+                interactions=int(rate),
+                non_null_interactions=0,
+                seconds=1.0,
+            )
+
+        points = [
+            cell("counts", 10, 4, 100.0),
+            cell("batch", 10, 4, 300.0),
+            cell("counts", 10, 8, 100.0),
+            cell("batch", 10, 8, 700.0),
+        ]
+        # Most replicates wins (ties would break by population size).
+        assert ensemble_floor_rate(points) == 700.0
+        assert ensemble_floor_rate([points[0]]) is None
+        assert ensemble_floor_rate([]) is None
+
+    def test_render_marks_batch_speedup(self):
+        points = run_ensemble_bench(
+            sizes=(12,), replicates=(4,), seed=1, scale=0.02
+        )
+        table = render_ensemble_points(points)
+        assert "ensemble throughput" in table
+        assert "x vs counts" in table
+
+    def test_json_payload_includes_ensemble_section(self, tmp_path):
+        points = run_bench(sizes=(6,), seed=1, scale=0.02)
+        ensemble = run_ensemble_bench(
+            sizes=(12,), replicates=(4,), seed=1, scale=0.02
+        )
+        out = tmp_path / "bench.json"
+        write_json(points, str(out), seed=1, scale=0.02, ensemble=ensemble)
+        payload = json.loads(out.read_text())
+        section = payload["ensemble"]
+        assert section["workload"] == "naming"
+        assert len(section["points"]) == len(ensemble)
+        assert "speedup" in section

@@ -6,9 +6,11 @@ from repro.core.asymmetric import AsymmetricNamingProtocol
 from repro.core.global_naming import GlobalNamingProtocol
 from repro.errors import ConvergenceError
 from repro.experiments.convergence import (
+    main,
     measure,
     protocol_series,
     render_points,
+    render_stats,
     run_convergence,
 )
 
@@ -94,6 +96,50 @@ class TestRunAndRender:
         # Larger populations should not be free: the max cost across the
         # run is positive.
         assert any(p.summary.maximum > 0 for p in points)
+
+    def test_batch_backend_measures_all_seeds(self):
+        """The lockstep default certifies every seed (a missed verdict
+        would raise ConvergenceError inside measure)."""
+        point = measure(
+            AsymmetricNamingProtocol(5),
+            n_mobile=4,
+            bound=5,
+            seeds=range(8),
+            budget=200_000,
+            backend="batch",
+        )
+        assert point.summary.count == 8
+
+    def test_stats_attached_and_rendered(self):
+        point = measure(
+            AsymmetricNamingProtocol(5),
+            n_mobile=4,
+            bound=5,
+            seeds=range(4),
+            budget=200_000,
+            backend="batch",
+        )
+        assert point.stats is not None
+        assert point.stats.wall_seconds >= 0.0
+        assert 0.0 <= point.stats.null_fraction <= 1.0
+        text = render_stats([point])
+        assert "ensemble performance per cell" in text
+        assert "interactions/s" in text
+
+    def test_stats_excluded_from_equality(self):
+        kwargs = dict(n_mobile=4, bound=5, seeds=range(4), budget=200_000)
+        a = measure(AsymmetricNamingProtocol(5), backend="batch", **kwargs)
+        b = measure(AsymmetricNamingProtocol(5), backend="batch", **kwargs)
+        assert a == b  # wall-clock stats differ, equality must not
+
+    def test_verbose_cli_prints_stats(self, capsys):
+        exit_code = main(
+            ["--bound", "3", "--runs", "2", "--verbose"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "interactions to certified convergence" in out
+        assert "ensemble performance per cell" in out
 
     def test_cost_grows_with_population(self):
         """Sanity of the shape: naming 6 agents costs more interactions
