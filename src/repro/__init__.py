@@ -77,6 +77,7 @@ from repro.errors import (
     InfeasibleSpecError,
     ProtocolError,
     ReproError,
+    SanitizerError,
     SchedulerError,
     SimulationError,
     VerificationError,
@@ -89,7 +90,7 @@ from repro.schedulers import (
     RoundRobinScheduler,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SINK_STATE",
@@ -121,6 +122,7 @@ __all__ = [
     "ReproError",
     "RoundRobinScheduler",
     "RunStats",
+    "SanitizerError",
     "SchedulerError",
     "SelfStabilizingNamingProtocol",
     "SimulationError",

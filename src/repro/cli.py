@@ -8,6 +8,7 @@ Commands
 ``ablation``      supplementary exp-s4: scheduler ablation matrix
 ``lower-bounds``  supplementary exp-s3: exhaustive lower-bound verification
 ``bench``         simulation-backend micro-benchmark (reference/fast/counts)
+``lint``          static well-formedness audit of all registered protocols
 ``simulate``      run one naming protocol chosen by model parameters
 """
 
@@ -154,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("report", add_help=False)
     sub.add_parser("exact-times", add_help=False)
     sub.add_parser("bench", add_help=False)
+    sub.add_parser("lint", add_help=False)
 
     show = sub.add_parser(
         "show", help="print a protocol's transition rules by model"
@@ -230,6 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         "report",
         "exact-times",
         "bench",
+        "lint",
         "simulate",
         "show",
     }
@@ -277,6 +280,10 @@ def main(argv: list[str] | None = None) -> int:
             return run(rest)
         if command == "bench":
             from repro.experiments.bench import main as run
+
+            return run(rest)
+        if command == "lint":
+            from repro.lint.cli import main as run
 
             return run(rest)
         from repro.experiments.lower_bounds import main as run

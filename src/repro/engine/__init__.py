@@ -16,6 +16,7 @@ from repro.engine.fast import (
 from repro.engine.counts import CountSimulator, configuration_counts
 from repro.engine.batch import BatchedEnsembleSimulator
 from repro.engine.population import AgentId, Population
+from repro.engine.sanitize import SilenceTracker
 from repro.engine.problems import (
     CountingProblem,
     NamingProblem,
@@ -62,6 +63,7 @@ __all__ = [
     "PopulationProtocol",
     "Problem",
     "RunStats",
+    "SilenceTracker",
     "SimulationResult",
     "Simulator",
     "State",

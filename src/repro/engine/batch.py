@@ -73,6 +73,7 @@ from __future__ import annotations
 
 import time
 
+from repro.engine import sanitize as _sanitize
 from repro.engine.configuration import Configuration
 from repro.engine.counts import (
     CountSimulator,
@@ -128,6 +129,13 @@ class BatchedEnsembleSimulator:
     compile_limit:
         Largest state-space size eagerly compiled (shared with the fast
         and counts backends); larger protocols delegate.
+    sanitize:
+        Arm the runtime sanitizer (see :mod:`repro.engine.sanitize`):
+        the lockstep kernel checks every active row of the counts matrix
+        (nonnegative entries summing to the population size) at every
+        kernel step and once on the final matrix; delegated runs inherit
+        the counts backend's sanitizer.  Checks never consume
+        randomness, so per-seed results are unchanged.
     """
 
     def __init__(
@@ -138,19 +146,21 @@ class BatchedEnsembleSimulator:
         problem: Problem | None = None,
         check_interval: int | None = None,
         compile_limit: int = DEFAULT_COMPILE_LIMIT,
+        sanitize: bool = False,
     ) -> None:
         # The counts simulator validates the wiring, compiles the shared
         # table/plan, and serves as the per-run fallback delegate (which
         # may itself continue down the ladder to fast/reference).
         self._counts = CountSimulator(
             protocol, population, scheduler, problem, check_interval,
-            compile_limit,
+            compile_limit, sanitize=sanitize,
         )
         self.protocol = protocol
         self.population = population
         self.scheduler = scheduler
         self.problem = problem
         self.check_interval = self._counts.check_interval
+        self.sanitize = sanitize
         self._requested_check_interval = check_interval
         self._compile_limit = compile_limit
         self._table = self._counts._table
@@ -261,6 +271,7 @@ class BatchedEnsembleSimulator:
                     self.problem,
                     self._requested_check_interval,
                     self._compile_limit,
+                    sanitize=self.sanitize,
                 )
                 results.append(
                     simulator.run(
@@ -406,10 +417,17 @@ class BatchedEnsembleSimulator:
         steps_done = 0
         neg_inv_total = -1.0 / total_pairs
 
+        sanitizing = self.sanitize
         err_state = np.errstate(divide="ignore")
         err_state.__enter__()  # hoisted: ln(0) = -inf is expected at p = 1
         try:
             while idx.size:
+                if sanitizing:
+                    # Kernel-step cadence: the previous step's scatter is
+                    # the only writer of C, so corruption surfaces here.
+                    _sanitize.check_counts_rows(
+                        "batch", C[idx], idx, size, steps_done
+                    )
                 counts = C[rows2d, pair_cols]
                 w = counts[:, :n_pairs] * (counts[:, n_pairs:] - diag)
                 cum = np.cumsum(w, axis=1)
@@ -513,6 +531,15 @@ class BatchedEnsembleSimulator:
                 steps_done += 1
         finally:
             err_state.__exit__(None, None, None)
+
+        if sanitizing:
+            _sanitize.check_counts_rows(
+                "batch",
+                C,
+                np.arange(n_rows, dtype=np.int64),
+                size,
+                steps_done,
+            )
 
         elapsed = time.perf_counter() - started
         # Attribute each replicate an equal share of the batch's wall

@@ -69,6 +69,7 @@ import time
 import weakref
 from collections import Counter
 
+from repro.engine import sanitize as _sanitize
 from repro.engine.configuration import Configuration
 from repro.engine.fast import (
     BACKENDS,
@@ -309,6 +310,14 @@ class CountSimulator:
     events_per_batch:
         Non-null events simulated per envelope refresh (the ``nu`` of the
         module docstring).  Defaults to ``clamp(N // 32, 8, 512)``.
+    sanitize:
+        Arm the runtime sanitizer (see :mod:`repro.engine.sanitize`):
+        the native path checks its counts vector (nonnegative entries
+        summing to the population size) at every envelope refresh and at
+        run end; delegated runs inherit the fast/reference sanitizers.
+        Role discipline is already a native-path precondition
+        (``plan.closed``), and silent configurations freeze the loop by
+        construction.  Checks never consume randomness.
     """
 
     def __init__(
@@ -320,19 +329,21 @@ class CountSimulator:
         check_interval: int | None = None,
         compile_limit: int = DEFAULT_COMPILE_LIMIT,
         events_per_batch: int | None = None,
+        sanitize: bool = False,
     ) -> None:
         # The fast simulator validates the wiring and serves as the
         # graceful-fallback delegate (it may in turn delegate to the
         # reference loop).
         self._fast = FastSimulator(
             protocol, population, scheduler, problem, check_interval,
-            compile_limit,
+            compile_limit, sanitize,
         )
         self.protocol = protocol
         self.population = population
         self.scheduler = scheduler
         self.problem = problem
         self.check_interval = self._fast.check_interval
+        self.sanitize = sanitize
         self._table = compile_table(protocol, compile_limit)
         self._plan = (
             _plan_for(protocol, self._table)
@@ -522,7 +533,13 @@ class CountSimulator:
         stop = budget
         pending_check = False
 
+        sanitizing = self.sanitize
         while pos < budget and converged_at is None:
+            if sanitizing:
+                # Envelope-refresh cadence: between refreshes the loop
+                # only applies (-1, -1, +1, +1) quad updates, so any
+                # corruption shows up here.
+                _sanitize.check_counts_vector("counts", c, size, pos)
             # -- refresh: true weights at the current counts --
             a = np.asarray(c, dtype=np.int64)
             w_true = a[pair_i] * (a[pair_j] - diag)
@@ -730,6 +747,9 @@ class CountSimulator:
                         # the final check below, as in the reference loop.
             if done:
                 break
+
+        if sanitizing:
+            _sanitize.check_counts_vector("counts", c, size, pos)
 
         # Final check: the budget may end mid check-interval.
         if converged_at is None and problem is not None and solved():

@@ -129,10 +129,12 @@ def _run_single(task: tuple) -> SimulationResult:
         check_interval,
         raise_on_timeout,
         fault_hook,
+        sanitize,
     ) = task
     scheduler = scheduler_factory(population, seed)
     simulator = make_simulator(
-        backend, protocol, population, scheduler, problem, check_interval
+        backend, protocol, population, scheduler, problem, check_interval,
+        sanitize=sanitize,
     )
     initial = initial_factory(population, seed)
     return simulator.run(
@@ -164,6 +166,7 @@ def _run_chunk(task: tuple) -> list[SimulationResult]:
         check_interval,
         raise_on_timeout,
         fault_hook,
+        sanitize,
     ) = common
     return [
         _run_single(
@@ -179,6 +182,7 @@ def _run_chunk(task: tuple) -> list[SimulationResult]:
                 check_interval,
                 raise_on_timeout,
                 fault_hook,
+                sanitize,
             )
         )
         for seed in seeds
@@ -229,6 +233,7 @@ def _run_batch_chunk(task: tuple) -> list[SimulationResult]:
         check_interval,
         raise_on_timeout,
         fault_hook,
+        sanitize,
     ) = common
     schedulers = [scheduler_factory(population, seed) for seed in seeds]
     initials = [initial_factory(population, seed) for seed in seeds]
@@ -238,6 +243,7 @@ def _run_batch_chunk(task: tuple) -> list[SimulationResult]:
         schedulers[0],
         problem,
         check_interval,
+        sanitize=sanitize,
     )
     return simulator.run_replicates(
         initials,
@@ -262,6 +268,7 @@ def run_ensemble(
     check_interval: int | None = None,
     raise_on_timeout: bool = False,
     fault_hook: FaultHook | None = None,
+    sanitize: bool = False,
 ) -> EnsembleResult:
     """Run the protocol once per seed and aggregate.
 
@@ -294,6 +301,11 @@ def run_ensemble(
     check_interval, raise_on_timeout, fault_hook:
         Forwarded to each per-seed simulator/run, so ensemble runs can use
         the same knobs as single runs.
+    sanitize:
+        Arm the runtime sanitizer (:mod:`repro.engine.sanitize`) on
+        every per-seed simulator (and on lockstep batches); invariant
+        violations raise :class:`~repro.errors.SanitizerError`.  Results
+        are bit-identical to an unsanitized ensemble.
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be a positive integer, got {n_jobs}")
@@ -309,6 +321,7 @@ def run_ensemble(
         check_interval,
         raise_on_timeout,
         fault_hook,
+        sanitize,
     )
     ensemble = EnsembleResult()
     if backend == "batch":

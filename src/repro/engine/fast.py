@@ -36,10 +36,11 @@ import time
 import warnings
 import weakref
 
+from repro.engine import sanitize as _sanitize
 from repro.engine.configuration import Configuration
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem, Problem
-from repro.engine.protocol import PopulationProtocol
+from repro.engine.protocol import PopulationProtocol, verify_protocol
 from repro.engine.simulator import (
     FaultHook,
     Observer,
@@ -178,6 +179,12 @@ class FastSimulator:
     compile_limit:
         Largest state-space size eagerly compiled; larger protocols fall
         back to the reference loop.
+    sanitize:
+        Arm the runtime sanitizer (see :mod:`repro.engine.sanitize`):
+        the fast path checks its counts multiset, interned index ranges
+        and silence monotonicity at every batch boundary; delegated runs
+        inherit the reference simulator's sanitizer.  Checks never
+        consume randomness, so sanitized runs stay bit-identical.
     """
 
     def __init__(
@@ -188,17 +195,20 @@ class FastSimulator:
         problem: Problem | None = None,
         check_interval: int | None = None,
         compile_limit: int = DEFAULT_COMPILE_LIMIT,
+        sanitize: bool = False,
     ) -> None:
         # The reference simulator validates the wiring and serves as the
         # graceful-fallback delegate.
         self._reference = Simulator(
-            protocol, population, scheduler, problem, check_interval
+            protocol, population, scheduler, problem, check_interval,
+            sanitize,
         )
         self.protocol = protocol
         self.population = population
         self.scheduler = scheduler
         self.problem = problem
         self.check_interval = self._reference.check_interval
+        self.sanitize = sanitize
         self._table = compile_table(protocol, compile_limit)
         #: Whether the most recent :meth:`run` used the fast path.
         self.last_run_fast = False
@@ -385,6 +395,14 @@ class FastSimulator:
                 return dup == 0 and silent()
             return problem.is_solved(protocol, materialize())
 
+        sanitizing = self.sanitize
+        if sanitizing:
+            tracker = _sanitize.SilenceTracker("fast")
+            sanitize_non_null = 0
+            n_mobile_agents = self.population.size - (
+                1 if leader_agent is not None else 0
+            )
+
         non_null = 0
         converged_at: int | None = None
         quiescent_since_check = True
@@ -487,6 +505,28 @@ class FastSimulator:
                         )
                     interaction += 1
 
+            if sanitizing:
+                # Batch-boundary cadence: cheap enough to run on every
+                # batch (each at most one check interval long), and the
+                # incremental counts/dup bookkeeping is exactly what the
+                # convergence verdicts are computed from.
+                _sanitize.check_counts_vector(
+                    "fast", counts, n_mobile_agents, interaction
+                )
+                _sanitize.check_index_vector(
+                    "fast",
+                    state_idx,
+                    nst,
+                    table.mobile_indices,
+                    leader_agent,
+                    interaction,
+                )
+                if non_null != sanitize_non_null:
+                    tracker.note_change(interaction)
+                    sanitize_non_null = non_null
+                if silent():
+                    tracker.note_silent()
+
             if (
                 problem is not None
                 and not quiescent_since_check
@@ -533,6 +573,8 @@ def make_simulator(
     scheduler: Scheduler,
     problem: Problem | None = None,
     check_interval: int | None = None,
+    validate: bool = False,
+    sanitize: bool = False,
 ):
     """Build a simulator for ``backend``.
 
@@ -541,6 +583,23 @@ def make_simulator(
     :mod:`repro.engine.batch` are imported, which ``repro.engine``
     always does) ``"counts"`` and ``"batch"``.  Raises
     :class:`SimulationError` for unknown backend names.
+
+    ``validate=True`` runs :func:`repro.engine.protocol.verify_protocol`
+    before constructing the simulator, so malformed protocols (role
+    leaks, broken symmetry claims) fail loudly at construction time with
+    a :class:`~repro.errors.ProtocolError` instead of corrupting a run -
+    the static sibling of the :class:`~repro.errors.BackendFallbackWarning`
+    convention: off by default because it enumerates the full state-pair
+    space, opt-in where construction cost matters less than certainty.
+
+    ``sanitize=True`` arms the runtime sanitizer
+    (:mod:`repro.engine.sanitize`) on the built simulator: runs assert
+    conserved population size, nonnegative counts, state-range/role
+    discipline and no post-silence change, raising
+    :class:`~repro.errors.SanitizerError` on violation, while remaining
+    bit-identical to unsanitized runs.  Only passed to the backend class
+    when set, so third-party :data:`BACKENDS` registrations without a
+    ``sanitize`` parameter keep working.
     """
     try:
         cls = BACKENDS[backend]
@@ -549,4 +608,11 @@ def make_simulator(
             f"unknown simulation backend {backend!r}; "
             f"available: {sorted(BACKENDS)}"
         ) from None
+    if validate:
+        verify_protocol(protocol)
+    if sanitize:
+        return cls(
+            protocol, population, scheduler, problem, check_interval,
+            sanitize=True,
+        )
     return cls(protocol, population, scheduler, problem, check_interval)

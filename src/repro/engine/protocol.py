@@ -143,21 +143,43 @@ def verify_closure(protocol: PopulationProtocol) -> None:
                 )
 
 
+def _unordered_state_pairs(
+    protocol: PopulationProtocol,
+) -> Iterable[tuple[State, State]]:
+    """One representative per unordered schedulable state pair.
+
+    Symmetry is a property of unordered pairs - ``(p, q)`` violates it
+    exactly when ``(q, p)`` does - so the symmetry scans need each pair
+    only once.  The diagonal ``(p, p)`` is included (a rule may split two
+    equal states asymmetrically).
+    """
+    mobile = sorted(protocol.mobile_state_space(), key=repr)
+    leader = sorted(protocol.leader_state_space(), key=repr)
+    for a, p in enumerate(mobile):
+        for q in mobile[a:]:
+            yield (p, q)
+    for ls in leader:
+        for ms in mobile:
+            yield (ls, ms)
+
+
 def verify_symmetric(protocol: PopulationProtocol) -> None:
     """Check the paper's symmetry condition on the transition function:
     ``(p, q) -> (p', q')`` implies ``(q, p) -> (q', p')``.
 
-    Raises :class:`ProtocolError` on the first violating pair.
+    Raises :class:`ProtocolError` on the first violating pair.  Delegates
+    to :func:`asymmetric_witnesses`, which scans each unordered pair once.
     """
-    for p, q in _state_pairs(protocol):
+    witnesses = asymmetric_witnesses(protocol, limit=1)
+    if witnesses:
+        p, q = witnesses[0]
         p2, q2 = protocol.transition(p, q)
         q3, p3 = protocol.transition(q, p)
-        if (p2, q2) != (p3, q3):
-            raise ProtocolError(
-                f"{protocol.display_name}: asymmetric rule detected: "
-                f"({p!r}, {q!r}) -> ({p2!r}, {q2!r}) but "
-                f"({q!r}, {p!r}) -> ({q3!r}, {p3!r})"
-            )
+        raise ProtocolError(
+            f"{protocol.display_name}: asymmetric rule detected: "
+            f"({p!r}, {q!r}) -> ({p2!r}, {q2!r}) but "
+            f"({q!r}, {p!r}) -> ({q3!r}, {p3!r})"
+        )
 
 
 def verify_protocol(protocol: PopulationProtocol) -> None:
@@ -174,18 +196,25 @@ def verify_protocol(protocol: PopulationProtocol) -> None:
 
 def asymmetric_witnesses(
     protocol: PopulationProtocol,
+    limit: int | None = None,
 ) -> list[tuple[State, State]]:
-    """Return the ordered pairs on which the protocol behaves asymmetrically.
+    """Return the pairs on which the protocol behaves asymmetrically.
 
     Useful for reporting; an empty list means the transition function is
-    symmetric regardless of the protocol's declaration.
+    symmetric regardless of the protocol's declaration.  Each unordered
+    pair is scanned - and reported - exactly once, in the canonical order
+    of :func:`_unordered_state_pairs` (asymmetry of ``(p, q)`` implies
+    asymmetry of ``(q, p)``, so the mirror carries no information).
+    ``limit`` stops the scan after that many witnesses.
     """
     witnesses: list[tuple[State, State]] = []
-    for p, q in _state_pairs(protocol):
+    for p, q in _unordered_state_pairs(protocol):
         p2, q2 = protocol.transition(p, q)
         q3, p3 = protocol.transition(q, p)
         if (p2, q2) != (p3, q3):
             witnesses.append((p, q))
+            if limit is not None and len(witnesses) >= limit:
+                break
     return witnesses
 
 

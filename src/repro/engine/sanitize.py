@@ -1,0 +1,204 @@
+"""Runtime invariant sanitizer for the simulation backends.
+
+Every backend maintains a different representation of the same object - a
+population of agents evolving under pairwise rules - and each
+representation carries invariants that no correct run may violate:
+
+* **population-size** - the number of agents (the sum of all counts)
+  never changes;
+* **negative-count** - no state's count goes below zero;
+* **state-range** - every agent holds a state inside the protocol's
+  declared space for its role (interned indices stay in range on the
+  array backends);
+* **post-silence-change** - a silent configuration is terminal, so no
+  non-null interaction may follow one.
+
+``sanitize=True`` on :func:`repro.engine.fast.make_simulator` (or
+:func:`repro.engine.ensemble.run_ensemble`) arms these checks inside all
+four backends.  Violations raise :class:`~repro.errors.SanitizerError`
+carrying the backend name, the invariant id and the offending step.  The
+checks read simulation state but never consume randomness or alter
+control flow, so sanitized runs are bit-identical to unsanitized ones -
+the differential tests in ``tests/engine/test_sanitize.py`` enforce it.
+
+The helpers below are deliberately standalone functions: the hot loops
+call them at convergence-check cadence (reference/fast) or once per
+envelope refresh / kernel step (counts/batch), and the fault-injection
+tests monkeypatch them to simulate kernel corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SanitizerError
+
+
+def check_population_size(
+    backend: str, expected: int, actual: int, interaction: int
+) -> None:
+    """Raise unless the configuration still describes ``expected`` agents."""
+    if actual != expected:
+        raise SanitizerError(
+            f"{backend} backend: population size changed from {expected} "
+            f"to {actual} at interaction {interaction}",
+            backend=backend,
+            invariant="population-size",
+            interaction=interaction,
+        )
+
+
+def check_states_in_space(
+    backend: str,
+    states: Sequence,
+    leader_index: int | None,
+    mobile_space: frozenset,
+    leader_space: frozenset,
+    interaction: int,
+) -> None:
+    """Raise unless every agent's state respects its role's declared space."""
+    for agent, state in enumerate(states):
+        if agent == leader_index:
+            if state not in leader_space:
+                raise SanitizerError(
+                    f"{backend} backend: leader holds {state!r}, outside "
+                    f"the declared leader space, at interaction "
+                    f"{interaction}",
+                    backend=backend,
+                    invariant="state-range",
+                    interaction=interaction,
+                )
+        elif state not in mobile_space:
+            raise SanitizerError(
+                f"{backend} backend: mobile agent {agent} holds {state!r}, "
+                f"outside the declared mobile space, at interaction "
+                f"{interaction}",
+                backend=backend,
+                invariant="state-range",
+                interaction=interaction,
+            )
+
+
+def check_index_vector(
+    backend: str,
+    state_idx: Sequence[int],
+    n_states: int,
+    mobile_indices: frozenset,
+    leader_agent: int | None,
+    interaction: int,
+) -> None:
+    """Raise unless every interned index is in range and role-correct."""
+    for agent, idx in enumerate(state_idx):
+        if not 0 <= idx < n_states:
+            raise SanitizerError(
+                f"{backend} backend: agent {agent} holds interned index "
+                f"{idx}, outside [0, {n_states}), at interaction "
+                f"{interaction}",
+                backend=backend,
+                invariant="state-range",
+                interaction=interaction,
+            )
+        if agent != leader_agent and idx not in mobile_indices:
+            raise SanitizerError(
+                f"{backend} backend: mobile agent {agent} holds "
+                f"leader-only index {idx} at interaction {interaction}",
+                backend=backend,
+                invariant="state-range",
+                interaction=interaction,
+            )
+
+
+def check_counts_vector(
+    backend: str,
+    counts: Iterable[int],
+    expected_total: int,
+    interaction: int,
+) -> None:
+    """Raise on a negative count or a non-conserved total."""
+    total = 0
+    for index, count in enumerate(counts):
+        if count < 0:
+            raise SanitizerError(
+                f"{backend} backend: count of interned state {index} is "
+                f"{count} at interaction {interaction}",
+                backend=backend,
+                invariant="negative-count",
+                interaction=interaction,
+            )
+        total += count
+    check_population_size(backend, expected_total, total, interaction)
+
+
+def check_counts_rows(
+    backend: str,
+    rows,
+    row_ids,
+    expected_total: int,
+    step: int,
+) -> None:
+    """Vectorized :func:`check_counts_vector` over a batch counts matrix.
+
+    ``rows`` is the ``(R_active, S)`` NumPy slice of active replicates and
+    ``row_ids`` their original replicate indices (for the error message).
+    """
+    if rows.size == 0:
+        return
+    if (rows < 0).any():
+        bad = int(row_ids[(rows < 0).any(axis=1).argmax()])
+        raise SanitizerError(
+            f"{backend} backend: replicate {bad} holds a negative count "
+            f"at kernel step {step}",
+            backend=backend,
+            invariant="negative-count",
+            interaction=step,
+        )
+    sums = rows.sum(axis=1)
+    if (sums != expected_total).any():
+        where = (sums != expected_total).argmax()
+        bad = int(row_ids[where])
+        raise SanitizerError(
+            f"{backend} backend: replicate {bad} describes "
+            f"{int(sums[where])} agents instead of {expected_total} at "
+            f"kernel step {step}",
+            backend=backend,
+            invariant="population-size",
+            interaction=step,
+        )
+
+
+class SilenceTracker:
+    """Detects state changes after a configuration was observed silent.
+
+    A silent configuration (every realizable meeting null) is terminal;
+    any later non-null interaction means either the engine corrupted
+    state or a fault was injected.  Backends call :meth:`note_silent`
+    whenever a silence check passes, :meth:`reset` when an external
+    mutation (fault injection) legitimately wakes the run, and
+    :meth:`note_change` on every non-null interaction.
+    """
+
+    __slots__ = ("backend", "_silent")
+
+    def __init__(self, backend: str) -> None:
+        self.backend = backend
+        self._silent = False
+
+    def note_silent(self) -> None:
+        """Record that the configuration passed a silence check."""
+        self._silent = True
+
+    def reset(self) -> None:
+        """Forget observed silence (an injected fault woke the run)."""
+        self._silent = False
+
+    def note_change(self, interaction: int) -> None:
+        """Record a non-null interaction; raises if silence was seen."""
+        if self._silent:
+            raise SanitizerError(
+                f"{self.backend} backend: non-null interaction "
+                f"{interaction} after the configuration was observed "
+                "silent",
+                backend=self.backend,
+                invariant="post-silence-change",
+                interaction=interaction,
+            )

@@ -16,9 +16,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Protocol as TypingProtocol
 
+from repro.engine import sanitize as _sanitize
 from repro.engine.configuration import Configuration
 from repro.engine.population import Population
-from repro.engine.problems import Problem
+from repro.engine.problems import Problem, is_silent
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.trace import InteractionRecord, Trace
 from repro.errors import ConvergenceError, SimulationError
@@ -144,6 +145,16 @@ class Simulator:
         Convergence is tested every ``check_interval`` interactions and
         after every non-null interaction burst; larger values trade
         detection latency for speed.
+    sanitize:
+        Arm the runtime sanitizer (see :mod:`repro.engine.sanitize`):
+        every run asserts conserved population size, state-space/role
+        discipline on interaction results and no state change after a
+        silent configuration, raising
+        :class:`~repro.errors.SanitizerError` on violation.  Fault
+        injections are size-checked only (they may deliberately corrupt
+        states) and reset the silence tracking.  Checks never consume
+        randomness, so sanitized runs are bit-identical to unsanitized
+        ones.
     """
 
     def __init__(
@@ -153,6 +164,7 @@ class Simulator:
         scheduler: Scheduler,
         problem: Problem | None = None,
         check_interval: int | None = None,
+        sanitize: bool = False,
     ) -> None:
         if protocol.requires_leader and not population.has_leader:
             raise SimulationError(
@@ -173,6 +185,7 @@ class Simulator:
         self.scheduler = scheduler
         self.problem = problem
         self.check_interval = check_interval or max(population.size, 16)
+        self.sanitize = sanitize
 
     def run(
         self,
@@ -215,6 +228,20 @@ class Simulator:
         converged_at: int | None = None
         quiescent_since_check = True
 
+        sanitizing = self.sanitize
+        if sanitizing:
+            mobile_space = self.protocol.mobile_state_space()
+            leader_space = self.protocol.leader_state_space()
+            tracker = _sanitize.SilenceTracker("reference")
+            _sanitize.check_states_in_space(
+                "reference",
+                config.states,
+                config.leader_index,
+                mobile_space,
+                leader_space,
+                0,
+            )
+
         # With a fault hook, interaction-0 faults must land before any
         # convergence verdict, so the initial check is skipped.
         if (
@@ -232,6 +259,17 @@ class Simulator:
                     config = replacement
                     faults += 1
                     quiescent_since_check = False
+                    if sanitizing:
+                        # Faults may legitimately wake a silent run and
+                        # may deliberately corrupt states; only the
+                        # population size must survive them.
+                        _sanitize.check_population_size(
+                            "reference",
+                            self.population.size,
+                            len(config),
+                            interaction,
+                        )
+                        tracker.reset()
 
             initiator, responder = self.scheduler.next_pair(config)
             p = config.state_of(initiator)
@@ -242,6 +280,17 @@ class Simulator:
                 config = config.apply(initiator, responder, (p2, q2))
                 non_null += 1
                 quiescent_since_check = False
+                if sanitizing:
+                    tracker.note_change(interaction)
+                    for agent, state in ((initiator, p2), (responder, q2)):
+                        _sanitize.check_states_in_space(
+                            "reference",
+                            (state,),
+                            0 if agent == config.leader_index else None,
+                            mobile_space,
+                            leader_space,
+                            interaction,
+                        )
                 if observer is not None:
                     observer(interaction, config)
             if trace is not None:
@@ -251,6 +300,16 @@ class Simulator:
                     )
                 )
             interaction += 1
+
+            if sanitizing and interaction % self.check_interval == 0:
+                _sanitize.check_population_size(
+                    "reference",
+                    self.population.size,
+                    len(config),
+                    interaction,
+                )
+                if is_silent(self.protocol, config):
+                    tracker.note_silent()
 
             if (
                 self.problem is not None

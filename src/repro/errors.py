@@ -56,6 +56,37 @@ class VerificationError(ReproError):
     """A model-checking or enumeration routine received invalid input."""
 
 
+class SanitizerError(SimulationError):
+    """The runtime sanitizer (``sanitize=True``) caught an invariant
+    violation inside a simulation backend.
+
+    Attributes
+    ----------
+    backend:
+        Name of the backend whose run tripped the check
+        (``"reference"``/``"fast"``/``"counts"``/``"batch"``).
+    invariant:
+        Machine-readable id of the violated invariant, one of
+        ``"population-size"``, ``"negative-count"``, ``"state-range"``,
+        ``"post-silence-change"``.
+    interaction:
+        The interaction (or kernel-step) index at which the violation was
+        detected, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        backend: str = "",
+        invariant: str = "",
+        interaction: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.invariant = invariant
+        self.interaction = interaction
+
+
 class BackendFallbackWarning(RuntimeWarning):
     """An accelerated simulation backend silently delegated a run to a
     slower backend.

@@ -1,0 +1,40 @@
+"""Static well-formedness analysis for the paper's naming protocols.
+
+The lint engine audits every protocol reachable from
+:func:`repro.core.registry.protocol_for` - across all 24 Table 1 model
+specifications and a sweep of name-range bounds - against the claims the
+paper makes about them: transition closure and role discipline, the
+symmetric/asymmetric declaration (both directions), the P-vs-P+1 state
+budget, reachability of the declared states, dead transition-table
+entries, and the naming invariant on reachable silent configurations.
+
+Use :func:`run_lint` for the full sweep (the ``repro lint`` CLI and CI
+gate) or :func:`lint_protocol` for one protocol, e.g. a hand-built
+:class:`~repro.engine.protocol.TableProtocol` in a test.  The runtime
+counterpart - the execution-invariant sanitizer threaded through the
+simulation backends - lives in :mod:`repro.engine.sanitize`.
+"""
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.engine import (
+    DEFAULT_BOUNDS,
+    lint_protocol,
+    run_lint,
+    select_rules,
+)
+from repro.lint.rules import RULES, LintBudgets, LintContext, LintRule, rule
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "Diagnostic",
+    "LintBudgets",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "RULES",
+    "Severity",
+    "lint_protocol",
+    "rule",
+    "run_lint",
+    "select_rules",
+]

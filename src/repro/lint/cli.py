@@ -1,0 +1,102 @@
+"""``repro lint``: the static-analysis CI gate.
+
+Sweeps every Table 1 model specification at the requested bounds,
+running every (or a selected subset of) lint rule on each protocol the
+registry builds.  Exit code 0 means no errors (``--strict`` also
+promotes warnings to failures); nonzero otherwise - suitable for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.lint.diagnostics import LintReport
+from repro.lint.engine import DEFAULT_BOUNDS, run_lint, select_rules
+from repro.lint.rules import RULES, LintBudgets
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Statically audit every registered naming protocol across "
+            "all Table 1 model specifications."
+        ),
+    )
+    parser.add_argument(
+        "--bounds",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_BOUNDS),
+        metavar="P",
+        help="name-range bounds to sweep (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (the CI gate)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--no-info",
+        action="store_true",
+        help="hide INFO-level coverage notes in the text report",
+    )
+    parser.add_argument(
+        "--max-closure-states",
+        type=int,
+        default=LintBudgets.max_closure_states,
+        help="state-space cap for closure analyses (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    width = max(len(rule_id) for rule_id in RULES)
+    for lint_rule in RULES.values():
+        print(
+            f"{lint_rule.id:<{width}}  [{lint_rule.scope:<8}] "
+            f"{lint_rule.description}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro lint``; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    try:
+        select_rules(args.rules)
+    except ValueError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    budgets = LintBudgets(max_closure_states=args.max_closure_states)
+    report: LintReport = run_lint(
+        bounds=args.bounds, rules=args.rules, budgets=budgets
+    )
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text(show_info=not args.no_info))
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

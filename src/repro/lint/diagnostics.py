@@ -1,0 +1,143 @@
+"""Diagnostic records and reports for the protocol lint engine.
+
+A :class:`Diagnostic` is one finding of one lint rule on one protocol:
+machine-readable (stable rule id, severity, optional concrete witness)
+and human-readable (message, protocol/spec/bound context).  A
+:class:`LintReport` aggregates the findings of a lint run, renders them
+as text or JSON (via :mod:`repro.reporting.jsonio`), and maps them to a
+process exit code for the CI gate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.reporting.jsonio import dumps as _json_dumps
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings contradict the paper's claims or the execution
+    model (a broken run is possible); ``WARNING`` findings are wasteful
+    or suspicious but not incorrect (dead table entries, unreachable
+    states); ``INFO`` findings record what the linter *skipped* (budget
+    caps on exhaustive analyses), so a clean report still documents its
+    own coverage.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule.
+
+    ``witness`` carries the concrete evidence (a state pair, a
+    configuration's states, a count mismatch) as JSON-serializable data
+    so reports can be archived and diffed; ``None`` for findings whose
+    message is self-contained.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    protocol: str
+    spec: str | None = None
+    bound: int | None = None
+    witness: Any = None
+
+    def render(self) -> str:
+        """One-line text rendering, ``file:line``-style prefixed."""
+        where = self.protocol
+        if self.bound is not None:
+            where += f" (P={self.bound})"
+        if self.spec is not None:
+            where += f" [{self.spec}]"
+        line = f"{self.severity.value}: {self.rule}: {where}: {self.message}"
+        if self.witness is not None:
+            line += f"\n    witness: {self.witness!r}"
+        return line
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of a lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: (spec, bound) cells swept; 0 for single-protocol lints.
+    cells_checked: int = 0
+    #: Distinct protocol instances analyzed.
+    protocols_checked: int = 0
+    #: The bounds swept, for the report header.
+    bounds: tuple[int, ...] = ()
+    #: Ids of the rules that ran.
+    rules_run: tuple[str, ...] = ()
+
+    def extend(self, diagnostics: list[Diagnostic]) -> None:
+        """Append a rule's findings to the report."""
+        self.diagnostics.extend(diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        ]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit code: errors always fail; ``strict`` also fails
+        on warnings.  INFO findings (coverage notes) never fail."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def render_text(self, show_info: bool = True) -> str:
+        """Multi-line human-readable report."""
+        lines: list[str] = []
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.rule, d.protocol),
+        )
+        for diag in ordered:
+            if diag.severity is Severity.INFO and not show_info:
+                continue
+            lines.append(diag.render())
+        if lines:
+            lines.append("")
+        scope = (
+            f"{self.cells_checked} spec cells, "
+            f"{self.protocols_checked} protocol instances"
+            + (
+                f", bounds {{{', '.join(str(b) for b in self.bounds)}}}"
+                if self.bounds
+                else ""
+            )
+        )
+        lines.append(
+            f"lint: {scope}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.infos)} note(s)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """JSON rendering (via the shared experiment serializer)."""
+        return _json_dumps(self)

@@ -209,6 +209,7 @@ class TestSeedChunking:
             None,
             False,
             None,
+            False,
         )
         chunked = _run_chunk((common, [0, 1, 2]))
         singles = [_run_chunk((common, [seed]))[0] for seed in (0, 1, 2)]

@@ -1,0 +1,254 @@
+"""The runtime sanitizer: zero-perturbation when clean, loud when not.
+
+Two properties carry the feature:
+
+* ``sanitize=True`` consumes no randomness, so every backend's result is
+  bit-identical with and without it (the differential tests);
+* each invariant check actually fires on a corrupted run, raising
+  :class:`~repro.errors.SanitizerError` with the backend, invariant id
+  and offending step (the injection tests — corruption is injected by
+  wrapping the check functions the backends call, or through the
+  reference backend's fault hook).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.global_naming import GlobalNamingProtocol
+from repro.engine import sanitize
+from repro.engine.configuration import Configuration
+from repro.engine.ensemble import run_ensemble
+from repro.engine.fast import make_simulator
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.engine.state import sort_key
+from repro.errors import SanitizerError
+from repro.schedulers.random_pair import RandomPairScheduler
+
+ALL_BACKENDS = ("reference", "fast", "counts", "batch")
+
+
+def result_key(result):
+    return (
+        result.converged,
+        result.convergence_interaction,
+        result.interactions,
+        result.non_null_interactions,
+        result.final_configuration,
+    )
+
+
+def run_once(backend, sanitize_flag, protocol, population, initial, seed=3):
+    scheduler = RandomPairScheduler(population, seed=seed)
+    simulator = make_simulator(
+        backend,
+        protocol,
+        population,
+        scheduler,
+        NamingProblem(),
+        sanitize=sanitize_flag,
+    )
+    return simulator.run(initial, max_interactions=200_000)
+
+
+class TestUnitChecks:
+    def test_population_size_mismatch(self):
+        with pytest.raises(SanitizerError) as err:
+            sanitize.check_population_size("reference", 5, 4, 17)
+        assert err.value.backend == "reference"
+        assert err.value.invariant == "population-size"
+        assert err.value.interaction == 17
+
+    def test_counts_vector_negative_and_sum(self):
+        counts = np.array([2, -1, 3], dtype=np.int64)
+        with pytest.raises(SanitizerError) as err:
+            sanitize.check_counts_vector("counts", counts, 4, 9)
+        assert err.value.invariant == "negative-count"
+        ok = np.array([2, 1, 3], dtype=np.int64)
+        sanitize.check_counts_vector("counts", ok, 6, 9)
+        with pytest.raises(SanitizerError) as err:
+            sanitize.check_counts_vector("counts", ok, 7, 9)
+        assert err.value.invariant == "population-size"
+
+    def test_counts_rows_vectorized(self):
+        rows = np.array([[2, 2], [3, 1]], dtype=np.int64)
+        ids = np.array([4, 9], dtype=np.int64)
+        sanitize.check_counts_rows("batch", rows, ids, 4, 100)
+        rows[1, 0] = -1
+        with pytest.raises(SanitizerError) as err:
+            sanitize.check_counts_rows("batch", rows, ids, 4, 100)
+        assert err.value.invariant == "negative-count"
+        assert "replicate 9" in str(err.value)
+
+    def test_index_vector_range_and_role(self):
+        idx = np.array([0, 1, 2], dtype=np.int64)
+        sanitize.check_index_vector(
+            "fast", idx, 4, frozenset({0, 1, 2}), None, 5
+        )
+        with pytest.raises(SanitizerError) as err:
+            sanitize.check_index_vector(
+                "fast", idx, 2, frozenset({0, 1, 2}), None, 5
+            )
+        assert err.value.invariant == "state-range"
+
+    def test_silence_tracker(self):
+        tracker = sanitize.SilenceTracker("reference")
+        tracker.note_change(1)  # not silent yet: fine
+        tracker.note_silent()
+        with pytest.raises(SanitizerError) as err:
+            tracker.note_change(2)
+        assert err.value.invariant == "post-silence-change"
+        tracker.reset()  # faults legitimately wake a silent run
+        tracker.note_change(3)
+
+
+class TestDifferentialBitIdentity:
+    """The acceptance criterion: sanitize=True is bit-identical on all
+    four backends."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_leaderless(self, backend):
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        initial = Configuration.uniform(population, 0)
+        plain = run_once(backend, False, protocol, population, initial)
+        checked = run_once(backend, True, protocol, population, initial)
+        assert result_key(plain) == result_key(checked)
+        assert plain.converged
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_with_leader(self, backend):
+        protocol = GlobalNamingProtocol(4)
+        population = Population(4, True)
+        mobile0 = sorted(protocol.mobile_state_space(), key=sort_key)[0]
+        initial = Configuration.uniform(
+            population, mobile0, protocol.initial_leader_state()
+        )
+        plain = run_once(backend, False, protocol, population, initial)
+        checked = run_once(backend, True, protocol, population, initial)
+        assert result_key(plain) == result_key(checked)
+
+
+class TestInjectedViolations:
+    def test_reference_catches_wrong_size_fault(self):
+        """A fault hook returning a wrong-size configuration trips the
+        population-size invariant on the reference backend."""
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        small = Population(4)
+
+        def chop(interaction, config):
+            if interaction == 50:
+                return Configuration.uniform(small, 0)
+            return None
+
+        scheduler = RandomPairScheduler(population, seed=0)
+        simulator = make_simulator(
+            "reference",
+            protocol,
+            population,
+            scheduler,
+            NamingProblem(),
+            sanitize=True,
+        )
+        with pytest.raises(SanitizerError) as err:
+            simulator.run(
+                Configuration.uniform(population, 0),
+                max_interactions=10_000,
+                fault_hook=chop,
+            )
+        assert err.value.backend == "reference"
+        assert err.value.invariant == "population-size"
+        assert err.value.interaction == 50
+
+    def test_counts_catches_corrupted_counts(self, monkeypatch):
+        """Corrupting the counts vector mid-run (by wrapping the check
+        the backend calls) is reported by the next check."""
+        real_check = sanitize.check_counts_vector
+        calls = {"n": 0}
+
+        def corrupting_check(backend, counts, expected_total, interaction):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                counts[0] += 1  # lose conservation from here on
+            real_check(backend, counts, expected_total, interaction)
+
+        monkeypatch.setattr(
+            sanitize, "check_counts_vector", corrupting_check
+        )
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        with pytest.raises(SanitizerError) as err:
+            run_once(
+                "counts",
+                True,
+                protocol,
+                population,
+                Configuration.uniform(population, 0),
+            )
+        assert err.value.backend == "counts"
+        assert err.value.invariant == "population-size"
+
+    def test_batch_catches_corrupted_rows(self, monkeypatch):
+        real_check = sanitize.check_counts_rows
+
+        def corrupting_check(backend, rows, row_ids, expected_total, step):
+            if step > 0 and rows.size:
+                rows[0, 0] -= 1
+            real_check(backend, rows, row_ids, expected_total, step)
+
+        monkeypatch.setattr(sanitize, "check_counts_rows", corrupting_check)
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        with pytest.raises(SanitizerError) as err:
+            run_once(
+                "batch",
+                True,
+                protocol,
+                population,
+                Configuration.uniform(population, 0),
+            )
+        assert err.value.backend == "batch"
+
+    def test_unsanitized_run_never_checks(self, monkeypatch):
+        """sanitize=False must not even call the check functions."""
+
+        def explode(*args, **kwargs):
+            raise AssertionError("sanitizer ran without sanitize=True")
+
+        monkeypatch.setattr(sanitize, "check_counts_vector", explode)
+        monkeypatch.setattr(sanitize, "check_counts_rows", explode)
+        monkeypatch.setattr(sanitize, "check_index_vector", explode)
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        for backend in ALL_BACKENDS:
+            result = run_once(
+                backend,
+                False,
+                protocol,
+                population,
+                Configuration.uniform(population, 0),
+            )
+            assert result.converged
+
+
+class TestEnsembleSanitize:
+    def test_run_ensemble_sanitize_bit_identical(self):
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(5)
+        kwargs = dict(
+            scheduler_factory=lambda pop, seed: RandomPairScheduler(
+                pop, seed=seed
+            ),
+            initial_factory=lambda pop, seed: Configuration.uniform(pop, 0),
+            problem=NamingProblem(),
+            seeds=range(4),
+        )
+        plain = run_ensemble(protocol, population, **kwargs)
+        checked = run_ensemble(
+            protocol, population, sanitize=True, **kwargs
+        )
+        assert [result_key(r) for r in plain.results] == [
+            result_key(r) for r in checked.results
+        ]

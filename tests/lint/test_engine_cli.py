@@ -1,0 +1,140 @@
+"""The lint sweep over Table 1 and its CLI: the acceptance gate is that
+``repro lint --strict`` exits 0 on everything the registry builds."""
+
+import json
+
+import pytest
+
+from repro.core.spec import all_specs
+from repro.lint import RULES, run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+
+class TestRunLint:
+    def test_full_sweep_is_clean(self):
+        report = run_lint(bounds=(3, 5, 8))
+        assert report.errors == []
+        assert report.warnings == []
+        assert report.exit_code(strict=True) == 0
+        # 24 specs x 3 bounds, including the infeasible cells.
+        assert report.cells_checked == 72
+        assert report.protocols_checked > 0
+        assert set(report.rules_run) == set(RULES)
+
+    def test_budget_skips_surface_as_info(self):
+        # The global-fairness leader protocol's state space explodes at
+        # P=8; the sweep must record the skipped analyses, not hide them.
+        report = run_lint(bounds=(8,))
+        assert report.infos
+        assert all("skipped" in d.message for d in report.infos)
+
+    def test_protocol_scope_rules_deduplicated(self):
+        # The self-stabilizing protocol serves several cells; its
+        # protocol-scope findings must not repeat per cell.
+        report = run_lint(bounds=(4,), rules=["silent-configs-named"])
+        keys = [
+            (d.protocol, d.bound, d.rule) for d in report.diagnostics
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_spec_subset(self):
+        specs = [next(iter(all_specs()))]
+        report = run_lint(bounds=(3,), specs=specs)
+        assert report.cells_checked == 1
+
+
+class TestReportRendering:
+    def make_report(self):
+        return LintReport(
+            diagnostics=[
+                Diagnostic(
+                    rule="closure",
+                    severity=Severity.ERROR,
+                    message="boom",
+                    protocol="p",
+                    bound=3,
+                    witness=["w"],
+                ),
+                Diagnostic(
+                    rule="reachable-states",
+                    severity=Severity.INFO,
+                    message="skipped: too big",
+                    protocol="p",
+                ),
+            ],
+            cells_checked=1,
+            protocols_checked=1,
+            bounds=(3,),
+            rules_run=("closure",),
+        )
+
+    def test_text_rendering_orders_by_severity(self):
+        text = self.make_report().render_text()
+        assert text.index("error:") < text.index("info:")
+        assert "witness" in text
+        assert "1 error(s)" in text
+
+    def test_info_can_be_hidden(self):
+        text = self.make_report().render_text(show_info=False)
+        assert "skipped" not in text
+
+    def test_json_roundtrips(self):
+        data = json.loads(self.make_report().render_json())
+        assert data["cells_checked"] == 1
+        assert data["diagnostics"][0]["severity"] == "error"
+
+    def test_exit_codes(self):
+        report = self.make_report()
+        assert report.exit_code() == 1
+        warning_only = LintReport(
+            diagnostics=[
+                Diagnostic(
+                    rule="dead-table-entries",
+                    severity=Severity.WARNING,
+                    message="dead",
+                    protocol="p",
+                )
+            ]
+        )
+        assert warning_only.exit_code() == 0
+        assert warning_only.exit_code(strict=True) == 1
+        assert LintReport().exit_code(strict=True) == 0
+
+
+class TestLintCli:
+    def test_strict_sweep_exits_zero(self, capsys):
+        assert lint_main(["--strict", "--bounds", "3", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_json_output(self, capsys):
+        assert lint_main(["--bounds", "3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bounds"] == [3]
+
+    def test_rule_selection_and_unknown_rule(self, capsys):
+        assert lint_main(["--bounds", "3", "--rules", "symmetry"]) == 0
+        assert lint_main(["--rules", "bogus"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_dispatch_through_main_cli(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--bounds", "3"]) == 0
+        assert "lint:" in capsys.readouterr().out
+
+
+class TestRegistryConformance:
+    def test_infeasible_cells_counted_without_errors(self):
+        # The sweep exercises the infeasible (symmetric, weak, no
+        # leader) cells; the registry refuses them, so no diagnostics.
+        report = run_lint(bounds=(3,), rules=["state-budget"])
+        assert [d for d in report.diagnostics if d.rule == "registry"] == []
+        assert report.cells_checked == 24
