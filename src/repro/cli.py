@@ -7,7 +7,8 @@ Commands
 ``recovery``      supplementary exp-s2: self-stabilizing fault recovery
 ``ablation``      supplementary exp-s4: scheduler ablation matrix
 ``lower-bounds``  supplementary exp-s3: exhaustive lower-bound verification
-``bench``         simulation-backend micro-benchmark (reference/fast/counts)
+``bench``         simulation-backend micro-benchmark (reference/fast/
+                  counts, plus batch-ensemble and leap sections)
 ``lint``          static well-formedness audit of all registered protocols
 ``simulate``      run one naming protocol chosen by model parameters
 """
@@ -110,7 +111,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     trace = Trace(capacity=args.trace) if args.trace else None
     simulator = make_simulator(
-        args.backend, protocol, population, scheduler, NamingProblem()
+        args.backend,
+        protocol,
+        population,
+        scheduler,
+        NamingProblem(),
+        leap_eps=args.leap_eps,
     )
     result = simulator.run(
         initial, max_interactions=args.budget, trace=trace
@@ -196,7 +202,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="reference",
         help=(
             "simulation engine: fast is stream-identical to reference; "
-            "counts is count-based and statistically equivalent"
+            "counts is count-based and statistically equivalent; leap "
+            "aggregates many interactions per step (approximate, "
+            "tunable via --leap-eps)"
+        ),
+    )
+    simulate.add_argument(
+        "--leap-eps",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help=(
+            "leap backend only: per-window relative-change bound of the "
+            "adaptive tau selection (smaller = more accurate, slower; "
+            "default 0.03)"
         ),
     )
     simulate.add_argument(

@@ -12,9 +12,11 @@ from repro.engine.fast import (
 )
 
 # Imported after ``fast`` so their registrations land in BACKENDS
-# whenever the engine package is loaded (``batch`` builds on ``counts``).
+# whenever the engine package is loaded (``batch`` and ``leap`` build
+# on ``counts``).
 from repro.engine.counts import CountSimulator, configuration_counts
 from repro.engine.batch import BatchedEnsembleSimulator
+from repro.engine.leap import LeapSimulator
 from repro.engine.population import AgentId, Population
 from repro.engine.sanitize import SilenceTracker
 from repro.engine.problems import (
@@ -57,6 +59,7 @@ __all__ = [
     "FastSimulator",
     "InteractionRecord",
     "LeaderState",
+    "LeapSimulator",
     "MobileState",
     "NamingProblem",
     "Population",

@@ -34,6 +34,9 @@ class Configuration:
     _canonical_cache: tuple | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    _tally_cache: Counter | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.leader_index is not None and not (
@@ -126,6 +129,19 @@ class Configuration:
     def multiset(self) -> Counter:
         """Multiset of the mobile states (the paper's equivalence basis)."""
         return Counter(self.mobile_states)
+
+    def state_tally(self) -> Counter:
+        """Multiset of *all* states, leader included, cached.
+
+        Tallying hashes every agent's state — the dominant fixed cost of
+        interning a large configuration into a counts vector — so the
+        result is computed once and reused when several count-based
+        simulators run from the same (immutable) configuration.  Callers
+        must not mutate the returned counter.
+        """
+        if self._tally_cache is None:
+            object.__setattr__(self, "_tally_cache", Counter(self.states))
+        return self._tally_cache
 
     def homonym_states(self) -> set[State]:
         """Mobile states held by two or more agents (the paper's homonyms)."""

@@ -11,7 +11,10 @@ all replicates of the ensemble in lockstep as one ``(R, S)`` counts
 matrix (:class:`~repro.engine.batch.BatchedEnsembleSimulator`), falling
 back down the ladder ``batch -> counts -> fast -> reference`` with a
 :class:`~repro.errors.BackendFallbackWarning` when a scheduler, problem
-or protocol cannot be honoured natively.  Because per-seed runs are
+or protocol cannot be honoured natively.  The approximate per-run
+``"leap"`` backend (:mod:`repro.engine.leap`) is also available for
+very large populations; it falls back down ``leap -> counts -> fast ->
+reference`` the same way.  Because per-seed runs are
 independent, every backend also fans out across processes (``n_jobs >
 1``, with seeds dispatched to workers in contiguous chunks - each worker
 running its chunk as its own lockstep batch under ``"batch"``).
@@ -283,10 +286,12 @@ def run_ensemble(
         message) instead of being recorded.
     backend:
         Simulation backend: ``"batch"`` (the default; all replicates in
-        lockstep, see :mod:`repro.engine.batch`), or per-run
-        ``"counts"``, ``"fast"`` and ``"reference"``.  Runs a backend
-        cannot honour fall down the ladder ``batch -> counts -> fast ->
-        reference`` with a :class:`~repro.errors.BackendFallbackWarning`.
+        lockstep, see :mod:`repro.engine.batch`), or per-run ``"leap"``
+        (approximate, for very large N), ``"counts"``, ``"fast"`` and
+        ``"reference"``.  Runs a backend cannot honour fall down the
+        ladder (``batch -> counts -> fast -> reference``; ``leap ->
+        counts -> ...``) with a
+        :class:`~repro.errors.BackendFallbackWarning`.
     n_jobs:
         Number of worker processes.  ``1`` runs serially in-process;
         larger values fan the seeds out over a

@@ -120,12 +120,20 @@ def warn_fallback(backend: str, delegate: str, reason: str) -> None:
 
     The run's results are unaffected (the delegate is exact); the warning
     exists so users relying on an accelerated path learn why they did not
-    get it.  Emits :class:`repro.errors.BackendFallbackWarning`.
+    get it.  Emits a :class:`repro.errors.BackendFallbackWarning` whose
+    text includes ``reason`` and which carries ``backend``, ``delegate``
+    and ``reason`` as attributes for programmatic inspection
+    (``warnings.catch_warnings(record=True)`` entries expose them on
+    ``.message``).
     """
     warnings.warn(
-        f"{backend} backend falling back to the {delegate} simulator: "
-        f"{reason}",
-        BackendFallbackWarning,
+        BackendFallbackWarning(
+            f"{backend} backend falling back to the {delegate} simulator: "
+            f"{reason}",
+            backend=backend,
+            delegate=delegate,
+            reason=reason,
+        ),
         stacklevel=3,
     )
 
@@ -575,14 +583,21 @@ def make_simulator(
     check_interval: int | None = None,
     validate: bool = False,
     sanitize: bool = False,
+    leap_eps: float | None = None,
 ):
     """Build a simulator for ``backend``.
 
     Known names are the :data:`BACKENDS` keys: ``"reference"``,
-    ``"fast"`` and (once :mod:`repro.engine.counts` and
-    :mod:`repro.engine.batch` are imported, which ``repro.engine``
-    always does) ``"counts"`` and ``"batch"``.  Raises
-    :class:`SimulationError` for unknown backend names.
+    ``"fast"`` and (once :mod:`repro.engine.counts`,
+    :mod:`repro.engine.batch` and :mod:`repro.engine.leap` are
+    imported, which ``repro.engine`` always does) ``"counts"``,
+    ``"batch"`` and ``"leap"``.  Raises :class:`SimulationError` for
+    unknown backend names.
+
+    ``leap_eps`` sets the approximate ``"leap"`` backend's per-window
+    relative-change bound (see :data:`repro.engine.leap.DEFAULT_LEAP_EPS`);
+    it is forwarded to the backend class only when given, and only the
+    leap backend accepts it.
 
     ``validate=True`` runs :func:`repro.engine.protocol.verify_protocol`
     before constructing the simulator, so malformed protocols (role
@@ -610,9 +625,22 @@ def make_simulator(
         ) from None
     if validate:
         verify_protocol(protocol)
+    # Optional knobs are only passed when set, so third-party BACKENDS
+    # registrations without the parameters keep working.
+    kwargs = {}
     if sanitize:
+        kwargs["sanitize"] = True
+    if leap_eps is not None:
+        kwargs["leap_eps"] = leap_eps
+    try:
         return cls(
             protocol, population, scheduler, problem, check_interval,
-            sanitize=True,
+            **kwargs,
         )
-    return cls(protocol, population, scheduler, problem, check_interval)
+    except TypeError:
+        if "leap_eps" in kwargs:
+            raise SimulationError(
+                f"backend {backend!r} does not accept leap_eps "
+                "(only the approximate leap backend is tunable)"
+            ) from None
+        raise

@@ -1,0 +1,544 @@
+"""The multinomial leap backend: many interactions per step, with
+adaptive error control.
+
+Every other backend - reference, fast, counts, batch - pays O(1) work
+*per interaction*, so a run of ``K`` interactions costs at least ``K``
+sampler draws no matter how clever the representation.  That is the
+classic limitation of exact stochastic simulation (SSA), and the classic
+answer is *tau-leaping*: freeze the transition propensities for a window
+of tau interactions, draw how often each interaction type fired inside
+the window from one multinomial, and apply the aggregate effect in a
+single vectorized update.  Per-window cost is O(pairs + states),
+independent of both the population size N and the window length tau, so
+sweeps that were bottlenecked by event count (naming dynamics at
+N = 10^7-10^8) become bottlenecked only by the number of windows.
+
+The chain being leapt is the counts process of
+:mod:`repro.engine.counts`: under the uniform-random pair scheduler the
+probability that one scheduler proposal realizes the ordered non-null
+state pair ``f = (i, j)`` is ``p_f = c_i (c_j - [i = j]) / N(N-1)``,
+and a null proposal happens with the remaining mass.  Holding ``c``
+fixed for ``tau`` proposals, the vector of per-pair firing counts is
+exactly ``Multinomial(tau, (p_1, ..., p_F, p_null))``; the counts move
+by ``k @ D`` where row ``f`` of the precompiled delta matrix ``D``
+holds pair ``f``'s unit effect ``(-1 at i, -1 at j, +1 at i', +1 at
+j')``.  The approximation error is that ``c`` does *not* stay fixed
+inside the window - the standard tau-leap trade - and is controlled
+three ways:
+
+* **adaptive tau** (the ``leap_eps`` bound): before each window the
+  expected drift ``mu = D^T p`` and diffusion ``sigma^2 = (D*D)^T p``
+  per interaction are computed, and tau is capped so that no state's
+  expected change or variance inside the window exceeds
+  ``max(leap_eps * c_s, 1)`` (the Gillespie/Petzold tau-selection rule);
+* **clip/repair**: a drawn window that would push any count negative is
+  discarded and redrawn with tau halved (counted in
+  ``RunStats.repairs``), so configurations stay feasible;
+* **exact fallback**: when the adaptive tau collapses towards 1 (heavy
+  relative churn, small populations) or the window would contain only a
+  handful of events (the sparse endgame near silence, where exact
+  geometric gap-skipping is just as fast), the backend advances by
+  *exact* SSA steps - geometric null-gap plus categorical event pick,
+  the same chain the counts backend samples - so small populations and
+  endgames remain faithful to the counts distribution.
+
+Convergence semantics are *windowed*: silence (total non-null weight
+zero) is tested at every window refresh, and a silent run's convergence
+interaction is rounded up to the next ``check_interval`` boundary
+(capped at the budget), matching the per-run backends' check cadence up
+to one window.  The naming predicate is evaluated straight off the
+counts vector.  Distributional accuracy against the exact counts
+backend - silence-time and final-configuration statistics under
+KS-style bounds - is validated in ``tests/engine/test_leap.py`` and by
+the CI smoke check.
+
+Runs the leap view cannot honour - non-uniform schedulers, fault hooks,
+traces/observers, problems other than the permutation-invariant naming
+problem, open-role protocols, missing NumPy - fall back to the exact
+:class:`~repro.engine.counts.CountSimulator` (which continues down the
+ladder ``counts -> fast -> reference``) with a
+:class:`~repro.errors.BackendFallbackWarning` naming the reason.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+
+from repro.engine import sanitize as _sanitize
+from repro.engine.configuration import Configuration
+from repro.engine.counts import (
+    CountSimulator,
+    intern_initial,
+    materialize_counts,
+)
+from repro.engine.fast import BACKENDS, DEFAULT_COMPILE_LIMIT, warn_fallback
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem, Problem
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.simulator import (
+    FaultHook,
+    Observer,
+    RunStats,
+    SimulationResult,
+)
+from repro.engine.trace import Trace
+from repro.errors import ConvergenceError, SimulationError
+from repro.schedulers.base import Scheduler
+
+try:  # NumPy powers the multinomial kernel; without it we delegate.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test image ships NumPy
+    _np = None
+
+#: Default relative-change bound per window: tau is capped so that no
+#: state's expected change (or standard deviation squared) inside one
+#: window exceeds ``max(DEFAULT_LEAP_EPS * count, 1)``.  0.03 is the
+#: standard tau-leaping operating point: large enough for million-fold
+#: aggregation at N >= 10^6, small enough that the KS validation against
+#: the exact counts backend passes comfortably.
+DEFAULT_LEAP_EPS = 0.03
+
+#: Windows shorter than this run as exact SSA steps instead: a
+#: multinomial draw over all pairs costs more than a handful of exact
+#: events, and exact steps carry no approximation error.
+DEFAULT_MIN_TAU = 16
+
+#: Minimum expected number of non-null events per multinomial window.
+#: Below this (the sparse endgame near silence) exact geometric
+#: gap-skipping advances just as fast per event and is exact, so the
+#: leap adds error for no speed.
+MIN_WINDOW_EVENTS = 32.0
+
+#: Exact SSA events advanced per fallback burst before tau is
+#: re-estimated (the counts may have drifted enough to leap again).
+EXACT_BURST = 64
+
+
+class _LeapPlan:
+    """Per-table leap tables, shared across simulators of one protocol.
+
+    ``deltas`` is the (pairs, states) int64 matrix whose row ``f`` is
+    non-null pair ``f``'s aggregate unit effect on the counts vector;
+    ``deltas_sq`` its elementwise square (for the variance term of the
+    tau-selection rule).
+    """
+
+    __slots__ = ("deltas", "deltas_sq")
+
+    def __init__(self, plan) -> None:
+        n_pairs = plan.pair_i.shape[0]
+        deltas = _np.zeros((n_pairs, plan.n_states), dtype=_np.int64)
+        rows = _np.arange(n_pairs)
+        _np.add.at(deltas, (rows, plan.pair_i), -1)
+        _np.add.at(deltas, (rows, plan.pair_j), -1)
+        _np.add.at(deltas, (rows, plan.res_i), 1)
+        _np.add.at(deltas, (rows, plan.res_j), 1)
+        self.deltas = deltas
+        self.deltas_sq = deltas * deltas
+
+
+#: Leap plans, cached per protocol instance (like the table/plan caches).
+_LEAP_CACHE: "weakref.WeakKeyDictionary[PopulationProtocol, _LeapPlan]"
+_LEAP_CACHE = weakref.WeakKeyDictionary()
+
+
+def _leap_plan_for(protocol: PopulationProtocol, plan) -> _LeapPlan:
+    """Build (or fetch the cached) delta matrices for ``protocol``."""
+    try:
+        cached = _LEAP_CACHE.get(protocol)
+    except TypeError:  # unhashable protocol instance
+        cached = None
+    if cached is not None:
+        return cached
+    leap = _LeapPlan(plan)
+    try:
+        _LEAP_CACHE[protocol] = leap
+    except TypeError:
+        pass
+    return leap
+
+
+class LeapSimulator:
+    """Aggregated-interaction simulator: many interactions per step.
+
+    Accepts the same constructor arguments and exposes the same
+    :meth:`run` contract as the other backends (registered as
+    ``BACKENDS["leap"]``).  Runs served natively are *approximately*
+    distribution-equivalent to the exact counts backend, with the error
+    bounded per window by ``leap_eps`` (see the module docstring); runs
+    the leap view cannot honour delegate to an internal
+    :class:`~repro.engine.counts.CountSimulator` with a
+    :class:`~repro.errors.BackendFallbackWarning`.
+    :attr:`last_run_native` reports which path served the last
+    :meth:`run` call.
+
+    Parameters
+    ----------
+    protocol, population, scheduler, problem, check_interval:
+        As for :class:`~repro.engine.simulator.Simulator`.
+    compile_limit:
+        Largest state-space size eagerly compiled (shared with the fast
+        and counts backends); larger protocols delegate.
+    leap_eps:
+        Relative per-window change bound of the adaptive tau selection
+        (``--leap-eps`` on the CLIs).  Smaller is more accurate and
+        slower; the default :data:`DEFAULT_LEAP_EPS` passes the KS
+        validation suite.
+    min_tau:
+        Windows whose adaptive tau falls below this run as exact SSA
+        steps instead (bit-faithful in distribution to the counts
+        backend), so small populations never pay leap error.
+    sanitize:
+        Arm the runtime sanitizer (see :mod:`repro.engine.sanitize`):
+        the native path checks its counts vector (nonnegative entries
+        summing to the population size) at every window refresh and
+        tracks post-silence changes at window granularity; delegated
+        runs inherit the counts backend's sanitizer.  Checks never
+        consume randomness.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        population: Population,
+        scheduler: Scheduler,
+        problem: Problem | None = None,
+        check_interval: int | None = None,
+        compile_limit: int = DEFAULT_COMPILE_LIMIT,
+        leap_eps: float = DEFAULT_LEAP_EPS,
+        min_tau: int = DEFAULT_MIN_TAU,
+        sanitize: bool = False,
+    ) -> None:
+        if not 0.0 < leap_eps < 1.0:
+            raise SimulationError(
+                f"leap_eps must be in (0, 1), got {leap_eps}"
+            )
+        if min_tau < 1:
+            raise SimulationError(
+                f"min_tau must be a positive integer, got {min_tau}"
+            )
+        # The counts simulator validates the wiring, compiles the shared
+        # table/plan, and serves as the exact fallback delegate (which
+        # may itself continue down the ladder to fast/reference).
+        self._counts = CountSimulator(
+            protocol, population, scheduler, problem, check_interval,
+            compile_limit, sanitize=sanitize,
+        )
+        self.protocol = protocol
+        self.population = population
+        self.scheduler = scheduler
+        self.problem = problem
+        self.check_interval = self._counts.check_interval
+        self.leap_eps = leap_eps
+        self.min_tau = min_tau
+        self.sanitize = sanitize
+        self._table = self._counts._table
+        self._plan = self._counts._plan
+        self._leap = (
+            _leap_plan_for(protocol, self._plan)
+            if _np is not None and self._plan is not None
+            else None
+        )
+        self._rng = (
+            _np.random.default_rng(getattr(scheduler, "seed", None))
+            if _np is not None
+            else None
+        )
+        #: Whether the most recent :meth:`run` used the leap path.
+        self.last_run_native = False
+        #: Final counts vector of the most recent native run (interned
+        #: order, leader included); ``None`` after delegated runs.
+        self.last_counts: list[int] | None = None
+        self._leader_pos: int | None = None
+
+    @property
+    def compiled(self) -> bool:
+        """Whether the protocol compiled to a transition table."""
+        return self._table is not None
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        initial: Configuration,
+        max_interactions: int = 1_000_000,
+        trace: Trace | None = None,
+        fault_hook: FaultHook | None = None,
+        raise_on_timeout: bool = False,
+        observer: Observer | None = None,
+    ) -> SimulationResult:
+        """Execute until certified convergence or the budget is exhausted.
+
+        Same parameters and semantics as :meth:`Simulator.run`, with the
+        windowed convergence cadence described in the module docstring.
+        Traces, observers and fault hooks need agent identities, and
+        only the naming problem can be certified straight off the counts
+        vector, so those runs delegate to the exact counts backend.
+        """
+        if len(initial) != self.population.size:
+            raise SimulationError(
+                f"initial configuration has {len(initial)} agents, "
+                f"population has {self.population.size}"
+            )
+        counts, reason = self._native_preconditions(
+            initial, trace, fault_hook, observer
+        )
+        if reason is not None:
+            warn_fallback("leap", "counts", reason)
+            self.last_run_native = False
+            self.last_counts = None
+            return self._counts.run(
+                initial,
+                max_interactions=max_interactions,
+                trace=trace,
+                fault_hook=fault_hook,
+                raise_on_timeout=raise_on_timeout,
+                observer=observer,
+            )
+        self.last_run_native = True
+        self._leader_pos = initial.leader_index
+        return self._run_native(counts, max_interactions, raise_on_timeout)
+
+    # ------------------------------------------------------------------
+    # Native-path preconditions
+    # ------------------------------------------------------------------
+
+    def _native_preconditions(
+        self,
+        initial: Configuration,
+        trace: Trace | None,
+        fault_hook: FaultHook | None,
+        observer: Observer | None,
+    ) -> tuple[list[int] | None, str | None]:
+        """Intern the initial configuration, or explain why we cannot."""
+        if _np is None:
+            return None, "NumPy is not installed (the leap kernel needs it)"
+        if self._table is None:
+            return None, (
+                "the protocol's state space could not be compiled to a "
+                "transition table (unhashable, unenumerable or oversized)"
+            )
+        if not self._plan.closed:
+            return None, (
+                "a rule moves a state across the mobile/leader role "
+                "boundary, so counts alone cannot identify the leader"
+            )
+        if not getattr(self.scheduler, "uniform_pairs", False):
+            return None, (
+                f"scheduler {self.scheduler.display_name!r} is not the "
+                "uniform-random pair scheduler (multinomial leaping "
+                "assumes independent uniform ordered pairs)"
+            )
+        if fault_hook is not None:
+            return None, "fault hooks rewrite per-agent configurations"
+        if trace is not None or observer is not None:
+            return None, "traces and observers need agent identities"
+        problem = self.problem
+        if problem is not None:
+            # The windowed kernel evaluates convergence straight off the
+            # counts vector, which is only exact for the naming
+            # predicate (distinct names + silence).
+            if type(problem) is not NamingProblem:
+                return None, (
+                    "the leap kernel only certifies the naming problem; "
+                    "other problems run on the exact counts backend"
+                )
+            if not getattr(problem, "permutation_invariant", False):
+                return None, (
+                    "the problem is not permutation-invariant, so it "
+                    "cannot be evaluated on a canonical representative"
+                )
+        return intern_initial(self._table, self._plan.n_mobile, initial)
+
+    # ------------------------------------------------------------------
+    # The leap hot loop
+    # ------------------------------------------------------------------
+
+    def _run_native(
+        self,
+        counts: list[int],
+        max_interactions: int,
+        raise_on_timeout: bool,
+    ) -> SimulationResult:
+        """The windowed multinomial loop; assumes all preconditions."""
+        np = _np
+        started = time.perf_counter()
+        plan = self._plan
+        rng = self._rng
+        pair_i, pair_j, diag = plan.pair_i, plan.pair_j, plan.diag
+        deltas = self._leap.deltas
+        deltas_sq = self._leap.deltas_sq
+        n_pairs = pair_i.shape[0]
+        n_mobile = plan.n_mobile
+        c = np.asarray(counts, dtype=np.int64)
+        size = self.population.size
+        total_pairs = size * (size - 1)
+        eps = self.leap_eps
+        min_tau = self.min_tau
+        check_interval = self.check_interval
+        checking = self.problem is not None
+        budget = max_interactions
+
+        pos = 0  # completed interactions (nulls included)
+        events = 0  # non-null interactions
+        leaps = 0  # multinomial windows applied
+        leap_interactions = 0  # interactions covered by those windows
+        repairs = 0  # infeasible draws discarded (tau halved)
+        converged_at: int | None = None
+
+        sanitizing = self.sanitize
+        if sanitizing:
+            tracker = _sanitize.SilenceTracker("leap")
+        pvals = np.empty(n_pairs + 1)
+
+        def boundary_at(p: int) -> int:
+            """First check boundary at/after ``p``, capped at the budget."""
+            if p % check_interval:
+                p += check_interval - p % check_interval
+            return min(p, budget)
+
+        while pos < budget and converged_at is None:
+            if sanitizing:
+                # Window-refresh cadence: between refreshes the counts
+                # move only through the vetted (repaired) aggregate
+                # scatter or exact quad updates, so corruption shows
+                # up here.
+                _sanitize.check_counts_vector("leap", c, size, pos)
+            # -- refresh: true weights at the current counts --
+            w = c[pair_i] * (c[pair_j] - diag)
+            weight = int(w.sum())
+            if weight == 0:
+                # Silent configuration: frozen forever.  The verdict is
+                # delivered at the next check boundary, matching the
+                # per-run backends up to one window.
+                if sanitizing:
+                    tracker.note_silent()
+                if checking and bool((c[:n_mobile] <= 1).all()):
+                    converged_at = boundary_at(pos)
+                    pos = converged_at
+                else:
+                    pos = budget
+                break
+
+            # -- adaptive tau: bound each state's expected change and
+            # variance inside the window by max(eps * count, 1) --
+            p = w / total_pairs
+            mu = deltas.T @ p
+            sig2 = deltas_sq.T @ p
+            cap = np.maximum(eps * c, 1.0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t_drift = np.where(mu != 0.0, cap / np.abs(mu), np.inf)
+                t_noise = np.where(sig2 > 0.0, cap * cap / sig2, np.inf)
+            tau = min(float(t_drift.min()), float(t_noise.min()))
+            tau = int(min(tau, float(budget - pos)))
+
+            if (
+                tau >= min_tau
+                and tau * (weight / total_pairs) >= MIN_WINDOW_EVENTS
+            ):
+                # -- multinomial window, with clip/repair: an infeasible
+                # draw (a count pushed negative) is discarded and the
+                # window halved until feasible or too small to leap --
+                pvals[:n_pairs] = p
+                pvals[n_pairs] = max(0.0, 1.0 - float(p.sum()))
+                pvals /= pvals.sum()
+                applied = False
+                while tau >= min_tau:
+                    k = rng.multinomial(tau, pvals)[:n_pairs]
+                    c_next = c + k @ deltas
+                    if (c_next >= 0).all():
+                        applied = True
+                        break
+                    repairs += 1
+                    tau >>= 1
+                if applied:
+                    c = c_next
+                    fired = int(k.sum())
+                    pos += tau
+                    events += fired
+                    leaps += 1
+                    leap_interactions += tau
+                    if sanitizing and fired:
+                        tracker.note_change(pos)
+                    continue
+                # Repair collapsed the window; step exactly instead.
+
+            # -- exact-SSA burst: geometric null-gap plus categorical
+            # event pick, the same chain the counts backend samples.
+            # Serves collapsed-tau churn, small populations, and the
+            # sparse endgame where exact gap-skipping is just as fast --
+            burst = 0
+            while burst < EXACT_BURST and pos < budget:
+                if burst:
+                    w = c[pair_i] * (c[pair_j] - diag)
+                    weight = int(w.sum())
+                    if weight == 0:
+                        break  # the refresh above finalizes silence
+                gap = int(rng.geometric(weight / total_pairs))
+                if pos + gap > budget:
+                    pos = budget
+                    break
+                pos += gap
+                cum = np.cumsum(w, dtype=np.float64)
+                f = int(
+                    np.searchsorted(
+                        cum, rng.random() * float(cum[-1]), side="right"
+                    )
+                )
+                c += deltas[f]
+                events += 1
+                burst += 1
+            if sanitizing and burst:
+                tracker.note_change(pos)
+
+        if sanitizing:
+            _sanitize.check_counts_vector("leap", c, size, pos)
+
+        # Final check: the budget may end exactly at silence.
+        if converged_at is None and checking:
+            w = c[pair_i] * (c[pair_j] - diag)
+            if int(w.sum()) == 0 and bool((c[:n_mobile] <= 1).all()):
+                converged_at = pos
+
+        converged = converged_at is not None
+        if not converged and raise_on_timeout:
+            raise ConvergenceError(
+                f"{self.protocol.display_name} did not converge within "
+                f"{max_interactions} interactions",
+                interactions=pos,
+            )
+        final_counts = [int(k) for k in c]
+        self.last_counts = final_counts
+        elapsed = time.perf_counter() - started
+        return SimulationResult(
+            converged=converged,
+            interactions=pos,
+            non_null_interactions=events,
+            final_configuration=materialize_counts(
+                self._table, n_mobile, final_counts, self._leader_pos
+            ),
+            population=self.population,
+            trace=None,
+            convergence_interaction=converged_at,
+            faults_injected=0,
+            stats=RunStats(
+                wall_seconds=elapsed,
+                interactions_per_second=(
+                    pos / elapsed if elapsed > 0 else 0.0
+                ),
+                null_fraction=(
+                    (pos - events) / pos if pos else 0.0
+                ),
+                leaps=leaps,
+                mean_tau=(
+                    leap_interactions / leaps if leaps else 0.0
+                ),
+                repairs=repairs,
+            ),
+        )
+
+
+BACKENDS["leap"] = LeapSimulator

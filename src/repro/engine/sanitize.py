@@ -15,7 +15,7 @@ representation carries invariants that no correct run may violate:
 
 ``sanitize=True`` on :func:`repro.engine.fast.make_simulator` (or
 :func:`repro.engine.ensemble.run_ensemble`) arms these checks inside all
-four backends.  Violations raise :class:`~repro.errors.SanitizerError`
+five backends.  Violations raise :class:`~repro.errors.SanitizerError`
 carrying the backend name, the invariant id and the offending step.  The
 checks read simulation state but never consume randomness or alter
 control flow, so sanitized runs are bit-identical to unsanitized ones -
@@ -23,8 +23,12 @@ the differential tests in ``tests/engine/test_sanitize.py`` enforce it.
 
 The helpers below are deliberately standalone functions: the hot loops
 call them at convergence-check cadence (reference/fast) or once per
-envelope refresh / kernel step (counts/batch), and the fault-injection
-tests monkeypatch them to simulate kernel corruption.
+envelope refresh / kernel step / leap window (counts/batch/leap), and
+the fault-injection tests monkeypatch them to simulate kernel
+corruption.  On the windowed leap backend the *post-silence-change*
+invariant is adapted to window granularity: a whole multinomial window
+(or exact burst) that fires any event after silence trips the tracker,
+since individual interactions are never materialized there.
 """
 
 from __future__ import annotations

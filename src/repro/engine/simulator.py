@@ -50,11 +50,20 @@ class RunStats:
     Populated by every backend.  Excluded from :class:`SimulationResult`
     equality because wall-clock numbers differ between otherwise identical
     runs; the differential tests compare semantics, not timings.
+
+    The three leap fields are populated only by native runs of the
+    ``"leap"`` backend (:mod:`repro.engine.leap`): ``leaps`` counts the
+    multinomial windows applied, ``mean_tau`` the mean window length in
+    interactions, and ``repairs`` the infeasible draws discarded by the
+    clip/repair loop.  They stay ``None`` on every exact backend.
     """
 
     wall_seconds: float
     interactions_per_second: float
     null_fraction: float
+    leaps: int | None = None
+    mean_tau: float | None = None
+    repairs: int | None = None
 
     @classmethod
     def measure(
@@ -75,11 +84,17 @@ class RunStats:
         )
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.wall_seconds:.3f} s wall, "
             f"{self.interactions_per_second:,.0f} interactions/s, "
             f"{self.null_fraction:.1%} null"
         )
+        if self.leaps is not None:
+            text += (
+                f", {self.leaps} leaps (mean tau {self.mean_tau:,.0f}, "
+                f"{self.repairs} repairs)"
+            )
+        return text
 
 
 @dataclass

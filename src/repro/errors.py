@@ -30,6 +30,11 @@ class InfeasibleSpecError(ReproError):
         super().__init__(message)
         self.proposition = proposition
 
+    def __reduce__(self):
+        # Default exception pickling only preserves ``args``; rebuild
+        # with the keyword attribute so it survives process boundaries.
+        return type(self), (self.args[0], self.proposition)
+
 
 class ConfigurationError(ReproError):
     """A configuration is inconsistent with the population it describes."""
@@ -51,6 +56,12 @@ class ConvergenceError(SimulationError):
         super().__init__(message)
         self.interactions = interactions
 
+    def __reduce__(self):
+        # Default exception pickling only preserves ``args``; rebuild
+        # with the keyword attribute so ``interactions`` survives the
+        # worker-to-parent hop of ``run_ensemble(n_jobs > 1)``.
+        return type(self), (self.args[0], self.interactions)
+
 
 class VerificationError(ReproError):
     """A model-checking or enumeration routine received invalid input."""
@@ -64,7 +75,8 @@ class SanitizerError(SimulationError):
     ----------
     backend:
         Name of the backend whose run tripped the check
-        (``"reference"``/``"fast"``/``"counts"``/``"batch"``).
+        (``"reference"``/``"fast"``/``"counts"``/``"batch"``/
+        ``"leap"``).
     invariant:
         Machine-readable id of the violated invariant, one of
         ``"population-size"``, ``"negative-count"``, ``"state-range"``,
@@ -86,14 +98,52 @@ class SanitizerError(SimulationError):
         self.invariant = invariant
         self.interaction = interaction
 
+    def __reduce__(self):
+        # Default exception pickling only preserves ``args``: a
+        # SanitizerError raised inside a ``run_ensemble(n_jobs > 1)``
+        # worker would reach the parent with ``backend``/``invariant``
+        # blanked.  Rebuild with the keyword attributes instead.
+        return type(self), (
+            self.args[0],
+            self.backend,
+            self.invariant,
+            self.interaction,
+        )
+
 
 class BackendFallbackWarning(RuntimeWarning):
     """An accelerated simulation backend silently delegated a run to a
     slower backend.
 
-    Emitted (via :func:`warnings.warn`) by :class:`repro.engine.fast.
-    FastSimulator` and :class:`repro.engine.counts.CountSimulator` when a
-    run cannot be served by their optimized paths - e.g. uncompilable
-    state spaces, configuration-inspecting schedulers, fault hooks, or
-    initial states outside the declared space.  The warning message names
-    the reason; results are unaffected (the delegate backend is exact)."""
+    Emitted (via :func:`repro.engine.fast.warn_fallback`) by the
+    accelerated backends (``fast``, ``counts``, ``batch``, ``leap``)
+    when a run cannot be served by their optimized paths - e.g.
+    uncompilable state spaces, configuration-inspecting schedulers,
+    fault hooks, or initial states outside the declared space.  Results
+    are unaffected: the delegate backend is exact.
+
+    The *reason* for the fallback is part of the warning text and is
+    also carried structurally so tests and tooling can assert on it
+    without parsing the message:
+
+    Attributes
+    ----------
+    backend:
+        Name of the backend that could not serve the run natively.
+    delegate:
+        Name of the backend the run was handed to.
+    reason:
+        Human-readable explanation of why the native path was refused.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        backend: str = "",
+        delegate: str = "",
+        reason: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.delegate = delegate
+        self.reason = reason

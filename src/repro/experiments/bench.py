@@ -34,12 +34,25 @@ dispatch on the naming workload at R replicates per cell (runs/s and
 pooled interactions/s), via :func:`~repro.engine.ensemble.run_ensemble`
 under both engines; ``--ensemble-floor`` gates the batch engine's rate
 at the widest cell the same way ``--floor`` gates the counts backend.
+
+A third, leap-throughput section compares the approximate multinomial
+leap backend (:mod:`repro.engine.leap`) against the exact counts
+backend on the naming workload at N = 10^6, where per-interaction cost
+is the binding constraint; ``--leap-floor`` gates the *ratio* of the
+two rates (the leap backend's headline claim is its speedup over exact
+counts stepping, which is machine-independent, unlike absolute rates).
+
+The JSON report carries an ``environment`` block (NumPy version, CPU
+count, git revision) so regressions flagged by the floor gates can be
+attributed to code versus machine changes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import time
 from dataclasses import dataclass
 
@@ -78,6 +91,18 @@ ENSEMBLE_REPLICATES = (64, 256)
 #: ``--scale``/``--smoke`` like the per-run budgets).
 ENSEMBLE_BUDGET = 20_000
 
+#: Population size of the leap-throughput section: large enough that
+#: per-interaction cost is the binding constraint for exact backends.
+LEAP_N = 1_000_000
+
+#: Interaction budget of the leap section (scaled by ``--scale``).
+LEAP_BUDGET = 10_000_000
+
+try:  # Provenance only; the engines guard their own NumPy use.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test image ships NumPy
+    _np = None
+
 
 class ChurnProtocol(PopulationProtocol):
     """Always-active stress protocol: ``(p, q) -> (q + 1, p + 1) mod m``.
@@ -111,6 +136,22 @@ class ChurnProtocol(PopulationProtocol):
         return self._states
 
 
+def _safe_rate(work: float, seconds: float) -> float:
+    """``work / seconds`` with the zero-time edge cases pinned down.
+
+    ``seconds == 0`` happens when a run finishes inside one timer tick
+    (coarse clocks, trivial budgets).  Dividing would raise
+    ``ZeroDivisionError``; returning ``0.0`` would make an *infinitely
+    fast* run read as infinitely slow and spuriously trip the
+    ``--floor``/``--ensemble-floor``/``--leap-floor`` perf gates.  The
+    sentinel is therefore ``float("inf")`` when work was done in zero
+    measured time, and ``0.0`` only when no work was done at all.
+    """
+    if seconds > 0:
+        return work / seconds
+    return float("inf") if work > 0 else 0.0
+
+
 @dataclass(frozen=True)
 class BenchPoint:
     """One (workload, backend, N) throughput measurement."""
@@ -124,8 +165,9 @@ class BenchPoint:
 
     @property
     def rate(self) -> float:
-        """Interactions per second."""
-        return self.interactions / self.seconds if self.seconds else 0.0
+        """Interactions per second (see :func:`_safe_rate` for the
+        zero-time sentinel)."""
+        return _safe_rate(self.interactions, self.seconds)
 
 
 def workloads() -> dict[str, PopulationProtocol]:
@@ -189,6 +231,12 @@ def run_bench(
                     # measures kernel-launch overhead.  Benchmarked at
                     # its real width in the ensemble section instead.
                     continue
+                if backend == "leap":
+                    # Approximate window-aggregation engine: at the
+                    # small grid sizes it runs as exact SSA anyway.
+                    # Benchmarked at N = 10^6 in the leap section
+                    # instead, where windowing actually engages.
+                    continue
                 population = Population(n)
                 scheduler = RandomPairScheduler(population, seed=seed)
                 simulator = make_simulator(
@@ -237,13 +285,15 @@ class EnsembleBenchPoint:
 
     @property
     def rate(self) -> float:
-        """Pooled interactions per second across the ensemble."""
-        return self.interactions / self.seconds if self.seconds else 0.0
+        """Pooled interactions per second across the ensemble (see
+        :func:`_safe_rate` for the zero-time sentinel)."""
+        return _safe_rate(self.interactions, self.seconds)
 
     @property
     def runs_per_second(self) -> float:
-        """Completed replicate runs per second."""
-        return self.replicates / self.seconds if self.seconds else 0.0
+        """Completed replicate runs per second (see :func:`_safe_rate`
+        for the zero-time sentinel)."""
+        return _safe_rate(self.replicates, self.seconds)
 
 
 def _bench_scheduler(population: Population, seed: int):
@@ -382,6 +432,125 @@ def render_ensemble_points(points: list[EnsembleBenchPoint]) -> str:
     )
 
 
+@dataclass(frozen=True)
+class LeapBenchPoint:
+    """One (backend, N) leap-section throughput measurement.
+
+    ``leaps``/``mean_tau``/``repairs`` mirror the leap fields of
+    :class:`~repro.engine.simulator.RunStats` and are ``None`` for the
+    exact counts baseline.
+    """
+
+    backend: str
+    n_mobile: int
+    interactions: int
+    non_null_interactions: int
+    seconds: float
+    leaps: int | None = None
+    mean_tau: float | None = None
+    repairs: int | None = None
+
+    @property
+    def rate(self) -> float:
+        """Interactions per second (see :func:`_safe_rate` for the
+        zero-time sentinel)."""
+        return _safe_rate(self.interactions, self.seconds)
+
+
+def run_leap_bench(
+    n: int = LEAP_N,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+    leap_eps: float | None = None,
+) -> list[LeapBenchPoint]:
+    """Measure the leap backend against exact counts at large N.
+
+    Both backends run the identical naming workload - same protocol,
+    seed, spread initial and interaction budget - so the rate ratio
+    isolates multinomial window aggregation from everything else.  The
+    counts baseline runs first, so a leap-side crash cannot hide the
+    exact number.
+    """
+    protocol = workloads()["naming"]
+    budget = max(50_000, int(LEAP_BUDGET * scale))
+    points: list[LeapBenchPoint] = []
+    population = Population(n)
+    # One shared immutable start: both backends intern the identical
+    # configuration (its state tally is cached on the instance), so the
+    # measured gap is the per-interaction engines, not setup.
+    initial = _spread_initial(protocol, population)
+    for backend in ("counts", "leap"):
+        scheduler = RandomPairScheduler(population, seed=seed)
+        simulator = make_simulator(
+            backend,
+            protocol,
+            population,
+            scheduler,
+            NamingProblem(),
+            leap_eps=leap_eps if backend == "leap" else None,
+        )
+        start = time.perf_counter()
+        result = simulator.run(initial, max_interactions=budget)
+        elapsed = time.perf_counter() - start
+        stats = result.stats
+        points.append(
+            LeapBenchPoint(
+                backend=backend,
+                n_mobile=n,
+                interactions=result.interactions,
+                non_null_interactions=result.non_null_interactions,
+                seconds=elapsed,
+                leaps=getattr(stats, "leaps", None),
+                mean_tau=getattr(stats, "mean_tau", None),
+                repairs=getattr(stats, "repairs", None),
+            )
+        )
+    return points
+
+
+def leap_speedup(points: list[LeapBenchPoint]) -> float | None:
+    """Leap-over-counts rate ratio, or ``None`` if a cell is missing."""
+    rates = {p.backend: p.rate for p in points}
+    counts = rates.get("counts")
+    leap = rates.get("leap")
+    if not counts or not leap:
+        return None
+    return leap / counts
+
+
+def render_leap_points(points: list[LeapBenchPoint]) -> str:
+    """Render the leap measurements as an aligned text table."""
+    ratio = leap_speedup(points)
+    rows = []
+    for p in points:
+        if p.leaps is not None:
+            detail = (
+                f"{p.leaps} leaps, mean tau {p.mean_tau:,.0f}, "
+                f"{p.repairs} repairs"
+            )
+            shown = f"{ratio:.1f}x vs counts" if ratio else ""
+        else:
+            detail = "exact baseline"
+            shown = ""
+        rows.append(
+            (
+                p.n_mobile,
+                p.backend,
+                p.interactions,
+                f"{p.seconds * 1000:.0f} ms",
+                f"{p.rate:,.0f}/s",
+                detail,
+                shown,
+            )
+        )
+    return render_table(
+        ("N", "backend", "interactions", "time", "rate", "windows",
+         "speedup"),
+        rows,
+        title="leap throughput (naming workload, counts vs leap)",
+    )
+
+
 def speedups(
     points: list[BenchPoint],
 ) -> dict[str, dict[str, dict[str, float]]]:
@@ -426,12 +595,37 @@ def floor_rate(points: list[BenchPoint]) -> float | None:
     return max(cells, key=lambda p: p.n_mobile).rate
 
 
+def environment() -> dict[str, object]:
+    """Provenance of a bench run: the report metadata that makes perf
+    regressions attributable (did the code change, or the machine?).
+
+    ``git_revision`` is ``None`` outside a git checkout (e.g. an
+    installed package); ``numpy`` is ``None`` when NumPy is absent.
+    """
+    try:
+        revision: str | None = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        revision = None
+    return {
+        "numpy": _np.__version__ if _np is not None else None,
+        "cpu_count": os.cpu_count(),
+        "git_revision": revision,
+    }
+
+
 def write_json(
     points: list[BenchPoint],
     path: str,
     seed: int = DEFAULT_SEED,
     scale: float = 1.0,
     ensemble: list[EnsembleBenchPoint] | None = None,
+    leap: list[LeapBenchPoint] | None = None,
 ) -> None:
     """Write the measurements and speedups as a JSON report."""
     payload = {
@@ -439,6 +633,7 @@ def write_json(
         "scheduler": "uniform random pairs",
         "seed": seed,
         "scale": scale,
+        "environment": environment(),
         "points": [
             {
                 "workload": p.workload,
@@ -471,6 +666,29 @@ def write_json(
                 for p in ensemble
             ],
             "speedup": ensemble_speedups(ensemble),
+        }
+    if leap:
+        payload["leap"] = {
+            "workload": "naming",
+            "points": [
+                {
+                    "backend": p.backend,
+                    "n_mobile": p.n_mobile,
+                    "interactions": p.interactions,
+                    "non_null_interactions": p.non_null_interactions,
+                    "seconds": round(p.seconds, 6),
+                    "interactions_per_sec": round(p.rate, 1),
+                    "leaps": p.leaps,
+                    "mean_tau": (
+                        round(p.mean_tau, 1)
+                        if p.mean_tau is not None
+                        else None
+                    ),
+                    "repairs": p.repairs,
+                }
+                for p in leap
+            ],
+            "speedup": leap_speedup(leap),
         }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -567,6 +785,34 @@ def main(argv: list[str] | None = None) -> int:
             "widest, largest ensemble cell reaches RATE interactions/s"
         ),
     )
+    parser.add_argument(
+        "--leap-n",
+        type=int,
+        default=LEAP_N,
+        metavar="N",
+        help="population size of the leap-throughput section",
+    )
+    parser.add_argument(
+        "--leap-eps",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help=(
+            "per-window relative-change bound of the leap backend "
+            "(default 0.03; smaller = more accurate, slower)"
+        ),
+    )
+    parser.add_argument(
+        "--leap-floor",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "fail (exit 1) unless the leap backend's rate at --leap-n "
+            "reaches RATIO times the exact counts rate (a ratio gate: "
+            "the leap claim is its speedup, not an absolute rate)"
+        ),
+    )
     args = parser.parse_args(argv)
     scale = 0.02 if args.smoke else args.scale
     points = run_bench(tuple(args.sizes), seed=args.seed, scale=scale)
@@ -579,8 +825,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     print()
     print(render_ensemble_points(ensemble))
+    leap = run_leap_bench(
+        n=args.leap_n,
+        seed=args.seed,
+        scale=scale,
+        leap_eps=args.leap_eps,
+    )
+    print()
+    print(render_leap_points(leap))
     write_json(points, args.out, seed=args.seed, scale=scale,
-               ensemble=ensemble)
+               ensemble=ensemble, leap=leap)
     print(f"\nJSON written to {args.out}")
     failed = False
     if args.floor is not None:
@@ -605,6 +859,17 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.ensemble_floor:,.0f}/s -> {verdict}"
         )
         failed = failed or rate < args.ensemble_floor
+    if args.leap_floor is not None:
+        ratio = leap_speedup(leap)
+        if ratio is None:
+            print("leap floor check: a leap-section cell is missing")
+            return 1
+        verdict = "ok" if ratio >= args.leap_floor else "FAIL"
+        print(
+            f"leap floor check: leap/counts speedup {ratio:.1f}x vs "
+            f"floor {args.leap_floor:.1f}x -> {verdict}"
+        )
+        failed = failed or ratio < args.leap_floor
     return 1 if failed else 0
 
 

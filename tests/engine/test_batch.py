@@ -251,12 +251,20 @@ class TestFallbacks:
 
         with pytest.warns(
             BackendFallbackWarning, match="rewrite per-agent"
-        ):
+        ) as record:
             simulator.run(
                 uniform_initial(population),
                 max_interactions=50,
                 fault_hook=hook,
             )
+        # The fallback reason travels as structured attributes too.
+        batch_warning = next(
+            w.message
+            for w in record
+            if getattr(w.message, "backend", None) == "batch"
+        )
+        assert batch_warning.delegate == "counts"
+        assert "fault hooks" in batch_warning.reason
         assert not simulator.last_run_lockstep
         assert calls
 

@@ -303,10 +303,20 @@ class TestFallbacks:
         with pytest.warns(
             BackendFallbackWarning,
             match="not the uniform-random pair scheduler",
-        ):
+        ) as record:
             result = simulator.run(
                 uniform_initial(population), max_interactions=500
             )
+        # The fallback reason is carried structurally, not just in the
+        # message text, so tooling can dispatch without parsing.
+        counts_warning = next(
+            w.message
+            for w in record
+            if getattr(w.message, "backend", None) == "counts"
+        )
+        assert counts_warning.delegate == "fast"
+        assert "uniform-random pair scheduler" in counts_warning.reason
+        assert counts_warning.reason in str(counts_warning)
         assert not simulator.last_run_native
         assert not result.converged  # the adversary preserves homonyms
 

@@ -7,7 +7,7 @@ from repro.engine.configuration import Configuration
 from repro.engine.ensemble import run_ensemble
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, SanitizerError
 from repro.schedulers.random_pair import RandomPairScheduler
 
 
@@ -293,3 +293,40 @@ class TestBatchBackend:
         from repro.engine.ensemble import EnsembleResult
 
         assert EnsembleResult().stats is None
+
+
+# Module-level (picklable) fault hook for the cross-process sanitizer
+# test: returns a wrong-size configuration at interaction 50, tripping
+# the population-size invariant on the reference backend.
+def _chop_hook(interaction, config):
+    if interaction == 50:
+        return Configuration.uniform(Population(4), 0)
+    return None
+
+
+class TestSanitizeAcrossProcesses:
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_sanitizer_error_keeps_context(self, n_jobs):
+        """``sanitize=True`` composed with ``n_jobs > 1``: the
+        SanitizerError raised inside a worker must reach the parent with
+        its backend and invariant ids intact (regression: default
+        exception pickling preserved only ``args``, so the error crossed
+        the process boundary with both attributes blanked)."""
+        protocol, population, _, _ = make_parts(bound=5, n=5)
+        with pytest.raises(SanitizerError) as err:
+            run_ensemble(
+                protocol,
+                population,
+                _scheduler_factory,
+                _initial_factory,
+                NamingProblem(),
+                seeds=range(4),
+                max_interactions=10_000,
+                backend="reference",
+                sanitize=True,
+                fault_hook=_chop_hook,
+                n_jobs=n_jobs,
+            )
+        assert err.value.backend == "reference"
+        assert err.value.invariant == "population-size"
+        assert err.value.interaction == 50

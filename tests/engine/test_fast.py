@@ -329,12 +329,14 @@ class TestFallbacks:
 class TestBackendRegistry:
     def test_registry_contents(self):
         from repro.engine.batch import BatchedEnsembleSimulator
+        from repro.engine.leap import LeapSimulator
 
         assert BACKENDS == {
             "reference": Simulator,
             "fast": FastSimulator,
             "counts": CountSimulator,
             "batch": BatchedEnsembleSimulator,
+            "leap": LeapSimulator,
         }
 
     def test_make_simulator_builds_each(self):

@@ -7,14 +7,21 @@ import pytest
 from repro.engine.fast import compile_table
 from repro.experiments.bench import (
     REFERENCE_MAX_N,
+    BenchPoint,
     ChurnProtocol,
     EnsembleBenchPoint,
+    LeapBenchPoint,
+    _safe_rate,
     ensemble_floor_rate,
     ensemble_speedups,
+    environment,
     floor_rate,
+    leap_speedup,
     render_ensemble_points,
+    render_leap_points,
     run_bench,
     run_ensemble_bench,
+    run_leap_bench,
     speedups,
     workloads,
     write_json,
@@ -82,6 +89,71 @@ class TestRunBench:
         assert len(payload["points"]) == len(points)
         assert "speedup" in payload
 
+    def test_json_payload_records_environment(self, tmp_path):
+        points = run_bench(sizes=(6,), seed=1, scale=0.02)
+        out = tmp_path / "bench.json"
+        write_json(points, str(out), seed=1, scale=0.02)
+        env = json.loads(out.read_text())["environment"]
+        # Perf regressions must be attributable: the report says which
+        # NumPy, how many CPUs and which revision produced the numbers.
+        assert set(env) == {"numpy", "cpu_count", "git_revision"}
+        assert env["cpu_count"] is None or env["cpu_count"] >= 1
+
+    def test_environment_fields_present(self):
+        env = environment()
+        assert set(env) == {"numpy", "cpu_count", "git_revision"}
+
+
+class TestSafeRate:
+    """Regression tests for the ``seconds == 0`` sentinel: a run that
+    finishes inside one timer tick must read as infinitely *fast*, not
+    infinitely slow (rate 0.0 would spuriously trip the floor gates)."""
+
+    def test_zero_seconds_with_work_is_infinite(self):
+        assert _safe_rate(100, 0.0) == float("inf")
+
+    def test_zero_seconds_without_work_is_zero(self):
+        assert _safe_rate(0, 0.0) == 0.0
+
+    def test_positive_seconds_divides(self):
+        assert _safe_rate(100, 2.0) == 50.0
+
+    def test_bench_point_rate_never_raises(self):
+        point = BenchPoint(
+            workload="naming",
+            backend="counts",
+            n_mobile=10,
+            interactions=1000,
+            non_null_interactions=10,
+            seconds=0.0,
+        )
+        assert point.rate == float("inf")
+
+    def test_ensemble_point_runs_per_second_never_raises(self):
+        point = EnsembleBenchPoint(
+            engine="batch",
+            n_mobile=10,
+            replicates=8,
+            interactions=1000,
+            non_null_interactions=10,
+            seconds=0.0,
+        )
+        assert point.runs_per_second == float("inf")
+        assert point.rate == float("inf")
+
+    def test_zero_time_cell_passes_floor_gate(self):
+        # The point of the sentinel: an instantaneous batch cell must
+        # satisfy any floor, not fail every floor.
+        point = EnsembleBenchPoint(
+            engine="batch",
+            n_mobile=10,
+            replicates=8,
+            interactions=1000,
+            non_null_interactions=10,
+            seconds=0.0,
+        )
+        assert ensemble_floor_rate([point]) >= 1e12
+
 
 class TestEnsembleBench:
     def test_smoke_run_produces_both_engines_per_cell(self):
@@ -140,3 +212,53 @@ class TestEnsembleBench:
         assert section["workload"] == "naming"
         assert len(section["points"]) == len(ensemble)
         assert "speedup" in section
+
+
+class TestLeapBench:
+    def test_smoke_run_produces_both_backends(self):
+        points = run_leap_bench(n=50_000, seed=1, scale=0.02)
+        assert [p.backend for p in points] == ["counts", "leap"]
+        assert all(p.interactions > 0 and p.seconds >= 0 for p in points)
+        leap_point = points[1]
+        # The leap cell reports its window statistics.
+        assert leap_point.leaps is not None and leap_point.leaps > 0
+        assert leap_point.mean_tau > 0
+        assert leap_point.repairs >= 0
+        # The counts baseline has no window statistics.
+        assert points[0].leaps is None
+
+    def test_leap_speedup_requires_both_cells(self):
+        def cell(backend, rate):
+            return LeapBenchPoint(
+                backend=backend,
+                n_mobile=10,
+                interactions=int(rate),
+                non_null_interactions=0,
+                seconds=1.0,
+            )
+
+        assert leap_speedup([cell("counts", 100), cell("leap", 700)]) == 7.0
+        assert leap_speedup([cell("counts", 100)]) is None
+        assert leap_speedup([]) is None
+
+    def test_render_marks_leap_speedup(self):
+        points = run_leap_bench(n=50_000, seed=1, scale=0.02)
+        table = render_leap_points(points)
+        assert "leap throughput" in table
+        assert "exact baseline" in table
+        assert "x vs counts" in table
+
+    def test_leap_eps_forwarded(self):
+        points = run_leap_bench(n=50_000, seed=1, scale=0.02, leap_eps=0.2)
+        assert [p.backend for p in points] == ["counts", "leap"]
+
+    def test_json_payload_includes_leap_section(self, tmp_path):
+        points = run_bench(sizes=(6,), seed=1, scale=0.02)
+        leap = run_leap_bench(n=50_000, seed=1, scale=0.02)
+        out = tmp_path / "bench.json"
+        write_json(points, str(out), seed=1, scale=0.02, leap=leap)
+        payload = json.loads(out.read_text())
+        section = payload["leap"]
+        assert section["workload"] == "naming"
+        assert len(section["points"]) == 2
+        assert section["speedup"] > 0

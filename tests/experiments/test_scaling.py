@@ -3,7 +3,9 @@
 import pytest
 
 from repro.experiments.scaling import (
+    COUNTS_MAX_N,
     FAST_MAX_N,
+    SIMULATION_SIZES,
     render_points,
     render_simulation_points,
     run_scaling,
@@ -73,22 +75,27 @@ class TestParallelScaling:
 
 
 class TestSimulationScaling:
-    def test_small_sweep_measures_both_backends(self):
+    def test_small_sweep_measures_all_backends(self):
         points = run_simulation_scaling(max_n=10**4, seed=7)
         cells = {(p.backend, p.n_mobile) for p in points}
         assert cells == {
             ("fast", 10**3),
             ("counts", 10**3),
+            ("leap", 10**3),
             ("fast", 10**4),
             ("counts", 10**4),
+            ("leap", 10**4),
         }
         assert all(p.interactions > 0 for p in points)
         assert all(p.rate > 0 for p in points)
 
     def test_fast_backend_capped(self):
-        # FAST_MAX_N bounds the fast backend; the counts backend has no
-        # cap, which is the point of the sweep.
+        # FAST_MAX_N and COUNTS_MAX_N bound the exact backends; the
+        # leap backend alone runs at every size, which is the point of
+        # the extended sweep.
         assert FAST_MAX_N < 10**6
+        assert COUNTS_MAX_N < max(SIMULATION_SIZES)
+        assert max(SIMULATION_SIZES) == 10**8
 
     def test_render_simulation_table(self):
         points = run_simulation_scaling(max_n=10**3, seed=7)

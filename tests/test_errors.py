@@ -1,13 +1,17 @@
 """Tests for the exception hierarchy."""
 
+import pickle
+
 import pytest
 
 from repro.errors import (
+    BackendFallbackWarning,
     ConfigurationError,
     ConvergenceError,
     InfeasibleSpecError,
     ProtocolError,
     ReproError,
+    SanitizerError,
     SchedulerError,
     SimulationError,
     VerificationError,
@@ -52,3 +56,53 @@ class TestPayloads:
 
     def test_convergence_error_default(self):
         assert ConvergenceError("x").interactions == 0
+
+    def test_sanitizer_error_carries_context(self):
+        error = SanitizerError(
+            "bad", backend="counts", invariant="negative-count",
+            interaction=7,
+        )
+        assert error.backend == "counts"
+        assert error.invariant == "negative-count"
+        assert error.interaction == 7
+
+    def test_fallback_warning_carries_context(self):
+        warning = BackendFallbackWarning(
+            "leap backend falling back to the counts simulator: why",
+            backend="leap",
+            delegate="counts",
+            reason="why",
+        )
+        assert warning.backend == "leap"
+        assert warning.delegate == "counts"
+        assert warning.reason == "why"
+        assert warning.reason in str(warning)
+
+
+class TestPickling:
+    """Keyword attributes must survive pickling: the default
+    ``Exception.__reduce__`` only preserves ``args``, which silently
+    blanked ``backend``/``invariant`` when an error crossed the
+    ``run_ensemble(n_jobs > 1)`` worker-process boundary."""
+
+    def test_sanitizer_error_roundtrips(self):
+        error = SanitizerError(
+            "bad", backend="batch", invariant="population-size",
+            interaction=42,
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == str(error)
+        assert clone.backend == "batch"
+        assert clone.invariant == "population-size"
+        assert clone.interaction == 42
+
+    def test_convergence_error_roundtrips(self):
+        error = ConvergenceError("timeout", interactions=9)
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == str(error)
+        assert clone.interactions == 9
+
+    def test_infeasible_spec_roundtrips(self):
+        error = InfeasibleSpecError("nope", proposition="Proposition 1")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.proposition == "Proposition 1"
