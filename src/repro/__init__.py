@@ -90,7 +90,7 @@ from repro.schedulers import (
     RoundRobinScheduler,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "SINK_STATE",

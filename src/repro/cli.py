@@ -8,7 +8,7 @@ Commands
 ``ablation``      supplementary exp-s4: scheduler ablation matrix
 ``lower-bounds``  supplementary exp-s3: exhaustive lower-bound verification
 ``bench``         simulation-backend micro-benchmark (reference/fast/
-                  counts, plus batch-ensemble and leap sections)
+                  counts, plus batch-ensemble, leap and bleap sections)
 ``lint``          static well-formedness audit of all registered protocols
 ``simulate``      run one naming protocol chosen by model parameters
 """
@@ -204,7 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
             "simulation engine: fast is stream-identical to reference; "
             "counts is count-based and statistically equivalent; leap "
             "aggregates many interactions per step (approximate, "
-            "tunable via --leap-eps)"
+            "tunable via --leap-eps); bleap is the batched tau-leaping "
+            "ensemble engine (a single run is a width-1 batch)"
         ),
     )
     simulate.add_argument(
@@ -213,9 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="EPS",
         help=(
-            "leap backend only: per-window relative-change bound of the "
-            "adaptive tau selection (smaller = more accurate, slower; "
-            "default 0.03)"
+            "leap/bleap backends only: per-window relative-change bound "
+            "of the adaptive tau selection (smaller = more accurate, "
+            "slower; default 0.03)"
         ),
     )
     simulate.add_argument(

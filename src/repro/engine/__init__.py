@@ -13,10 +13,11 @@ from repro.engine.fast import (
 
 # Imported after ``fast`` so their registrations land in BACKENDS
 # whenever the engine package is loaded (``batch`` and ``leap`` build
-# on ``counts``).
+# on ``counts``; ``bleap`` fuses ``batch`` and ``leap``).
 from repro.engine.counts import CountSimulator, configuration_counts
 from repro.engine.batch import BatchedEnsembleSimulator
 from repro.engine.leap import LeapSimulator
+from repro.engine.bleap import BatchedLeapSimulator
 from repro.engine.population import AgentId, Population
 from repro.engine.sanitize import SilenceTracker
 from repro.engine.problems import (
@@ -52,6 +53,7 @@ __all__ = [
     "BACKENDS",
     "AgentId",
     "BatchedEnsembleSimulator",
+    "BatchedLeapSimulator",
     "Configuration",
     "CountSimulator",
     "CountingProblem",

@@ -30,8 +30,16 @@ Kernel step (all arrays masked to the active rows)
     that is not yet silent cannot be converged, so no final check is
     needed beyond the silent case).
 4.  **Event.**  The event index is categorical over the row's weights:
-    ``f = #{cum w <= u2 * W}``; the four count updates per row are
-    scattered into ``C`` with duplicate-safe ``np.add.at``.
+    ``f = #{cum w <= u2 * W}``; each row's counts move by row ``f`` of
+    the precompiled per-pair delta matrix (``-1`` at the meeting pair,
+    ``+1`` at the result pair), applied to all rows in one fancy-index
+    add.
+
+The kernel's cost is per *step* (one non-null event per active row),
+independent of N: the weight gather runs off a flat index table that is
+rebuilt only when the active-row set shrinks, and per-row uniforms are
+prefetched in blocks (:data:`REFILL_STEPS`) so the per-step Python
+overhead stays a handful of whole-array NumPy calls.
 
 Randomness and reproducibility
 ------------------------------
@@ -81,6 +89,7 @@ from repro.engine.counts import (
     materialize_counts,
 )
 from repro.engine.fast import BACKENDS, DEFAULT_COMPILE_LIMIT, warn_fallback
+from repro.engine.leap import _leap_plan_for
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem, Problem
 from repro.engine.protocol import PopulationProtocol
@@ -101,9 +110,14 @@ except ImportError:  # pragma: no cover - the test image ships NumPy
 
 #: Kernel steps between per-row uniform-buffer refills.  Each active row
 #: consumes two uniforms per step, so a refill draws ``2 * REFILL_STEPS``
-#: values from each live row's generator - large enough to amortize the
-#: per-row Python call, small enough not to waste draws on finished rows.
-REFILL_STEPS = 64
+#: values from each live row's generator.  Sizing trade-off: the refill
+#: is the kernel's only per-row Python loop, so larger blocks amortize
+#: it over more steps; draws prefetched past a row's end are simply
+#: discarded (each row owns its generator, so the waste cannot perturb
+#: any other row).  128 halves the loop frequency of the original 64
+#: while keeping the buffer small (2 KiB per row); at R = 256 that is
+#: the difference between ~4 and ~2 generator calls per kernel step.
+REFILL_STEPS = 128
 
 
 class BatchedEnsembleSimulator:
@@ -373,7 +387,6 @@ class BatchedEnsembleSimulator:
         plan = self._plan
         n_mobile = plan.n_mobile
         pair_i, pair_j, diag = plan.pair_i, plan.pair_j, plan.diag
-        res_i, res_j = plan.res_i, plan.res_j
         size = self.population.size
         total_pairs = size * (size - 1)
         check_interval = self.check_interval
@@ -388,12 +401,11 @@ class BatchedEnsembleSimulator:
         events = np.zeros(n_rows, dtype=np.int64)  # non-null interactions
         conv_at = np.full(n_rows, -1, dtype=np.int64)  # -1: not converged
 
-        # The four scatter columns of every non-null pair, one row per
-        # event index: [pair_i, pair_j, res_i, res_j], with the matching
-        # unit deltas (-1, -1, +1, +1), pre-tiled for the full batch.
-        col_quad = np.stack((pair_i, pair_j, res_i, res_j), axis=1)
-        deltas = np.tile(np.array([-1, -1, 1, 1], dtype=np.int64), n_rows)
-        # Both count gathers in one fancy-index call per step.
+        # Per-pair aggregate delta rows (-1 at the meeting pair, +1 at
+        # the result pair): one gather + one in-place add applies a
+        # whole step, replacing the four-way np.add.at scatter whose
+        # unbuffered per-index loop dominated the step at small widths.
+        delta_mat = _leap_plan_for(self.protocol, plan).deltas
         pair_cols = np.concatenate((pair_i, pair_j))
         n_pairs = pair_i.shape[0]
 
@@ -401,133 +413,199 @@ class BatchedEnsembleSimulator:
         # seed, so results are invariant under batching and chunking.
         generators = [np.random.default_rng(seed) for seed in seeds]
 
-        # Hot-loop state lives in arrays *compacted to the active rows*
-        # (aligned with ``idx``), so the common no-drop step runs on
-        # whole arrays with no per-step gather/scatter.  ``pos``/``events``
+        # Hot-loop state is *front-compacted*: the first ``n_act`` rows
+        # of every working array are the live rows (aligned with
+        # ``idx``), so the common no-drop step runs on contiguous view
+        # slices of preallocated buffers - no per-step gather/scatter
+        # into the full matrix, no per-step allocations, and the flat
+        # gather index table is a fixed prefix slice.  ``pos``/``events``
         # are written back only when a row is dropped; a surviving row's
         # event count is simply the number of steps it participated in
         # (one event per step), tracked by ``steps_done``.
         idx = np.arange(n_rows, dtype=np.int64)
-        rows2d = idx[:, None]
-        base = idx * n_states
-        pos_act = np.zeros(n_rows, dtype=np.int64)
+        C_act = C.copy()  # live working rows; written back to C on drop
+        C_act_flat = C_act.reshape(-1)
+        all_cols = (
+            np.arange(n_rows, dtype=np.int64) * n_states
+        )[:, None] + pair_cols
+        # ``pos`` is carried as float64 in the hot loop: positions stay
+        # exact (they are integers far below 2^53) and the geometric-gap
+        # arithmetic then runs entirely inside one preallocated float
+        # buffer, with no per-step astype allocation.
+        pos_f = np.zeros(n_rows, dtype=np.float64)
         buffer = np.empty((n_rows, 2 * REFILL_STEPS))
         log_u1 = np.empty((n_rows, REFILL_STEPS))
+        cnt_full = np.empty((n_rows, 2 * n_pairs), dtype=np.int64)
+        w_full = np.empty((n_rows, n_pairs), dtype=np.int64)
+        cum_full = np.empty((n_rows, n_pairs), dtype=np.int64)
+        f_full = np.empty(n_rows, dtype=np.float64)
+        t_full = np.empty(n_rows, dtype=np.float64)
+        pick_full = np.empty((n_rows, n_pairs), dtype=bool)
+        fi_full = np.empty(n_rows, dtype=np.int64)
+        d_full = np.empty((n_rows, n_states), dtype=np.int64)
+        n_act = n_rows
         step_in_buffer = REFILL_STEPS  # forces a refill on the first step
         steps_done = 0
         neg_inv_total = -1.0 / total_pairs
+
+        def compact(keep: "np.ndarray") -> None:
+            """Move the surviving rows to the front of every buffer."""
+            nonlocal n_act
+            survivors = int(keep.sum())
+            C_act[:survivors] = C_act[:n_act][keep]
+            pos_f[:survivors] = pos_f[:n_act][keep]
+            buffer[:survivors] = buffer[:n_act][keep]
+            log_u1[:survivors] = log_u1[:n_act][keep]
+            cum_full[:survivors] = cum_full[:n_act][keep]
+            n_act = survivors
+
+        def views(n: int):
+            """The hot-loop view bundle over the first ``n`` rows.
+
+            Rebuilt only when the active set shrinks: every view is a
+            GC-tracked allocation, and creating tens of them per step
+            kept the young-generation collector cycling (and rescanning
+            freshly materialized result tuples) for the whole kernel.
+            """
+            cnt = cnt_full[:n]
+            cum = cum_full[:n]
+            t = t_full[:n]
+            weight = cum[:, -1] if n_pairs else np.zeros(n, dtype=np.int64)
+            return (
+                C_act[:n],
+                cnt,
+                cnt[:, :n_pairs],
+                cnt[:, n_pairs:],
+                w_full[:n],
+                cum,
+                weight,
+                f_full[:n],
+                t,
+                t[:, None],
+                pick_full[:n],
+                fi_full[:n],
+                d_full[:n],
+                pos_f[:n],
+                all_cols[:n],
+                log_u1[:n],
+                buffer[:n],
+            )
+
+        (
+            C_v, cnt_v, ci_v, cj_v, w_v, cum_v, weight, fb, t_v, t_col,
+            pick_v, fi_v, d_v, pos_v, cols_v, log_v, buf_v,
+        ) = views(n_act)
 
         sanitizing = self.sanitize
         err_state = np.errstate(divide="ignore")
         err_state.__enter__()  # hoisted: ln(0) = -inf is expected at p = 1
         try:
-            while idx.size:
+            while n_act:
                 if sanitizing:
-                    # Kernel-step cadence: the previous step's scatter is
-                    # the only writer of C, so corruption surfaces here.
+                    # Kernel-step cadence: the previous step's add is
+                    # the only writer of C_act, so corruption surfaces
+                    # here.
                     _sanitize.check_counts_rows(
-                        "batch", C[idx], idx, size, steps_done
+                        "batch", C_v, idx, size, steps_done
                     )
-                counts = C[rows2d, pair_cols]
-                w = counts[:, :n_pairs] * (counts[:, n_pairs:] - diag)
-                cum = np.cumsum(w, axis=1)
-                # A protocol with no non-null pairs at all (n_pairs == 0)
-                # is silent everywhere; every row freezes on entry.
-                weight = (
-                    cum[:, -1]
-                    if n_pairs
-                    else np.zeros(idx.size, dtype=np.int64)
-                )
-
-                # -- silence: frozen forever; finalize and drop the row --
-                if not weight.all():
-                    silent = weight == 0
-                    sidx = idx[silent]
-                    spos = pos_act[silent]
-                    events[sidx] = steps_done
-                    if checking:
-                        # Naming is solved iff silent with all mobile
-                        # counts <= 1; the verdict can only be delivered
-                        # at a check boundary, the first one at/after the
-                        # last event (capped at the budget) - the position
-                        # the per-run backends report.
-                        distinct = (C[sidx, :n_mobile] < 2).all(axis=1)
-                        at = np.minimum(
-                            spos + (-spos) % check_interval, budget
-                        )
-                        converged = sidx[distinct]
-                        conv_at[converged] = at[distinct]
-                        pos[converged] = at[distinct]
-                        pos[sidx[~distinct]] = budget
-                    else:
-                        pos[sidx] = budget
-                    keep = ~silent
-                    idx = idx[keep]
-                    if not idx.size:
-                        break
-                    rows2d = idx[:, None]
-                    base = idx * n_states
-                    pos_act = pos_act[keep]
-                    buffer = buffer[keep]
-                    log_u1 = log_u1[keep]
-                    cum = cum[keep]
-                    weight = cum[:, -1]
+                C_act_flat.take(cols_v, out=cnt_v)
+                np.subtract(cj_v, diag, out=w_v)
+                np.multiply(ci_v, w_v, out=w_v)
+                w_v.cumsum(axis=1, out=cum_v)
+                # A silent row (weight 0, including the n_pairs == 0
+                # degenerate protocol) is not tested for here: its
+                # geometric gap comes out +inf, so the budget branch
+                # below catches and finalizes it.  The uniforms it
+                # consumes on the way are drawn from its own generator,
+                # which is never touched again - every other row's
+                # stream, and so every result, is unchanged.
 
                 # -- two uniforms per active row per step, from its own
                 # generator, via a buffered refill; the log of the u1
                 # half is taken once per refill, vectorized --
                 if step_in_buffer == REFILL_STEPS:
-                    for i, r in enumerate(idx):
-                        buffer[i] = generators[r].random(2 * REFILL_STEPS)
+                    for i in range(n_act):
+                        buf_v[i] = generators[idx[i]].random(
+                            2 * REFILL_STEPS
+                        )
                     np.log(
-                        np.maximum(buffer[:, 0::2], 1e-300), out=log_u1
+                        np.maximum(buf_v[:, 0::2], 1e-300), out=log_v
                     )
                     step_in_buffer = 0
-                u1_log = log_u1[:, step_in_buffer]
-                u2 = buffer[:, 2 * step_in_buffer + 1]
+                u1_log = log_v[:, step_in_buffer]
+                u2 = buf_v[:, 2 * step_in_buffer + 1]
                 step_in_buffer += 1
 
                 # -- geometric gap to the next non-null event, by inverse
-                # transform; p == 1 gives ln(0) = -inf and so gap 1.
-                # ``u1`` is clamped away from 0 so the ratio never
-                # overflows: with weight >= 1 the gap is at most
-                # ~690 * N(N-1), comfortably inside int64 --
-                gap = (
-                    u1_log / np.log1p(weight * neg_inv_total)
-                ).astype(np.int64)
-                npos = pos_act + gap + 1
+                # transform; p == 1 gives ln(0) = -inf and so gap 1,
+                # while a silent row (p == 0) gives gap +inf.  ``u1`` is
+                # clamped away from 0 so the finite ratios never
+                # overflow: with weight >= 1 the gap is at most
+                # ~690 * N(N-1), comfortably inside float64's exact-int
+                # range.  ``fb`` ends the block holding the candidate
+                # new positions (pos + floor(gap) + 1) --
+                np.multiply(weight, neg_inv_total, out=fb)
+                np.log1p(fb, out=fb)
+                np.divide(u1_log, fb, out=fb)
+                np.floor(fb, out=fb)
+                np.add(fb, 1.0, out=fb)
+                np.add(fb, pos_v, out=fb)
 
-                # -- budget exhausted mid-gap: the row ends not silent,
-                # so a naming check cannot pass; freeze at the budget --
-                if npos.max() > budget:
-                    over = npos > budget
+                # -- budget exhausted mid-gap (or silent: gap +inf);
+                # finalize and drop the row --
+                if fb.max() > budget:
+                    over = fb > budget
                     oidx = idx[over]
-                    pos[oidx] = budget
                     events[oidx] = steps_done
+                    C[oidx] = C_v[over]
+                    pos[oidx] = budget
+                    if checking:
+                        # Naming is solved iff silent with all mobile
+                        # counts <= 1; the verdict can only be delivered
+                        # at a check boundary, the first one at/after
+                        # the last event (capped at the budget) - the
+                        # position the per-run backends report.  A row
+                        # that merely ran out of budget ends not
+                        # silent, so its check cannot pass.
+                        wz = weight[over] == 0
+                        if wz.any():
+                            sidx = oidx[wz]
+                            spos = pos_v[over][wz].astype(np.int64)
+                            distinct = (
+                                C[sidx, :n_mobile] < 2
+                            ).all(axis=1)
+                            at = np.minimum(
+                                spos + (-spos) % check_interval, budget
+                            )
+                            converged = sidx[distinct]
+                            conv_at[converged] = at[distinct]
+                            pos[converged] = at[distinct]
                     keep = ~over
                     idx = idx[keep]
-                    if not idx.size:
+                    npos_kept = fb[keep]
+                    u2 = u2[keep]  # fancy copy, taken before compaction
+                    compact(keep)
+                    if not n_act:
                         continue
-                    rows2d = idx[:, None]
-                    base = idx * n_states
-                    pos_act = pos_act[keep]
-                    buffer = buffer[keep]
-                    log_u1 = log_u1[keep]
-                    cum = cum[keep]
-                    weight = cum[:, -1]
-                    npos = npos[keep]
-                    u2 = u2[keep]
-                pos_act = npos
+                    (
+                        C_v, cnt_v, ci_v, cj_v, w_v, cum_v, weight, fb,
+                        t_v, t_col, pick_v, fi_v, d_v, pos_v, cols_v,
+                        log_v, buf_v,
+                    ) = views(n_act)
+                    pos_v[:] = npos_kept
+                else:
+                    pos_v[:] = fb
 
                 # -- categorical event pick over the row's true weights --
-                f = (cum <= (u2 * weight)[:, None]).sum(axis=1)
+                np.multiply(u2, weight, out=t_v)
+                np.less_equal(cum_v, t_col, out=pick_v)
+                np.add.reduce(pick_v, axis=1, out=fi_v)
 
-                # -- apply the transitions: four unit updates per row,
-                # scattered in one duplicate-safe (unbuffered) call --
-                flat = base[:, None] + col_quad[f]
-                np.add.at(
-                    C_flat, flat.reshape(-1), deltas[: 4 * flat.shape[0]]
-                )
+                # -- apply the transitions: each row moves by its
+                # event's aggregate delta row, added in place to the
+                # compacted working rows --
+                delta_mat.take(fi_v, axis=0, out=d_v)
+                np.add(C_v, d_v, out=C_v)
                 steps_done += 1
         finally:
             err_state.__exit__(None, None, None)

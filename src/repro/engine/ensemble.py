@@ -6,21 +6,26 @@ makes that pattern a public API so downstream users measure their own
 protocols the same way the reproduction measures the paper's.
 
 Ensembles can run on any registered simulation backend (see
-:data:`repro.engine.fast.BACKENDS`).  The default, ``"batch"``, advances
-all replicates of the ensemble in lockstep as one ``(R, S)`` counts
-matrix (:class:`~repro.engine.batch.BatchedEnsembleSimulator`), falling
-back down the ladder ``batch -> counts -> fast -> reference`` with a
+:data:`repro.engine.fast.BACKENDS`).  The default, ``"auto"``, picks a
+lockstep engine by population size: large-N ensembles (``N >=``
+:data:`BLEAP_MIN_POPULATION`) run on ``"bleap"``
+(:class:`~repro.engine.bleap.BatchedLeapSimulator`: the whole ensemble
+as one ``(R, S)`` counts matrix advanced by per-row adaptive multinomial
+tau-leap windows), smaller ones on the exact ``"batch"`` engine
+(:class:`~repro.engine.batch.BatchedEnsembleSimulator`: the same matrix
+advanced one event per row per step).  Either falls down the ladder
+(``bleap -> batch -> counts -> fast -> reference``) with a structured
 :class:`~repro.errors.BackendFallbackWarning` when a scheduler, problem
 or protocol cannot be honoured natively.  The approximate per-run
-``"leap"`` backend (:mod:`repro.engine.leap`) is also available for
-very large populations; it falls back down ``leap -> counts -> fast ->
+``"leap"`` backend (:mod:`repro.engine.leap`) remains available for
+single very large runs; it falls back down ``leap -> counts -> fast ->
 reference`` the same way.  Because per-seed runs are
 independent, every backend also fans out across processes (``n_jobs >
 1``, with seeds dispatched to workers in contiguous chunks - each worker
-running its chunk as its own lockstep batch under ``"batch"``).
-Parallel runs return seed-identical results to serial runs; the only
-requirement is that the protocol, problem, factories and fault hook are
-picklable (module-level callables, not lambdas).
+running its chunk as its own lockstep batch under ``"batch"``/
+``"bleap"``).  Parallel runs return seed-identical results to serial
+runs; the only requirement is that the protocol, problem, factories and
+fault hook are picklable (module-level callables, not lambdas).
 """
 
 from __future__ import annotations
@@ -38,6 +43,14 @@ from repro.engine.protocol import PopulationProtocol
 from repro.engine.simulator import FaultHook, RunStats, SimulationResult
 from repro.errors import ConvergenceError
 from repro.schedulers.base import Scheduler
+
+#: Smallest population for which ``backend="auto"`` picks the windowed
+#: ``"bleap"`` engine over the exact ``"batch"`` engine.  Below this the
+#: adaptive tau rarely clears the leap thresholds (the kernel would
+#: merely re-route every row through its per-row exact-SSA fallback,
+#: slower than the batch engine's vectorized single-event steps); above
+#: it whole windows of ``leap_eps * N`` events collapse into one draw.
+BLEAP_MIN_POPULATION = 10_000
 
 #: Builds a fresh scheduler for a seed.
 SchedulerFactory = Callable[[Population, int], Scheduler]
@@ -93,12 +106,38 @@ class EnsembleResult:
         which for a lockstep batch sums back to the batch throughput;
         ``null_fraction`` is computed over the pooled interactions.
         ``None`` when no run carries stats.
+
+        When the ensemble ran on a windowed backend (``"leap"`` or
+        ``"bleap"``) the per-row leap fields are aggregated too:
+        ``leaps`` and ``repairs`` are summed, ``mean_tau`` is the
+        leap-weighted mean window length over all rows, and
+        ``ssa_fallback_rows`` counts the replicates that ever advanced
+        by exact-SSA bursts (``"bleap"`` only).  They stay ``None`` on
+        exact backends.
         """
         timed = [r for r in self.results if r.stats is not None]
         if not timed:
             return None
         interactions = sum(r.interactions for r in timed)
         non_null = sum(r.non_null_interactions for r in timed)
+        leaped = [r.stats for r in timed if r.stats.leaps is not None]
+        leaps = mean_tau = repairs = ssa_fallback_rows = None
+        if leaped:
+            leaps = sum(s.leaps for s in leaped)
+            # Per run, mean_tau * leaps recovers the interactions the
+            # windows covered, so the pooled mean is leap-weighted.
+            mean_tau = (
+                sum(s.mean_tau * s.leaps for s in leaped) / leaps
+                if leaps
+                else 0.0
+            )
+            repairs = sum(s.repairs or 0 for s in leaped)
+            ssa = [
+                s.ssa_fallback_rows
+                for s in leaped
+                if s.ssa_fallback_rows is not None
+            ]
+            ssa_fallback_rows = sum(ssa) if ssa else None
         return RunStats(
             wall_seconds=sum(r.stats.wall_seconds for r in timed),
             interactions_per_second=(
@@ -110,6 +149,10 @@ class EnsembleResult:
                 if interactions
                 else 0.0
             ),
+            leaps=leaps,
+            mean_tau=mean_tau,
+            repairs=repairs,
+            ssa_fallback_rows=ssa_fallback_rows,
         )
 
 
@@ -215,12 +258,14 @@ def _chunk_seeds(seeds: list[int], n_chunks: int) -> list[list[int]]:
 def _run_batch_chunk(task: tuple) -> list[SimulationResult]:
     """Run a chunk of seeds as one lockstep batch inside a worker.
 
-    The batch backend's per-row randomness depends only on each row's
-    own seed, so splitting an ensemble into chunks (or not) cannot
-    change any result - serial, parallel and per-seed executions are
-    bit-identical.
+    Serves both lockstep engines (``"batch"`` and ``"bleap"``; the
+    backend name travels in the task tuple).  Their per-row randomness
+    depends only on each row's own seed, so splitting an ensemble into
+    chunks (or not) cannot change any result - serial, parallel and
+    per-seed executions are bit-identical.
     """
     from repro.engine.batch import BatchedEnsembleSimulator
+    from repro.engine.bleap import BatchedLeapSimulator
 
     common, seeds = task
     if not seeds:
@@ -232,7 +277,7 @@ def _run_batch_chunk(task: tuple) -> list[SimulationResult]:
         initial_factory,
         problem,
         max_interactions,
-        _backend,
+        backend,
         check_interval,
         raise_on_timeout,
         fault_hook,
@@ -240,7 +285,12 @@ def _run_batch_chunk(task: tuple) -> list[SimulationResult]:
     ) = common
     schedulers = [scheduler_factory(population, seed) for seed in seeds]
     initials = [initial_factory(population, seed) for seed in seeds]
-    simulator = BatchedEnsembleSimulator(
+    simulator_class = (
+        BatchedLeapSimulator
+        if backend == "bleap"
+        else BatchedEnsembleSimulator
+    )
+    simulator = simulator_class(
         protocol,
         population,
         schedulers[0],
@@ -266,7 +316,7 @@ def run_ensemble(
     seeds: Sequence[int],
     max_interactions: int = 1_000_000,
     require_convergence: bool = False,
-    backend: str = "batch",
+    backend: str = "auto",
     n_jobs: int = 1,
     check_interval: int | None = None,
     raise_on_timeout: bool = False,
@@ -285,21 +335,26 @@ def run_ensemble(
         :class:`ConvergenceError` (carrying the offending seed in its
         message) instead of being recorded.
     backend:
-        Simulation backend: ``"batch"`` (the default; all replicates in
-        lockstep, see :mod:`repro.engine.batch`), or per-run ``"leap"``
-        (approximate, for very large N), ``"counts"``, ``"fast"`` and
+        Simulation backend.  The default ``"auto"`` resolves by
+        population size: ``"bleap"`` (windowed lockstep tau-leaping,
+        :mod:`repro.engine.bleap`) for ensembles at ``N >=``
+        :data:`BLEAP_MIN_POPULATION`, the exact ``"batch"`` engine
+        (:mod:`repro.engine.batch`) below it.  Both names can also be
+        requested explicitly, as can per-run ``"leap"`` (approximate,
+        for single very large runs), ``"counts"``, ``"fast"`` and
         ``"reference"``.  Runs a backend cannot honour fall down the
-        ladder (``batch -> counts -> fast -> reference``; ``leap ->
-        counts -> ...``) with a
+        ladder (``bleap -> batch -> counts -> fast -> reference``;
+        ``leap -> counts -> ...``) with a structured
         :class:`~repro.errors.BackendFallbackWarning`.
     n_jobs:
         Number of worker processes.  ``1`` runs serially in-process;
         larger values fan the seeds out over a
         :class:`~concurrent.futures.ProcessPoolExecutor`, which requires
         every task ingredient to be picklable (module-level factories).
-        Under the batch backend each worker runs one contiguous seed
-        chunk as its own lockstep batch (one chunk per worker, to keep
-        the batches wide); per-run backends travel in chunks of about
+        Under the lockstep backends (``"batch"``/``"bleap"``) each
+        worker runs one contiguous seed chunk as its own lockstep batch
+        (one chunk per worker, to keep the batches wide); per-run
+        backends travel in chunks of about
         four per worker so the per-task pickling overhead is amortized
         over many runs.  Results are returned in seed order and are
         identical to a serial run.
@@ -314,6 +369,12 @@ def run_ensemble(
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be a positive integer, got {n_jobs}")
+    if backend == "auto":
+        backend = (
+            "bleap"
+            if population.size >= BLEAP_MIN_POPULATION
+            else "batch"
+        )
     seeds = list(seeds)
     common = (
         protocol,
@@ -329,7 +390,8 @@ def run_ensemble(
         sanitize,
     )
     ensemble = EnsembleResult()
-    if backend == "batch":
+    lockstep = backend in ("batch", "bleap")
+    if lockstep:
         # Lockstep batches want to be wide: one chunk per worker (not
         # four) so each worker advances as many rows per kernel step as
         # possible.  Chunking cannot change results - each row's
@@ -349,7 +411,7 @@ def run_ensemble(
         for seed, result in zip(seeds, results):
             _record(ensemble, seed, result, max_interactions,
                     require_convergence)
-    elif backend == "batch":
+    elif lockstep:
         # One lockstep batch over the whole ensemble.  The batch raises
         # on the first non-converged row only via raise_on_timeout;
         # ``require_convergence`` is enforced seed-by-seed below, in

@@ -589,15 +589,15 @@ def make_simulator(
 
     Known names are the :data:`BACKENDS` keys: ``"reference"``,
     ``"fast"`` and (once :mod:`repro.engine.counts`,
-    :mod:`repro.engine.batch` and :mod:`repro.engine.leap` are
-    imported, which ``repro.engine`` always does) ``"counts"``,
-    ``"batch"`` and ``"leap"``.  Raises :class:`SimulationError` for
-    unknown backend names.
+    :mod:`repro.engine.batch`, :mod:`repro.engine.leap` and
+    :mod:`repro.engine.bleap` are imported, which ``repro.engine``
+    always does) ``"counts"``, ``"batch"``, ``"leap"`` and ``"bleap"``.
+    Raises :class:`SimulationError` for unknown backend names.
 
-    ``leap_eps`` sets the approximate ``"leap"`` backend's per-window
-    relative-change bound (see :data:`repro.engine.leap.DEFAULT_LEAP_EPS`);
-    it is forwarded to the backend class only when given, and only the
-    leap backend accepts it.
+    ``leap_eps`` sets the per-window relative-change bound of the
+    approximate tau-leaping backends, ``"leap"`` and ``"bleap"`` (see
+    :data:`repro.engine.leap.DEFAULT_LEAP_EPS`); it is forwarded to the
+    backend class only when given, and only those backends accept it.
 
     ``validate=True`` runs :func:`repro.engine.protocol.verify_protocol`
     before constructing the simulator, so malformed protocols (role
@@ -640,7 +640,7 @@ def make_simulator(
     except TypeError:
         if "leap_eps" in kwargs:
             raise SimulationError(
-                f"backend {backend!r} does not accept leap_eps "
-                "(only the approximate leap backend is tunable)"
+                f"backend {backend!r} does not accept leap_eps (only "
+                "the approximate leap/bleap backends are tunable)"
             ) from None
         raise

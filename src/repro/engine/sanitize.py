@@ -14,8 +14,8 @@ representation carries invariants that no correct run may violate:
   non-null interaction may follow one.
 
 ``sanitize=True`` on :func:`repro.engine.fast.make_simulator` (or
-:func:`repro.engine.ensemble.run_ensemble`) arms these checks inside all
-five backends.  Violations raise :class:`~repro.errors.SanitizerError`
+:func:`repro.engine.ensemble.run_ensemble`) arms these checks inside
+every backend.  Violations raise :class:`~repro.errors.SanitizerError`
 carrying the backend name, the invariant id and the offending step.  The
 checks read simulation state but never consume randomness or alter
 control flow, so sanitized runs are bit-identical to unsanitized ones -
@@ -23,12 +23,16 @@ the differential tests in ``tests/engine/test_sanitize.py`` enforce it.
 
 The helpers below are deliberately standalone functions: the hot loops
 call them at convergence-check cadence (reference/fast) or once per
-envelope refresh / kernel step / leap window (counts/batch/leap), and
-the fault-injection tests monkeypatch them to simulate kernel
-corruption.  On the windowed leap backend the *post-silence-change*
-invariant is adapted to window granularity: a whole multinomial window
-(or exact burst) that fires any event after silence trips the tracker,
-since individual interactions are never materialized there.
+envelope refresh / kernel step / window refresh (counts/batch/
+leap/bleap), and the fault-injection tests monkeypatch them to simulate
+kernel corruption.  On the windowed backends the *post-silence-change*
+invariant is adapted to window granularity: on ``leap`` a whole
+multinomial window (or exact burst) that fires any event after silence
+trips the tracker, since individual interactions are never materialized
+there; on ``bleap`` it is enforced structurally - a row observed silent
+is finalized and dropped from the active matrix at that same refresh,
+so no later window can touch it - while the counts-row invariants are
+checked per refresh via :func:`check_counts_rows`.
 """
 
 from __future__ import annotations

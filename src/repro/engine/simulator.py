@@ -51,11 +51,17 @@ class RunStats:
     equality because wall-clock numbers differ between otherwise identical
     runs; the differential tests compare semantics, not timings.
 
-    The three leap fields are populated only by native runs of the
-    ``"leap"`` backend (:mod:`repro.engine.leap`): ``leaps`` counts the
-    multinomial windows applied, ``mean_tau`` the mean window length in
-    interactions, and ``repairs`` the infeasible draws discarded by the
-    clip/repair loop.  They stay ``None`` on every exact backend.
+    The leap fields are populated only by native runs of the windowed
+    backends (``"leap"``, :mod:`repro.engine.leap`, and ``"bleap"``,
+    :mod:`repro.engine.bleap`): ``leaps`` counts the multinomial windows
+    applied, ``mean_tau`` the mean window length in interactions, and
+    ``repairs`` the infeasible draws discarded by the clip/repair loop.
+    ``ssa_fallback_rows`` is ``"bleap"``-only: per run it is 1 when the
+    replicate's row ever advanced by exact-SSA bursts (collapsed tau,
+    small population, near-silence endgame) and 0 when it leapt
+    throughout; aggregated over an ensemble
+    (:attr:`repro.engine.ensemble.EnsembleResult.stats`) it counts the
+    fallen-back rows.  All four stay ``None`` on every exact backend.
     """
 
     wall_seconds: float
@@ -64,6 +70,7 @@ class RunStats:
     leaps: int | None = None
     mean_tau: float | None = None
     repairs: int | None = None
+    ssa_fallback_rows: int | None = None
 
     @classmethod
     def measure(
@@ -94,6 +101,8 @@ class RunStats:
                 f", {self.leaps} leaps (mean tau {self.mean_tau:,.0f}, "
                 f"{self.repairs} repairs)"
             )
+        if self.ssa_fallback_rows is not None:
+            text += f", {self.ssa_fallback_rows} SSA-fallback rows"
         return text
 
 

@@ -76,7 +76,7 @@ class SanitizerError(SimulationError):
     backend:
         Name of the backend whose run tripped the check
         (``"reference"``/``"fast"``/``"counts"``/``"batch"``/
-        ``"leap"``).
+        ``"leap"``/``"bleap"``).
     invariant:
         Machine-readable id of the violated invariant, one of
         ``"population-size"``, ``"negative-count"``, ``"state-range"``,
@@ -116,8 +116,8 @@ class BackendFallbackWarning(RuntimeWarning):
     slower backend.
 
     Emitted (via :func:`repro.engine.fast.warn_fallback`) by the
-    accelerated backends (``fast``, ``counts``, ``batch``, ``leap``)
-    when a run cannot be served by their optimized paths - e.g.
+    accelerated backends (``fast``, ``counts``, ``batch``, ``leap``,
+    ``bleap``) when a run cannot be served by their optimized paths - e.g.
     uncompilable state spaces, configuration-inspecting schedulers,
     fault hooks, or initial states outside the declared space.  Results
     are unaffected: the delegate backend is exact.
@@ -147,3 +147,16 @@ class BackendFallbackWarning(RuntimeWarning):
         self.backend = backend
         self.delegate = delegate
         self.reason = reason
+
+    def __reduce__(self):
+        # Default warning pickling only preserves ``args``: a fallback
+        # warning escalated to an error inside a ``run_ensemble(n_jobs >
+        # 1)`` worker (``-W error``/``simplefilter("error")``) would
+        # cross the process boundary with ``backend``/``delegate``/
+        # ``reason`` blanked.  Rebuild with the keyword attributes.
+        return type(self), (
+            self.args[0] if self.args else "",
+            self.backend,
+            self.delegate,
+            self.reason,
+        )

@@ -7,10 +7,12 @@ scheduler (the standard cost model of the population-protocol literature).
 
 ``python -m repro.experiments.convergence`` prints one series per protocol:
 mean/median/p90 interactions to certified convergence as ``N`` grows.
-``--backend`` selects the simulation engine (default ``batch``: all seeds
-of a cell advanced in lockstep, falling back down the backend ladder per
-run when needed), ``--jobs K`` fans seeds out over processes, and
-``--verbose`` appends each cell's aggregated wall-clock/throughput stats.
+``--backend`` selects the simulation engine (default ``auto``: batched
+tau-leaping ``bleap`` at large N, lockstep ``batch`` below, falling back
+down the backend ladder per run when needed), ``--jobs K`` fans seeds
+out over processes, and ``--verbose`` appends each cell's aggregated
+wall-clock/throughput stats (including leap-window counts when the
+tau-leaping engine served the cell).
 """
 
 from __future__ import annotations
@@ -103,7 +105,7 @@ def measure(
     seeds: range,
     budget: int,
     uniform: bool = False,
-    backend: str = "reference",
+    backend: str = "auto",
     n_jobs: int = 1,
 ) -> SeriesPoint:
     """Interactions-to-convergence sample for one protocol instance."""
@@ -163,7 +165,7 @@ def run_convergence(
     bound: int = 8,
     runs: int = 20,
     budget: int = 2_000_000,
-    backend: str = "batch",
+    backend: str = "auto",
     n_jobs: int = 1,
 ) -> list[SeriesPoint]:
     """Measure every default series; returns all points."""
@@ -227,10 +229,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--budget", type=int, default=2_000_000)
     parser.add_argument(
         "--backend",
-        choices=sorted(BACKENDS),
-        default="batch",
-        help="simulation engine (batch runs all seeds in lockstep; "
-        "every backend is statistically equivalent)",
+        choices=sorted(BACKENDS) + ["auto"],
+        default="auto",
+        help="simulation engine (auto picks bleap at large N, batch "
+        "below; both run all seeds in lockstep and every backend is "
+        "statistically equivalent)",
     )
     parser.add_argument(
         "--jobs",

@@ -18,7 +18,10 @@ practical to *hold* the population beyond ~10^5 agents; the counts
 backend keeps O(states) memory and a size-independent rate to
 N = 10^6; the approximate leap backend aggregates whole windows of
 interactions per multinomial draw and alone completes the full
-``10 N`` naming horizon at N = 10^7-10^8.
+``10 N`` naming horizon at N = 10^7-10^8.  (The sweep times single
+runs; for many-replicate workloads at these sizes the batched
+tau-leaping ensemble engine ``bleap`` applies the same windowing to a
+whole replicate matrix at once - benchmarked by ``repro bench``.)
 
 ``python -m repro.experiments.scaling`` prints the table.  Points are
 independent, so ``--jobs K`` fans them out over worker processes.

@@ -345,7 +345,8 @@ def run_table1(
         Also run the exhaustive 2-state refutation for the impossible cell.
     backend:
         Simulation backend (any key of
-        :data:`repro.engine.fast.BACKENDS`, including ``"batch"``);
+        :data:`repro.engine.fast.BACKENDS`; the ensemble engines
+        ``"batch"``/``"bleap"`` serve each run as a width-1 batch);
         verdicts are identical either way, the array/counts engines
         regenerate the table quicker.
     """

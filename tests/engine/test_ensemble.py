@@ -295,6 +295,62 @@ class TestBatchBackend:
         assert EnsembleResult().stats is None
 
 
+class TestAutoBackend:
+    """``backend="auto"`` resolves by population size: lockstep batch
+    below ``BLEAP_MIN_POPULATION``, batched tau-leaping at or above."""
+
+    def test_auto_resolves_to_batch_at_small_n(self):
+        protocol, population, sf, inf = make_parts(bound=8, n=8)
+        ensemble = run_ensemble(
+            protocol, population, sf, inf, NamingProblem(), seeds=range(4)
+        )
+        assert ensemble.convergence_rate == 1.0
+        # The batch engine reports no leap statistics.
+        assert ensemble.stats.leaps is None
+        assert ensemble.stats.ssa_fallback_rows is None
+
+    def test_auto_resolves_to_bleap_at_large_n(self):
+        from repro.engine.ensemble import BLEAP_MIN_POPULATION
+
+        protocol = AsymmetricNamingProtocol(8)
+        population = Population(BLEAP_MIN_POPULATION)
+        ensemble = run_ensemble(
+            protocol,
+            population,
+            _scheduler_factory,
+            _initial_factory,
+            NamingProblem(),
+            seeds=range(3),
+            max_interactions=20_000,
+        )
+        stats = ensemble.stats
+        assert stats.leaps is not None
+        assert stats.ssa_fallback_rows is not None
+
+    def test_bleap_stats_aggregated(self):
+        protocol = AsymmetricNamingProtocol(8)
+        population = Population(20_000)
+        seeds = range(4)
+        ensemble = run_ensemble(
+            protocol,
+            population,
+            _scheduler_factory,
+            _initial_factory,
+            NamingProblem(),
+            seeds=seeds,
+            max_interactions=50_000,
+            backend="bleap",
+        )
+        stats = ensemble.stats
+        assert stats.leaps == sum(
+            r.stats.leaps for r in ensemble.results
+        )
+        assert stats.leaps > 0
+        assert stats.mean_tau > 0.0
+        assert stats.repairs >= 0
+        assert 0 <= stats.ssa_fallback_rows <= len(list(seeds))
+
+
 # Module-level (picklable) fault hook for the cross-process sanitizer
 # test: returns a wrong-size configuration at interaction 50, tripping
 # the population-size invariant on the reference backend.

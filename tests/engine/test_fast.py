@@ -329,6 +329,7 @@ class TestFallbacks:
 class TestBackendRegistry:
     def test_registry_contents(self):
         from repro.engine.batch import BatchedEnsembleSimulator
+        from repro.engine.bleap import BatchedLeapSimulator
         from repro.engine.leap import LeapSimulator
 
         assert BACKENDS == {
@@ -337,6 +338,7 @@ class TestBackendRegistry:
             "counts": CountSimulator,
             "batch": BatchedEnsembleSimulator,
             "leap": LeapSimulator,
+            "bleap": BatchedLeapSimulator,
         }
 
     def test_make_simulator_builds_each(self):

@@ -76,7 +76,9 @@ class TestSimulate:
         assert main(argv + ["--backend", "fast"]) == 0
         assert capsys.readouterr().out == reference_out
 
-    @pytest.mark.parametrize("backend", ["reference", "fast", "counts"])
+    @pytest.mark.parametrize(
+        "backend", ["reference", "fast", "counts", "bleap"]
+    )
     def test_verbose_prints_perf_line(self, capsys, backend):
         argv = [
             "simulate",
@@ -98,6 +100,27 @@ class TestSimulate:
         # output stays byte-identical across stream-identical backends).
         assert main(argv) == 0
         assert "perf" not in capsys.readouterr().out
+
+    def test_verbose_bleap_prints_window_stats(self, capsys):
+        """The tau-leaping ensemble backend's per-run stats carry the
+        window counters into the --verbose perf line."""
+        argv = [
+            "simulate",
+            "--symmetry",
+            "asymmetric",
+            "-P",
+            "5",
+            "-N",
+            "4",
+            "--backend",
+            "bleap",
+            "--verbose",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "leaps" in out
+        assert "SSA-fallback rows" in out
+        assert "[bleap backend]" in out
 
     def test_leadered_simulation(self, capsys):
         code = main(
@@ -140,6 +163,24 @@ class TestDelegation:
         out = capsys.readouterr().out
         assert code == 0
         assert "interactions to certified convergence" in out
+
+    def test_convergence_verbose_bleap_stats(self, capsys):
+        code = main(
+            [
+                "convergence",
+                "--bound",
+                "4",
+                "--runs",
+                "3",
+                "--backend",
+                "bleap",
+                "--verbose",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ensemble performance per cell:" in out
+        assert "SSA-fallback rows" in out
 
     def test_recovery_delegates(self, capsys):
         code = main(
