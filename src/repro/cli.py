@@ -205,7 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
             "counts is count-based and statistically equivalent; leap "
             "aggregates many interactions per step (approximate, "
             "tunable via --leap-eps); bleap is the batched tau-leaping "
-            "ensemble engine (a single run is a width-1 batch)"
+            "ensemble engine (a single run is a width-1 batch); fluid "
+            "fast-forwards the mean-field ODE and hands the endgame to "
+            "leap (large populations)"
         ),
     )
     simulate.add_argument(

@@ -13,11 +13,13 @@ from repro.engine.fast import (
 
 # Imported after ``fast`` so their registrations land in BACKENDS
 # whenever the engine package is loaded (``batch`` and ``leap`` build
-# on ``counts``; ``bleap`` fuses ``batch`` and ``leap``).
+# on ``counts``; ``bleap`` fuses ``batch`` and ``leap``; ``fluid``
+# fast-forwards the mean-field ODE and hands off to ``leap``).
 from repro.engine.counts import CountSimulator, configuration_counts
 from repro.engine.batch import BatchedEnsembleSimulator
 from repro.engine.leap import LeapSimulator
 from repro.engine.bleap import BatchedLeapSimulator
+from repro.engine.fluid import FluidSimulator
 from repro.engine.population import AgentId, Population
 from repro.engine.sanitize import SilenceTracker
 from repro.engine.problems import (
@@ -59,6 +61,7 @@ __all__ = [
     "CountingProblem",
     "EnsembleResult",
     "FastSimulator",
+    "FluidSimulator",
     "InteractionRecord",
     "LeaderState",
     "LeapSimulator",

@@ -6,15 +6,19 @@ makes that pattern a public API so downstream users measure their own
 protocols the same way the reproduction measures the paper's.
 
 Ensembles can run on any registered simulation backend (see
-:data:`repro.engine.fast.BACKENDS`).  The default, ``"auto"``, picks a
-lockstep engine by population size: large-N ensembles (``N >=``
-:data:`BLEAP_MIN_POPULATION`) run on ``"bleap"``
+:data:`repro.engine.fast.BACKENDS`).  The default, ``"auto"``, picks an
+engine by population size: fluid-scale ensembles (``N >=``
+:data:`FLUID_MIN_POPULATION`) run per-seed on ``"fluid"``
+(:class:`~repro.engine.fluid.FluidSimulator`: mean-field ODE
+fast-forward handing off to stochastic leap windows), large-N ensembles
+(``N >=`` :data:`BLEAP_MIN_POPULATION`) on ``"bleap"``
 (:class:`~repro.engine.bleap.BatchedLeapSimulator`: the whole ensemble
 as one ``(R, S)`` counts matrix advanced by per-row adaptive multinomial
 tau-leap windows), smaller ones on the exact ``"batch"`` engine
 (:class:`~repro.engine.batch.BatchedEnsembleSimulator`: the same matrix
-advanced one event per row per step).  Either falls down the ladder
-(``bleap -> batch -> counts -> fast -> reference``) with a structured
+advanced one event per row per step).  Each falls down the ladder
+(``fluid -> leap -> counts -> ...``; ``bleap -> batch -> counts -> fast
+-> reference``) with a structured
 :class:`~repro.errors.BackendFallbackWarning` when a scheduler, problem
 or protocol cannot be honoured natively.  The approximate per-run
 ``"leap"`` backend (:mod:`repro.engine.leap`) remains available for
@@ -51,6 +55,15 @@ from repro.schedulers.base import Scheduler
 #: slower than the batch engine's vectorized single-event steps); above
 #: it whole windows of ``leap_eps * N`` events collapse into one draw.
 BLEAP_MIN_POPULATION = 10_000
+
+#: Smallest population for which ``backend="auto"`` picks the per-seed
+#: ``"fluid"`` engine over the lockstep ``"bleap"`` engine.  Above this
+#: the mean-field ODE fast-forward amortizes its integration steps over
+#: millions of interactions per step and the counts-native pipeline
+#: skips the O(N) agent-vector round-trip that starts to dominate
+#: lockstep runs; below it the stochastic windows do all the work
+#: anyway and lockstep batching wins.
+FLUID_MIN_POPULATION = 1_000_000
 
 #: Builds a fresh scheduler for a seed.
 SchedulerFactory = Callable[[Population, int], Scheduler]
@@ -114,6 +127,12 @@ class EnsembleResult:
         ``ssa_fallback_rows`` counts the replicates that ever advanced
         by exact-SSA bursts (``"bleap"`` only).  They stay ``None`` on
         exact backends.
+
+        When the ensemble ran on the ``"fluid"`` backend the fluid
+        fields are aggregated as well: ``ode_steps`` sums the RK4 steps
+        over all runs, ``handoff_time`` is the mean handoff interaction
+        position, and ``handoff_backend`` is carried through when every
+        run handed off to the same engine.
         """
         timed = [r for r in self.results if r.stats is not None]
         if not timed:
@@ -121,6 +140,16 @@ class EnsembleResult:
         interactions = sum(r.interactions for r in timed)
         non_null = sum(r.non_null_interactions for r in timed)
         leaped = [r.stats for r in timed if r.stats.leaps is not None]
+        fluid = [r.stats for r in timed if r.stats.ode_steps is not None]
+        ode_steps = handoff_time = handoff_backend = None
+        if fluid:
+            ode_steps = sum(s.ode_steps for s in fluid)
+            handoff_time = (
+                sum(s.handoff_time or 0.0 for s in fluid) / len(fluid)
+            )
+            delegates = {s.handoff_backend for s in fluid}
+            if len(delegates) == 1:
+                handoff_backend = delegates.pop()
         leaps = mean_tau = repairs = ssa_fallback_rows = None
         if leaped:
             leaps = sum(s.leaps for s in leaped)
@@ -153,6 +182,9 @@ class EnsembleResult:
             mean_tau=mean_tau,
             repairs=repairs,
             ssa_fallback_rows=ssa_fallback_rows,
+            ode_steps=ode_steps,
+            handoff_time=handoff_time,
+            handoff_backend=handoff_backend,
         )
 
 
@@ -336,16 +368,18 @@ def run_ensemble(
         message) instead of being recorded.
     backend:
         Simulation backend.  The default ``"auto"`` resolves by
-        population size: ``"bleap"`` (windowed lockstep tau-leaping,
-        :mod:`repro.engine.bleap`) for ensembles at ``N >=``
-        :data:`BLEAP_MIN_POPULATION`, the exact ``"batch"`` engine
-        (:mod:`repro.engine.batch`) below it.  Both names can also be
-        requested explicitly, as can per-run ``"leap"`` (approximate,
-        for single very large runs), ``"counts"``, ``"fast"`` and
-        ``"reference"``.  Runs a backend cannot honour fall down the
-        ladder (``bleap -> batch -> counts -> fast -> reference``;
-        ``leap -> counts -> ...``) with a structured
-        :class:`~repro.errors.BackendFallbackWarning`.
+        population size: ``"fluid"`` (mean-field ODE fast-forward with
+        leap handoff, :mod:`repro.engine.fluid`, run per seed) at
+        ``N >=`` :data:`FLUID_MIN_POPULATION`, ``"bleap"`` (windowed
+        lockstep tau-leaping, :mod:`repro.engine.bleap`) for ensembles
+        at ``N >=`` :data:`BLEAP_MIN_POPULATION`, the exact ``"batch"``
+        engine (:mod:`repro.engine.batch`) below that.  All names can
+        also be requested explicitly, as can per-run ``"leap"``
+        (approximate, for single very large runs), ``"counts"``,
+        ``"fast"`` and ``"reference"``.  Runs a backend cannot honour
+        fall down the ladder (``fluid -> leap -> counts -> ...``;
+        ``bleap -> batch -> counts -> fast -> reference``) with a
+        structured :class:`~repro.errors.BackendFallbackWarning`.
     n_jobs:
         Number of worker processes.  ``1`` runs serially in-process;
         larger values fan the seeds out over a
@@ -370,11 +404,12 @@ def run_ensemble(
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be a positive integer, got {n_jobs}")
     if backend == "auto":
-        backend = (
-            "bleap"
-            if population.size >= BLEAP_MIN_POPULATION
-            else "batch"
-        )
+        if population.size >= FLUID_MIN_POPULATION:
+            backend = "fluid"
+        elif population.size >= BLEAP_MIN_POPULATION:
+            backend = "bleap"
+        else:
+            backend = "batch"
     seeds = list(seeds)
     common = (
         protocol,

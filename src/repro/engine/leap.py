@@ -115,6 +115,44 @@ MIN_WINDOW_EVENTS = 32.0
 EXACT_BURST = 64
 
 
+class _LeapOutcome:
+    """Raw outcome of one :meth:`LeapSimulator._advance_native` call.
+
+    Everything the callers (the leap backend's own :meth:`run` and the
+    fluid backend's stochastic endgame) need to assemble a
+    :class:`~repro.engine.simulator.SimulationResult` without forcing an
+    O(N) configuration materialization on them.
+    """
+
+    __slots__ = (
+        "counts",
+        "pos",
+        "events",
+        "leaps",
+        "leap_interactions",
+        "repairs",
+        "converged_at",
+    )
+
+    def __init__(
+        self,
+        counts,
+        pos: int,
+        events: int,
+        leaps: int,
+        leap_interactions: int,
+        repairs: int,
+        converged_at: int | None,
+    ) -> None:
+        self.counts = counts
+        self.pos = pos
+        self.events = events
+        self.leaps = leaps
+        self.leap_interactions = leap_interactions
+        self.repairs = repairs
+        self.converged_at = converged_at
+
+
 class _LeapPlan:
     """Per-table leap tables, shared across simulators of one protocol.
 
@@ -364,8 +402,67 @@ class LeapSimulator:
         raise_on_timeout: bool,
     ) -> SimulationResult:
         """The windowed multinomial loop; assumes all preconditions."""
-        np = _np
         started = time.perf_counter()
+        outcome = self._advance_native(counts, 0, max_interactions)
+        converged = outcome.converged_at is not None
+        if not converged and raise_on_timeout:
+            raise ConvergenceError(
+                f"{self.protocol.display_name} did not converge within "
+                f"{max_interactions} interactions",
+                interactions=outcome.pos,
+            )
+        final_counts = [int(k) for k in outcome.counts]
+        self.last_counts = final_counts
+        pos, events = outcome.pos, outcome.events
+        elapsed = time.perf_counter() - started
+        return SimulationResult(
+            converged=converged,
+            interactions=pos,
+            non_null_interactions=events,
+            final_configuration=materialize_counts(
+                self._table, self._plan.n_mobile, final_counts,
+                self._leader_pos,
+            ),
+            population=self.population,
+            trace=None,
+            convergence_interaction=outcome.converged_at,
+            faults_injected=0,
+            stats=RunStats(
+                wall_seconds=elapsed,
+                interactions_per_second=(
+                    pos / elapsed if elapsed > 0 else 0.0
+                ),
+                null_fraction=(
+                    (pos - events) / pos if pos else 0.0
+                ),
+                leaps=outcome.leaps,
+                mean_tau=(
+                    outcome.leap_interactions / outcome.leaps
+                    if outcome.leaps
+                    else 0.0
+                ),
+                repairs=outcome.repairs,
+            ),
+        )
+
+    def _advance_native(
+        self,
+        counts,
+        start: int,
+        max_interactions: int,
+        label: str = "leap",
+    ) -> _LeapOutcome:
+        """Advance the counts chain from absolute position ``start`` to
+        certified convergence or the absolute ``max_interactions`` budget.
+
+        The counts-native core of the backend: takes and returns bare
+        counts vectors (interned order, leader included) so callers that
+        never hold an agent vector - the fluid backend's post-handoff
+        endgame at N = 10^10 - can use it without any O(N) work.
+        ``label`` names the backend in sanitizer reports.  Assumes all
+        native preconditions hold.
+        """
+        np = _np
         plan = self._plan
         rng = self._rng
         pair_i, pair_j, diag = plan.pair_i, plan.pair_j, plan.diag
@@ -375,14 +472,20 @@ class LeapSimulator:
         n_mobile = plan.n_mobile
         c = np.asarray(counts, dtype=np.int64)
         size = self.population.size
-        total_pairs = size * (size - 1)
+        # Pair weights are computed in float64: the int64 products
+        # c_i * c_j overflow beyond N ~ 3 * 10^9 (fluid-tier handoffs
+        # reach N = 10^10), while float64 keeps them exact up to 2^53
+        # (every stochastic-phase population) and silence detection
+        # (weight == 0) exact at any size - a float product is zero iff
+        # one factor is.
+        total_pairs = float(size) * float(size - 1)
         eps = self.leap_eps
         min_tau = self.min_tau
         check_interval = self.check_interval
         checking = self.problem is not None
         budget = max_interactions
 
-        pos = 0  # completed interactions (nulls included)
+        pos = start  # completed interactions (nulls included)
         events = 0  # non-null interactions
         leaps = 0  # multinomial windows applied
         leap_interactions = 0  # interactions covered by those windows
@@ -391,7 +494,7 @@ class LeapSimulator:
 
         sanitizing = self.sanitize
         if sanitizing:
-            tracker = _sanitize.SilenceTracker("leap")
+            tracker = _sanitize.SilenceTracker(label)
         pvals = np.empty(n_pairs + 1)
 
         def boundary_at(p: int) -> int:
@@ -406,11 +509,11 @@ class LeapSimulator:
                 # move only through the vetted (repaired) aggregate
                 # scatter or exact quad updates, so corruption shows
                 # up here.
-                _sanitize.check_counts_vector("leap", c, size, pos)
+                _sanitize.check_counts_vector(label, c, size, pos)
             # -- refresh: true weights at the current counts --
-            w = c[pair_i] * (c[pair_j] - diag)
-            weight = int(w.sum())
-            if weight == 0:
+            w = c[pair_i].astype(np.float64) * (c[pair_j] - diag)
+            weight = float(w.sum())
+            if weight == 0.0:
                 # Silent configuration: frozen forever.  The verdict is
                 # delivered at the next check boundary, matching the
                 # per-run backends up to one window.
@@ -473,9 +576,9 @@ class LeapSimulator:
             burst = 0
             while burst < EXACT_BURST and pos < budget:
                 if burst:
-                    w = c[pair_i] * (c[pair_j] - diag)
-                    weight = int(w.sum())
-                    if weight == 0:
+                    w = c[pair_i].astype(np.float64) * (c[pair_j] - diag)
+                    weight = float(w.sum())
+                    if weight == 0.0:
                         break  # the refresh above finalizes silence
                 gap = int(rng.geometric(weight / total_pairs))
                 if pos + gap > budget:
@@ -495,49 +598,16 @@ class LeapSimulator:
                 tracker.note_change(pos)
 
         if sanitizing:
-            _sanitize.check_counts_vector("leap", c, size, pos)
+            _sanitize.check_counts_vector(label, c, size, pos)
 
         # Final check: the budget may end exactly at silence.
         if converged_at is None and checking:
-            w = c[pair_i] * (c[pair_j] - diag)
-            if int(w.sum()) == 0 and bool((c[:n_mobile] <= 1).all()):
+            w = c[pair_i].astype(np.float64) * (c[pair_j] - diag)
+            if float(w.sum()) == 0.0 and bool((c[:n_mobile] <= 1).all()):
                 converged_at = pos
 
-        converged = converged_at is not None
-        if not converged and raise_on_timeout:
-            raise ConvergenceError(
-                f"{self.protocol.display_name} did not converge within "
-                f"{max_interactions} interactions",
-                interactions=pos,
-            )
-        final_counts = [int(k) for k in c]
-        self.last_counts = final_counts
-        elapsed = time.perf_counter() - started
-        return SimulationResult(
-            converged=converged,
-            interactions=pos,
-            non_null_interactions=events,
-            final_configuration=materialize_counts(
-                self._table, n_mobile, final_counts, self._leader_pos
-            ),
-            population=self.population,
-            trace=None,
-            convergence_interaction=converged_at,
-            faults_injected=0,
-            stats=RunStats(
-                wall_seconds=elapsed,
-                interactions_per_second=(
-                    pos / elapsed if elapsed > 0 else 0.0
-                ),
-                null_fraction=(
-                    (pos - events) / pos if pos else 0.0
-                ),
-                leaps=leaps,
-                mean_tau=(
-                    leap_interactions / leaps if leaps else 0.0
-                ),
-                repairs=repairs,
-            ),
+        return _LeapOutcome(
+            c, pos, events, leaps, leap_interactions, repairs, converged_at
         )
 
 

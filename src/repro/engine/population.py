@@ -13,7 +13,7 @@ stable identities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterator
 
@@ -38,14 +38,24 @@ class Population:
 
     n_mobile: int
     has_leader: bool = False
-    _mobile_ids: tuple[AgentId, ...] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_mobile < 1:
             raise ConfigurationError(
                 f"a population needs at least one mobile agent, got {self.n_mobile}"
             )
-        object.__setattr__(self, "_mobile_ids", tuple(range(self.n_mobile)))
+
+    @property
+    def _mobile_ids(self) -> tuple[AgentId, ...]:
+        # Built lazily and cached: counts-native backends (the fluid
+        # tier sweeps populations of 10^9-10^10 agents) never enumerate
+        # agent identities, and the eager tuple alone would dwarf memory
+        # at those sizes.
+        cached = self.__dict__.get("_mobile_ids_cache")
+        if cached is None:
+            cached = tuple(range(self.n_mobile))
+            object.__setattr__(self, "_mobile_ids_cache", cached)
+        return cached
 
     @property
     def size(self) -> int:

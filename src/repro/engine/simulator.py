@@ -62,6 +62,14 @@ class RunStats:
     throughout; aggregated over an ensemble
     (:attr:`repro.engine.ensemble.EnsembleResult.stats`) it counts the
     fallen-back rows.  All four stay ``None`` on every exact backend.
+
+    The fluid fields are populated only by native runs of the ``"fluid"``
+    backend (:mod:`repro.engine.fluid`): ``ode_steps`` counts the RK4
+    integration steps of the mean-field phase, ``handoff_time`` the
+    interaction position at which the deterministic trajectory was
+    handed off to the stochastic endgame, and ``handoff_backend`` the
+    backend that ran that endgame (``"leap"``).  They stay ``None`` on
+    every other backend.
     """
 
     wall_seconds: float
@@ -71,6 +79,9 @@ class RunStats:
     mean_tau: float | None = None
     repairs: int | None = None
     ssa_fallback_rows: int | None = None
+    ode_steps: int | None = None
+    handoff_time: float | None = None
+    handoff_backend: str | None = None
 
     @classmethod
     def measure(
@@ -103,6 +114,11 @@ class RunStats:
             )
         if self.ssa_fallback_rows is not None:
             text += f", {self.ssa_fallback_rows} SSA-fallback rows"
+        if self.ode_steps is not None:
+            text += (
+                f", {self.ode_steps} ODE steps (handoff at "
+                f"{self.handoff_time:,.0f} -> {self.handoff_backend})"
+            )
         return text
 
 
@@ -113,17 +129,27 @@ class SimulationResult:
     ``interactions`` counts scheduler proposals (null interactions
     included), the model's natural time unit; ``parallel_time`` is the
     standard normalization ``interactions / N``.
+
+    ``final_configuration`` is ``None`` only for counts-native runs that
+    skip agent-vector materialization (the fluid backend's
+    :meth:`~repro.engine.fluid.FluidSimulator.run_counts` with
+    ``materialize=False``, where building an O(N) tuple at N = 10^10 is
+    infeasible); those runs carry the final state tally in
+    ``final_counts`` (mapping state -> count) instead.
     """
 
     converged: bool
     interactions: int
     non_null_interactions: int
-    final_configuration: Configuration
+    final_configuration: Configuration | None
     population: Population
     trace: Trace | None = None
     convergence_interaction: int | None = None
     faults_injected: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Final state tally for counts-native runs; ``None`` whenever
+    #: ``final_configuration`` is present.
+    final_counts: dict | None = None
     #: Run performance measurements; ``compare=False`` keeps backend
     #: differential tests (``reference == fast``) meaningful.
     stats: RunStats | None = field(default=None, compare=False, repr=False)
@@ -135,6 +161,11 @@ class SimulationResult:
 
     def names(self) -> tuple:
         """The mobile agents' final states (their names)."""
+        if self.final_configuration is None:
+            raise SimulationError(
+                "this run did not materialize a final configuration "
+                "(counts-native fluid run); inspect final_counts instead"
+            )
         return self.final_configuration.mobile_states
 
     #: Maximum number of names shown by ``str()``; large-N runs would
@@ -143,6 +174,13 @@ class SimulationResult:
 
     def __str__(self) -> str:
         status = "converged" if self.converged else "did not converge"
+        if self.final_configuration is None:
+            live = sum(1 for v in (self.final_counts or {}).values() if v)
+            return (
+                f"{status} after {self.interactions} interactions "
+                f"({self.non_null_interactions} non-null); "
+                f"{live} occupied states (counts-native run)"
+            )
         names = self.names()
         shown = ", ".join(repr(s) for s in names[: self._STR_NAME_LIMIT])
         if len(names) > self._STR_NAME_LIMIT:

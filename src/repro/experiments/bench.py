@@ -57,6 +57,23 @@ counts wide enough for lockstep batching to amortize kernel overhead.
 ``--bleap-floor`` gates the bleap/counts rate ratio the same way
 ``--leap-floor`` gates the single-run leap engine.
 
+A fifth, fluid section measures the mean-field fluid tier
+(:mod:`repro.engine.fluid`) against the stochastic leap backend on the
+full ``10 N`` naming horizon at N = 10^8, *end to end*: the leap cell
+pays the O(N) agent-vector round-trip (initial-configuration
+construction, state-tally interning, final materialization) that
+dominates beyond N = 10^7, while the fluid cell runs counts-native
+(:meth:`~repro.engine.fluid.FluidSimulator.run_counts`) and
+fast-forwards the deterministic transient by ODE.  ``--fluid-floor``
+gates the fluid/leap *wall-clock* ratio - the tier's headline claim is
+completing horizons whose agent vectors are not worth (or beyond N =
+10^9, not possible) building.
+
+Sections can be selected individually with ``--sections`` (comma-
+separated names from ``backends``, ``ensemble``, ``leap``, ``bleap``,
+``fluid``), so CI perf gates re-time only the sections they gate; a
+floor flag whose section was deselected is a usage error.
+
 The JSON report carries an ``environment`` block (NumPy version, CPU
 count, git revision) so regressions flagged by the floor gates can be
 attributed to code versus machine changes.
@@ -76,6 +93,7 @@ from repro.core.asymmetric import AsymmetricNamingProtocol
 from repro.engine.configuration import Configuration
 from repro.engine.ensemble import run_ensemble
 from repro.engine.fast import BACKENDS, make_simulator
+from repro.engine.fluid import FluidSimulator
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem
 from repro.engine.protocol import PopulationProtocol
@@ -127,6 +145,15 @@ LEAP_N = 1_000_000
 
 #: Interaction budget of the leap section (scaled by ``--scale``).
 LEAP_BUDGET = 10_000_000
+
+#: Population size of the fluid section: the regime where the O(N)
+#: agent-vector edges (initial construction, interning, final
+#: materialization) dominate the leap backend's end-to-end wall-clock
+#: and the counts-native fluid pipeline side-steps them.
+FLUID_N = 100_000_000
+
+#: The bench section names selectable via ``--sections``.
+SECTIONS = ("backends", "ensemble", "leap", "bleap", "fluid")
 
 try:  # Provenance only; the engines guard their own NumPy use.
     import numpy as _np
@@ -272,6 +299,13 @@ def run_bench(
                     # run measures neither batching nor windowing.
                     # Benchmarked at its real width and size in the
                     # bleap section instead.
+                    continue
+                if backend == "fluid":
+                    # Mean-field fast-forward engine: at grid sizes the
+                    # whole run is stochastic (it hands off to leap at
+                    # interaction 0).  Benchmarked at N = 10^8 in the
+                    # fluid section instead, where the ODE and the
+                    # counts-native pipeline actually engage.
                     continue
                 population = Population(n)
                 scheduler = RandomPairScheduler(population, seed=seed)
@@ -742,6 +776,142 @@ def render_bleap_points(points: list[BleapBenchPoint]) -> str:
     )
 
 
+@dataclass(frozen=True)
+class FluidBenchPoint:
+    """One (backend, N) fluid-section measurement.
+
+    Unlike the other sections, ``seconds`` is end to end: the leap cell
+    includes building its O(N) agent-vector initial configuration, the
+    fluid cell the O(|states|) counts mapping it runs from.  The ODE
+    fields mirror :class:`~repro.engine.simulator.RunStats` and are
+    ``None`` for the stochastic leap baseline.
+    """
+
+    backend: str
+    n_mobile: int
+    interactions: int
+    seconds: float
+    ode_steps: int | None = None
+    handoff_time: float | None = None
+    handoff_backend: str | None = None
+
+    @property
+    def rate(self) -> float:
+        """Interactions per second (see :func:`_safe_rate` for the
+        zero-time sentinel)."""
+        return _safe_rate(self.interactions, self.seconds)
+
+
+def run_fluid_bench(
+    n: int = FLUID_N,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+) -> list[FluidBenchPoint]:
+    """Measure the fluid tier against leap on the full naming horizon.
+
+    Both cells run the identical workload from the uniform all-zero
+    start - the protocol's genuine transient, so the mean-field ODE has
+    a cascade to fast-forward (the spread start the other sections use
+    is already the fluid fixed point).  Timing is *end to end*: the
+    leap cell pays the O(N) agent-vector round-trip (initial tuple,
+    state-tally interning) that dominates beyond N = 10^7, while the
+    fluid cell goes counts-native through
+    :meth:`~repro.engine.fluid.FluidSimulator.run_counts` and never
+    builds an agent vector at all.  The leap cell runs first, so a
+    fluid-side crash cannot hide the stochastic number.
+    """
+    protocol = workloads()["naming"]
+    budget = max(100_000, int(10 * n * scale))
+    zero_state = sorted(protocol.mobile_state_space())[0]
+    population = Population(n)
+    points: list[FluidBenchPoint] = []
+    scheduler = RandomPairScheduler(population, seed=seed)
+    simulator = make_simulator(
+        "leap", protocol, population, scheduler, NamingProblem()
+    )
+    start = time.perf_counter()
+    initial = Configuration((zero_state,) * n, None)
+    result = simulator.run(initial, max_interactions=budget)
+    elapsed = time.perf_counter() - start
+    points.append(
+        FluidBenchPoint(
+            backend="leap",
+            n_mobile=n,
+            interactions=result.interactions,
+            seconds=elapsed,
+        )
+    )
+    scheduler = RandomPairScheduler(population, seed=seed)
+    fluid = FluidSimulator(
+        protocol, population, scheduler, problem=NamingProblem()
+    )
+    start = time.perf_counter()
+    result = fluid.run_counts({zero_state: n}, max_interactions=budget)
+    elapsed = time.perf_counter() - start
+    stats = result.stats
+    points.append(
+        FluidBenchPoint(
+            backend="fluid",
+            n_mobile=n,
+            interactions=result.interactions,
+            seconds=elapsed,
+            ode_steps=stats.ode_steps if stats else None,
+            handoff_time=stats.handoff_time if stats else None,
+            handoff_backend=stats.handoff_backend if stats else None,
+        )
+    )
+    return points
+
+
+def fluid_speedup(points: list[FluidBenchPoint]) -> float | None:
+    """Fluid-over-leap wall-clock ratio, or ``None`` if a cell is
+    missing.
+
+    A time ratio rather than a rate ratio: both cells run the same
+    interaction horizon, and the fluid claim is finishing it sooner -
+    including every O(N) setup edge the leap pipeline pays.
+    """
+    seconds = {p.backend: p.seconds for p in points}
+    leap = seconds.get("leap")
+    fluid = seconds.get("fluid")
+    if not leap or not fluid:
+        return None
+    return leap / fluid
+
+
+def render_fluid_points(points: list[FluidBenchPoint]) -> str:
+    """Render the fluid measurements as an aligned text table."""
+    ratio = fluid_speedup(points)
+    rows = []
+    for p in points:
+        if p.ode_steps is not None:
+            detail = (
+                f"{p.ode_steps} ODE steps, handoff at "
+                f"{p.handoff_time:,.0f} -> {p.handoff_backend}"
+            )
+            shown = f"{ratio:.1f}x vs leap" if ratio else ""
+        else:
+            detail = "stochastic baseline (end to end)"
+            shown = ""
+        rows.append(
+            (
+                p.n_mobile,
+                p.backend,
+                p.interactions,
+                f"{p.seconds * 1000:.0f} ms",
+                f"{p.rate:,.0f}/s",
+                detail,
+                shown,
+            )
+        )
+    return render_table(
+        ("N", "backend", "interactions", "time", "rate", "mean field",
+         "speedup"),
+        rows,
+        title="fluid fast-forward (naming workload, leap vs fluid)",
+    )
+
+
 def speedups(
     points: list[BenchPoint],
 ) -> dict[str, dict[str, dict[str, float]]]:
@@ -818,8 +988,14 @@ def write_json(
     ensemble: list[EnsembleBenchPoint] | None = None,
     leap: list[LeapBenchPoint] | None = None,
     bleap: list[BleapBenchPoint] | None = None,
+    fluid: list[FluidBenchPoint] | None = None,
 ) -> None:
-    """Write the measurements and speedups as a JSON report."""
+    """Write the measurements and speedups as a JSON report.
+
+    Sections deselected by ``--sections`` arrive as ``None`` (or an
+    empty ``points`` list) and are simply omitted from the payload, so
+    a partial re-run still writes a valid report.
+    """
     payload = {
         "benchmark": "simulator",
         "scheduler": "uniform random pairs",
@@ -909,6 +1085,24 @@ def write_json(
             ],
             "speedup": bleap_speedup(bleap),
         }
+    if fluid:
+        payload["fluid"] = {
+            "workload": "naming",
+            "points": [
+                {
+                    "backend": p.backend,
+                    "n_mobile": p.n_mobile,
+                    "interactions": p.interactions,
+                    "seconds": round(p.seconds, 6),
+                    "interactions_per_sec": round(p.rate, 1),
+                    "ode_steps": p.ode_steps,
+                    "handoff_time": p.handoff_time,
+                    "handoff_backend": p.handoff_backend,
+                }
+                for p in fluid
+            ],
+            "speedup": fluid_speedup(fluid),
+        }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -968,6 +1162,16 @@ def main(argv: list[str] | None = None) -> int:
         help="tiny budgets for CI smoke runs (equivalent to --scale 0.02)",
     )
     parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
+    parser.add_argument(
+        "--sections",
+        default=",".join(SECTIONS),
+        metavar="NAMES",
+        help=(
+            "comma-separated subset of bench sections to run "
+            f"(choices: {', '.join(SECTIONS)}; default: all).  A floor "
+            "flag whose section is deselected is a usage error"
+        ),
+    )
     parser.add_argument(
         "--floor",
         type=float,
@@ -1070,36 +1274,106 @@ def main(argv: list[str] | None = None) -> int:
             "--leap-floor)"
         ),
     )
+    parser.add_argument(
+        "--fluid-n",
+        type=int,
+        default=FLUID_N,
+        metavar="N",
+        help="population size of the fluid section",
+    )
+    parser.add_argument(
+        "--fluid-floor",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "fail (exit 1) unless the fluid tier finishes the full "
+            "naming horizon at --fluid-n RATIO times faster (wall-"
+            "clock, end to end) than the leap backend"
+        ),
+    )
     args = parser.parse_args(argv)
+    sections = tuple(
+        name.strip() for name in args.sections.split(",") if name.strip()
+    )
+    unknown = sorted(set(sections) - set(SECTIONS))
+    if unknown:
+        parser.error(
+            f"unknown section(s) {', '.join(unknown)} "
+            f"(choices: {', '.join(SECTIONS)})"
+        )
+    gated = {
+        "backends": args.floor is not None,
+        "ensemble": (
+            args.ensemble_floor is not None
+            or args.ensemble_ratio_floor is not None
+        ),
+        "leap": args.leap_floor is not None,
+        "bleap": args.bleap_floor is not None,
+        "fluid": args.fluid_floor is not None,
+    }
+    for name, has_floor in gated.items():
+        if has_floor and name not in sections:
+            parser.error(
+                f"a floor flag gates the {name!r} section, but "
+                f"--sections deselected it"
+            )
     scale = 0.02 if args.smoke else args.scale
-    points = run_bench(tuple(args.sizes), seed=args.seed, scale=scale)
-    print(render_points(points))
-    ensemble = run_ensemble_bench(
-        tuple(args.ensemble_sizes),
-        tuple(args.ensemble_reps),
-        seed=args.seed,
-        scale=scale,
-    )
-    print()
-    print(render_ensemble_points(ensemble))
-    leap = run_leap_bench(
-        n=args.leap_n,
-        seed=args.seed,
-        scale=scale,
-        leap_eps=args.leap_eps,
-    )
-    print()
-    print(render_leap_points(leap))
-    bleap = run_bleap_bench(
-        n=args.bleap_n,
-        replicates=args.bleap_reps,
-        seed=args.seed,
-        scale=scale,
-    )
-    print()
-    print(render_bleap_points(bleap))
+    points: list[BenchPoint] = []
+    ensemble: list[EnsembleBenchPoint] | None = None
+    leap: list[LeapBenchPoint] | None = None
+    bleap: list[BleapBenchPoint] | None = None
+    fluid: list[FluidBenchPoint] | None = None
+    printed = False
+    if "backends" in sections:
+        points = run_bench(tuple(args.sizes), seed=args.seed, scale=scale)
+        print(render_points(points))
+        printed = True
+    if "ensemble" in sections:
+        if printed:
+            print()
+        ensemble = run_ensemble_bench(
+            tuple(args.ensemble_sizes),
+            tuple(args.ensemble_reps),
+            seed=args.seed,
+            scale=scale,
+        )
+        print(render_ensemble_points(ensemble))
+        printed = True
+    if "leap" in sections:
+        if printed:
+            print()
+        leap = run_leap_bench(
+            n=args.leap_n,
+            seed=args.seed,
+            scale=scale,
+            leap_eps=args.leap_eps,
+        )
+        print(render_leap_points(leap))
+        printed = True
+    if "bleap" in sections:
+        if printed:
+            print()
+        bleap = run_bleap_bench(
+            n=args.bleap_n,
+            replicates=args.bleap_reps,
+            seed=args.seed,
+            scale=scale,
+        )
+        print(render_bleap_points(bleap))
+        printed = True
+    if "fluid" in sections:
+        if printed:
+            print()
+        fluid = run_fluid_bench(
+            n=args.fluid_n,
+            seed=args.seed,
+            scale=scale,
+        )
+        print(render_fluid_points(fluid))
+        printed = True
     write_json(points, args.out, seed=args.seed, scale=scale,
-               ensemble=ensemble, leap=leap, bleap=bleap)
+               ensemble=ensemble, leap=leap, bleap=bleap, fluid=fluid)
     print(f"\nJSON written to {args.out}")
     failed = False
     if args.floor is not None:
@@ -1114,7 +1388,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         failed = failed or rate < args.floor
     if args.ensemble_floor is not None:
-        rate = ensemble_floor_rate(ensemble)
+        rate = ensemble_floor_rate(ensemble or [])
         if rate is None:
             print("ensemble floor check: no batch cell was measured")
             return 1
@@ -1125,7 +1399,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         failed = failed or rate < args.ensemble_floor
     if args.ensemble_ratio_floor is not None:
-        ratio = ensemble_ratio_floor(ensemble)
+        ratio = ensemble_ratio_floor(ensemble or [])
         if ratio is None:
             print("ensemble ratio check: no complete cell was measured")
             return 1
@@ -1137,7 +1411,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         failed = failed or ratio < args.ensemble_ratio_floor
     if args.leap_floor is not None:
-        ratio = leap_speedup(leap)
+        ratio = leap_speedup(leap or [])
         if ratio is None:
             print("leap floor check: a leap-section cell is missing")
             return 1
@@ -1148,7 +1422,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         failed = failed or ratio < args.leap_floor
     if args.bleap_floor is not None:
-        ratio = bleap_speedup(bleap)
+        ratio = bleap_speedup(bleap or [])
         if ratio is None:
             print("bleap floor check: a bleap-section cell is missing")
             return 1
@@ -1158,6 +1432,17 @@ def main(argv: list[str] | None = None) -> int:
             f"floor {args.bleap_floor:.1f}x -> {verdict}"
         )
         failed = failed or ratio < args.bleap_floor
+    if args.fluid_floor is not None:
+        ratio = fluid_speedup(fluid or [])
+        if ratio is None:
+            print("fluid floor check: a fluid-section cell is missing")
+            return 1
+        verdict = "ok" if ratio >= args.fluid_floor else "FAIL"
+        print(
+            f"fluid floor check: fluid/leap wall-clock speedup "
+            f"{ratio:.1f}x vs floor {args.fluid_floor:.1f}x -> {verdict}"
+        )
+        failed = failed or ratio < args.fluid_floor
     return 1 if failed else 0
 
 

@@ -11,20 +11,24 @@ Protocol 3 at ``N = P = 5``).
 
 The ``--simulate`` mode asks the complementary question - how far does
 *simulation* reach?  It sweeps the asymmetric naming dynamics
-(Proposition 12) up to a hundred million agents on the fast,
-count-based and leap backends, measuring interactions/second at each
-size.  The fast backend's rate is size-independent but it stops being
+(Proposition 12) up to ten billion agents on the fast, count-based,
+leap and fluid backends, measuring interactions/second at each size.
+The fast backend's rate is size-independent but it stops being
 practical to *hold* the population beyond ~10^5 agents; the counts
 backend keeps O(states) memory and a size-independent rate to
 N = 10^6; the approximate leap backend aggregates whole windows of
-interactions per multinomial draw and alone completes the full
-``10 N`` naming horizon at N = 10^7-10^8.  (The sweep times single
-runs; for many-replicate workloads at these sizes the batched
+interactions per multinomial draw and completes the full ``10 N``
+naming horizon to N = 10^8, where the O(N) agent-vector edges (initial
+tuple, state-tally interning) become *its* wall; the mean-field fluid
+backend runs counts-native (never building an agent vector at all) and
+alone finishes the full horizon at N = 10^9-10^10.  (The sweep times
+single runs; for many-replicate workloads at these sizes the batched
 tau-leaping ensemble engine ``bleap`` applies the same windowing to a
 whole replicate matrix at once - benchmarked by ``repro bench``.)
 
 ``python -m repro.experiments.scaling`` prints the table.  Points are
-independent, so ``--jobs K`` fans them out over worker processes.
+independent, so ``--jobs K`` fans them out over worker processes;
+``--backend`` restricts the sweep to one backend's cells.
 """
 
 from __future__ import annotations
@@ -161,21 +165,31 @@ class SimulationScalePoint:
         return self.interactions / self.seconds if self.seconds else 0.0
 
 
-#: Population sizes of the default ``--simulate`` sweep.  The two
-#: largest sizes are served by the leap backend alone: per-interaction
-#: backends cannot cover a 10^8-agent naming run inside any reasonable
-#: wall-clock budget, while the multinomial leap kernel finishes it in
-#: a handful of windows.
-SIMULATION_SIZES = (10**3, 10**4, 10**5, 10**6, 10**7, 10**8)
+#: Population sizes of the default ``--simulate`` sweep.  Sizes
+#: 10^7-10^8 are served by the windowed leap and fluid backends;
+#: 10^9-10^10 by the counts-native fluid backend alone - no agent
+#: vector of that size can even be built.
+SIMULATION_SIZES = (
+    10**3, 10**4, 10**5, 10**6, 10**7, 10**8, 10**9, 10**10,
+)
 
 #: Largest population the fast (per-agent) backend is swept to; above
 #: this only the count-based backends run.
 FAST_MAX_N = 10**5
 
 #: Largest population the exact counts backend is swept to; above this
-#: only the leap backend runs (its per-window cost is independent of
-#: both N and the interaction budget).
+#: only the windowed backends run (their per-window cost is independent
+#: of both N and the interaction budget).
 COUNTS_MAX_N = 10**6
+
+#: Largest population the leap backend is swept to.  Its windows are
+#: size-independent, but its run contract still builds, interns and
+#: materializes O(N) agent vectors - affordable to 10^8, not beyond.
+LEAP_MAX_N = 10**8
+
+#: Smallest population the fluid backend is swept at; below this the
+#: mean-field fast-forward degenerates to the leap cell it would wrap.
+FLUID_MIN_N = 10**6
 
 #: Interaction budget per cell: the standard ``10 N`` horizon, capped
 #: for the exact (per-interaction-cost) backends so large-N cells stay
@@ -201,6 +215,24 @@ def _run_simulation_point(
         backend, protocol, population, scheduler, NamingProblem()
     )
     space = sorted(protocol.mobile_state_space())
+    if backend == "fluid":
+        # Counts-native: the same spread start as the other cells, as a
+        # {state: count} tally - at N = 10^9-10^10 an agent tuple could
+        # not be built at all.
+        base, extra = divmod(n, len(space))
+        counts = {
+            state: base + (1 if i < extra else 0)
+            for i, state in enumerate(space)
+        }
+        start = time.perf_counter()
+        result = simulator.run_counts(counts, max_interactions=10 * n)
+        return SimulationScalePoint(
+            backend=backend,
+            n_mobile=n,
+            interactions=result.interactions,
+            non_null_interactions=result.non_null_interactions,
+            seconds=time.perf_counter() - start,
+        )
     # Tuple concatenation builds the spread initial at C speed; the
     # genexpr equivalent costs ~10 s alone at N = 10^8.
     initial = Configuration(
@@ -220,20 +252,27 @@ def _run_simulation_point(
 
 
 def run_simulation_scaling(
-    max_n: int = 10**6, seed: int = 2018, n_jobs: int = 1
+    max_n: int = 10**6,
+    seed: int = 2018,
+    n_jobs: int = 1,
+    backends: tuple[str, ...] = ("fast", "counts", "leap", "fluid"),
 ) -> list[SimulationScalePoint]:
     """Sweep the naming dynamics across backends and population sizes.
 
     The fast backend runs up to :data:`FAST_MAX_N`, the exact counts
-    backend up to :data:`COUNTS_MAX_N`, and the leap backend at every
-    size up to ``max_n`` (it alone reaches N = 10^7-10^8).
+    backend up to :data:`COUNTS_MAX_N`, the leap backend up to
+    :data:`LEAP_MAX_N`, and the counts-native fluid backend from
+    :data:`FLUID_MIN_N` to every size up to ``max_n`` (it alone reaches
+    N = 10^9-10^10).  ``backends`` restricts the sweep (the
+    ``--backend`` CLI flag).
     """
     specs = [
         (backend, n, seed)
         for n in SIMULATION_SIZES
         if n <= max_n
-        for backend in ("fast", "counts", "leap")
-        if (backend == "leap")
+        for backend in backends
+        if (backend == "fluid" and n >= FLUID_MIN_N)
+        or (backend == "leap" and n <= LEAP_MAX_N)
         or (backend == "counts" and n <= COUNTS_MAX_N)
         or (backend == "fast" and n <= FAST_MAX_N)
     ]
@@ -321,11 +360,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=2018, help="--simulate scheduler seed"
     )
+    parser.add_argument(
+        "--backend",
+        choices=("fast", "counts", "leap", "fluid"),
+        default=None,
+        help="restrict the --simulate sweep to one backend's cells",
+    )
     args = parser.parse_args(argv)
     if args.simulate:
-        max_n = args.max_n if args.max_n > 6 else 10**8
+        max_n = args.max_n if args.max_n > 6 else 10**10
+        backends = (
+            (args.backend,)
+            if args.backend
+            else ("fast", "counts", "leap", "fluid")
+        )
         sim_points = run_simulation_scaling(
-            max_n=max_n, seed=args.seed, n_jobs=args.jobs
+            max_n=max_n, seed=args.seed, n_jobs=args.jobs,
+            backends=backends,
         )
         print(render_simulation_points(sim_points))
         return 0

@@ -24,7 +24,17 @@ class RandomPairScheduler(Scheduler):
 
     def __init__(self, population: Population, seed: int | None = None) -> None:
         super().__init__(population, seed)
-        self._agents = population.agents
+        # The agent tuple is resolved lazily: counts-native backends
+        # (leap windows entered via the fluid tier, populations of
+        # 10^9+) only read the scheduler's seed and fairness flags, and
+        # the O(N) tuple would dwarf memory at those sizes.
+        self._agents_cache: tuple[AgentId, ...] | None = None
+
+    @property
+    def _agents(self) -> tuple[AgentId, ...]:
+        if self._agents_cache is None:
+            self._agents_cache = self.population.agents
+        return self._agents_cache
 
     def next_pair(self, config: Configuration) -> tuple[AgentId, AgentId]:
         initiator, responder = self._rng.sample(self._agents, 2)

@@ -1,0 +1,44 @@
+"""Shared two-sample Kolmogorov-Smirnov helpers for engine tests.
+
+Every approximate backend (leap, bleap, fluid) certifies itself the
+same way: collect a per-seed sample of some scalar run statistic from
+the approximate engine and from an exact (or previously-certified)
+baseline, and require the empirical-CDF gap to stay under the
+large-sample KS acceptance bound.  The helpers used to be duplicated
+across test_leap, test_bleap and test_batch; they live here so every
+tier's gate applies the identical statistic and confidence level.
+"""
+
+import math
+
+
+def ks_statistic(a, b):
+    """Two-sample empirical-CDF gap (the KS D statistic)."""
+    a, b = sorted(a), sorted(b)
+
+    def cdf(sample, x):
+        lo, hi = 0, len(sample)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if sample[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(sample)
+
+    pooled = sorted(set(a) | set(b))
+    return max(abs(cdf(a, x) - cdf(b, x)) for x in pooled)
+
+
+def ks_bound(n, m):
+    """Large-sample KS acceptance bound at far-tail confidence."""
+    return 1.95 * math.sqrt((n + m) / (n * m))
+
+
+def assert_ks_close(a, b, label="samples"):
+    """Assert the two samples' CDF gap is under the acceptance bound."""
+    d_stat = ks_statistic(a, b)
+    bound = ks_bound(len(a), len(b))
+    assert d_stat < bound, (
+        f"{label}: KS statistic {d_stat:.3f} exceeds bound {bound:.3f}"
+    )

@@ -13,8 +13,6 @@ batch size, batch composition and process chunking.
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.core.asymmetric import AsymmetricNamingProtocol
@@ -32,6 +30,7 @@ from repro.errors import (
 )
 from repro.schedulers.adversarial import HomonymPreservingScheduler
 from repro.schedulers.random_pair import RandomPairScheduler
+from tests.engine.ks import ks_bound, ks_statistic
 
 
 def build(n, bound=8, seed=0, problem=True, **kwargs):
@@ -392,23 +391,8 @@ class TestDifferentialAgainstCounts:
                 assert result.converged
                 samples[backend].append(result.convergence_interaction)
 
-        batch = sorted(samples["batch"])
-        counts = sorted(samples["counts"])
-        pooled = sorted(set(batch + counts))
-        n_b, n_c = len(batch), len(counts)
-
-        def cdf(sample, x):
-            lo, hi = 0, len(sample)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if sample[mid] <= x:
-                    lo = mid + 1
-                else:
-                    hi = mid
-            return lo / len(sample)
-
-        d_stat = max(abs(cdf(batch, x) - cdf(counts, x)) for x in pooled)
-        bound = 1.95 * math.sqrt((n_b + n_c) / (n_b * n_c))
+        d_stat = ks_statistic(samples["batch"], samples["counts"])
+        bound = ks_bound(len(samples["batch"]), len(samples["counts"]))
         assert d_stat < bound, (
             f"KS statistic {d_stat:.3f} exceeds bound {bound:.3f}"
         )

@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.schedulers.random_pair import RandomPairScheduler
 from repro.schedulers.round_robin import RoundRobinScheduler
+from tests.engine.ks import ks_bound, ks_statistic
 
 
 def build(n, bound=8, seed=0, problem=True, **kwargs):
@@ -66,29 +67,6 @@ def spread_initial(protocol, population):
     n = population.size
     states = tuple(space) * (n // len(space)) + tuple(space[: n % len(space)])
     return Configuration(states, None)
-
-
-def ks_statistic(a, b):
-    """Two-sample empirical-CDF gap (the KS D statistic)."""
-    a, b = sorted(a), sorted(b)
-
-    def cdf(sample, x):
-        lo, hi = 0, len(sample)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if sample[mid] <= x:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo / len(sample)
-
-    pooled = sorted(set(a) | set(b))
-    return max(abs(cdf(a, x) - cdf(b, x)) for x in pooled)
-
-
-def ks_bound(n, m):
-    """Large-sample KS acceptance bound at far-tail confidence."""
-    return 1.95 * math.sqrt((n + m) / (n * m))
 
 
 def result_key(result):

@@ -330,6 +330,7 @@ class TestBackendRegistry:
     def test_registry_contents(self):
         from repro.engine.batch import BatchedEnsembleSimulator
         from repro.engine.bleap import BatchedLeapSimulator
+        from repro.engine.fluid import FluidSimulator
         from repro.engine.leap import LeapSimulator
 
         assert BACKENDS == {
@@ -339,6 +340,7 @@ class TestBackendRegistry:
             "batch": BatchedEnsembleSimulator,
             "leap": LeapSimulator,
             "bleap": BatchedLeapSimulator,
+            "fluid": FluidSimulator,
         }
 
     def test_make_simulator_builds_each(self):

@@ -7,20 +7,26 @@ import pytest
 from repro.engine.fast import compile_table
 from repro.experiments.bench import (
     REFERENCE_MAX_N,
+    SECTIONS,
     BenchPoint,
     ChurnProtocol,
     EnsembleBenchPoint,
+    FluidBenchPoint,
     LeapBenchPoint,
     _safe_rate,
     ensemble_floor_rate,
     ensemble_speedups,
     environment,
     floor_rate,
+    fluid_speedup,
     leap_speedup,
+    main,
     render_ensemble_points,
+    render_fluid_points,
     render_leap_points,
     run_bench,
     run_ensemble_bench,
+    run_fluid_bench,
     run_leap_bench,
     speedups,
     workloads,
@@ -262,3 +268,111 @@ class TestLeapBench:
         assert section["workload"] == "naming"
         assert len(section["points"]) == 2
         assert section["speedup"] > 0
+
+
+class TestFluidBench:
+    def test_smoke_run_produces_both_backends(self):
+        points = run_fluid_bench(n=20_000, seed=1, scale=0.02)
+        assert [p.backend for p in points] == ["leap", "fluid"]
+        assert all(p.interactions > 0 and p.seconds >= 0 for p in points)
+        fluid_point = points[1]
+        # The fluid cell reports its ODE/handoff statistics; the
+        # stochastic leap baseline has none.
+        assert fluid_point.ode_steps is not None
+        assert fluid_point.ode_steps > 0
+        assert fluid_point.handoff_backend == "leap"
+        assert points[0].ode_steps is None
+
+    def test_fluid_speedup_requires_both_cells(self):
+        def cell(backend, seconds):
+            return FluidBenchPoint(
+                backend=backend,
+                n_mobile=10,
+                interactions=100,
+                seconds=seconds,
+            )
+
+        points = [cell("leap", 6.0), cell("fluid", 2.0)]
+        assert fluid_speedup(points) == 3.0
+        assert fluid_speedup([points[0]]) is None
+        assert fluid_speedup([]) is None
+
+    def test_render_marks_fluid_speedup(self):
+        points = run_fluid_bench(n=20_000, seed=1, scale=0.02)
+        table = render_fluid_points(points)
+        assert "fluid fast-forward" in table
+        assert "stochastic baseline" in table
+        assert "ODE steps" in table
+
+    def test_json_payload_includes_fluid_section(self, tmp_path):
+        points = run_bench(sizes=(6,), seed=1, scale=0.02)
+        fluid = run_fluid_bench(n=20_000, seed=1, scale=0.02)
+        out = tmp_path / "bench.json"
+        write_json(points, str(out), seed=1, scale=0.02, fluid=fluid)
+        payload = json.loads(out.read_text())
+        section = payload["fluid"]
+        assert section["workload"] == "naming"
+        assert len(section["points"]) == 2
+        assert section["speedup"] > 0
+        fluid_cell = [
+            p for p in section["points"] if p["backend"] == "fluid"
+        ][0]
+        assert fluid_cell["ode_steps"] > 0
+        assert fluid_cell["handoff_backend"] == "leap"
+
+
+class TestSectionsSelector:
+    def test_sections_selector_runs_only_selected(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "--smoke",
+                "--sections",
+                "leap",
+                "--leap-n",
+                "20000",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["points"] == []
+        assert "leap" in payload
+        for omitted in ("ensemble", "bleap", "fluid"):
+            assert omitted not in payload
+        shown = capsys.readouterr().out
+        assert "leap throughput" in shown
+        assert "ensemble throughput" not in shown
+
+    def test_all_sections_named(self):
+        assert SECTIONS == ("backends", "ensemble", "leap", "bleap", "fluid")
+
+    def test_unknown_section_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--sections", "nope"])
+        assert exc.value.code == 2
+        assert "unknown section" in capsys.readouterr().err
+
+    def test_floor_for_deselected_section_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--sections", "leap", "--fluid-floor", "1.0"])
+        assert exc.value.code == 2
+        assert "deselected" in capsys.readouterr().err
+
+    def test_fluid_floor_gate_passes_on_tiny_ratio(self, tmp_path):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "--smoke",
+                "--sections",
+                "fluid",
+                "--fluid-n",
+                "20000",
+                "--fluid-floor",
+                "0.0001",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0

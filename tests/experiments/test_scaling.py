@@ -5,7 +5,11 @@ import pytest
 from repro.experiments.scaling import (
     COUNTS_MAX_N,
     FAST_MAX_N,
+    FLUID_MIN_N,
+    LEAP_MAX_N,
     SIMULATION_SIZES,
+    ScalePoint,
+    SimulationScalePoint,
     render_points,
     render_simulation_points,
     run_scaling,
@@ -89,13 +93,35 @@ class TestSimulationScaling:
         assert all(p.interactions > 0 for p in points)
         assert all(p.rate > 0 for p in points)
 
-    def test_fast_backend_capped(self):
-        # FAST_MAX_N and COUNTS_MAX_N bound the exact backends; the
-        # leap backend alone runs at every size, which is the point of
-        # the extended sweep.
+    def test_backend_ladder_caps(self):
+        # FAST_MAX_N and COUNTS_MAX_N bound the exact backends,
+        # LEAP_MAX_N bounds the agent-vector windowed backend; only the
+        # counts-native fluid backend reaches the top sizes, which is
+        # the point of the extended sweep.
         assert FAST_MAX_N < 10**6
-        assert COUNTS_MAX_N < max(SIMULATION_SIZES)
-        assert max(SIMULATION_SIZES) == 10**8
+        assert COUNTS_MAX_N < LEAP_MAX_N
+        assert LEAP_MAX_N < max(SIMULATION_SIZES)
+        assert FLUID_MIN_N <= LEAP_MAX_N
+        assert max(SIMULATION_SIZES) == 10**10
+
+    def test_fluid_cells_start_at_fluid_min_n(self):
+        specs = {
+            (p.backend, p.n_mobile)
+            for p in run_simulation_scaling(
+                max_n=FLUID_MIN_N, seed=7, backends=("fluid",)
+            )
+        }
+        assert specs == {("fluid", FLUID_MIN_N)}
+
+    def test_backend_filter_restricts_cells(self):
+        points = run_simulation_scaling(
+            max_n=10**4, seed=7, backends=("counts",)
+        )
+        assert {p.backend for p in points} == {"counts"}
+        assert len(points) == 2
+
+    def test_empty_sweep_below_smallest_size(self):
+        assert run_simulation_scaling(max_n=10**2, seed=7) == []
 
     def test_render_simulation_table(self):
         points = run_simulation_scaling(max_n=10**3, seed=7)
@@ -103,3 +129,50 @@ class TestSimulationScaling:
         assert "backend" in text
         assert "counts" in text
         assert "fast" in text
+
+
+class TestRenderEdgeCases:
+    def test_simulation_rate_zero_duration(self):
+        # A cell too fast for the clock must report rate 0.0, not raise
+        # ZeroDivisionError (the JSON/table sentinel for "unmeasurable").
+        point = SimulationScalePoint(
+            backend="fluid",
+            n_mobile=10**9,
+            interactions=10**10,
+            non_null_interactions=10**9,
+            seconds=0.0,
+        )
+        assert point.rate == 0.0
+
+    def test_render_simulation_points_empty(self):
+        text = render_simulation_points([])
+        assert "simulation scaling" in text
+
+    def test_render_simulation_points_zero_duration_row(self):
+        point = SimulationScalePoint(
+            backend="leap",
+            n_mobile=10**6,
+            interactions=0,
+            non_null_interactions=0,
+            seconds=0.0,
+        )
+        text = render_simulation_points([point])
+        assert "0 ms" in text
+        assert "0/s" in text
+
+    def test_render_points_empty(self):
+        text = render_points([])
+        assert "exact-verification scaling" in text
+
+    def test_render_points_failure_verdict(self):
+        point = ScalePoint(
+            protocol="Prop. 13",
+            n_mobile=3,
+            bound=3,
+            technique="global (quotient)",
+            nodes=17,
+            seconds=0.0,
+            solves=False,
+        )
+        text = render_points([point])
+        assert "FAILS" in text
