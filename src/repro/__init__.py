@@ -13,7 +13,10 @@ The package provides:
 * transient-fault injection for self-stabilization studies
   (:mod:`repro.faults`);
 * the experiment harness regenerating the paper's Table 1 and the
-  supplementary measurements (:mod:`repro.experiments`).
+  supplementary measurements (:mod:`repro.experiments`);
+* a warm serving layer (:mod:`repro.serve`): a persistent worker pool
+  with a content-addressed compiled-protocol cache and bit-identical
+  result memoization for many-small-job workloads.
 
 Quickstart::
 
@@ -79,8 +82,11 @@ from repro.errors import (
     ReproError,
     SanitizerError,
     SchedulerError,
+    ServeError,
+    ServeSaturatedError,
     SimulationError,
     VerificationError,
+    WorkerCrashError,
 )
 from repro.schedulers import (
     EventuallyFairScheduler,
@@ -89,11 +95,19 @@ from repro.schedulers import (
     RandomPairScheduler,
     RoundRobinScheduler,
 )
+from repro.serve import (
+    ArtifactCache,
+    JobHandle,
+    JobProgress,
+    JobSpec,
+    ServePool,
+)
 
-__version__ = "1.6.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "SINK_STATE",
+    "ArtifactCache",
     "AsymmetricNamingProtocol",
     "BackendFallbackWarning",
     "CellResult",
@@ -109,6 +123,9 @@ __all__ = [
     "GlobalNamingProtocol",
     "HomonymPreservingScheduler",
     "InfeasibleSpecError",
+    "JobHandle",
+    "JobProgress",
+    "JobSpec",
     "LeaderKind",
     "LeaderUniformNamingProtocol",
     "MatchingScheduler",
@@ -125,6 +142,9 @@ __all__ = [
     "SanitizerError",
     "SchedulerError",
     "SelfStabilizingNamingProtocol",
+    "ServeError",
+    "ServePool",
+    "ServeSaturatedError",
     "SimulationError",
     "SimulationResult",
     "Simulator",
@@ -133,6 +153,7 @@ __all__ = [
     "Trace",
     "VerificationError",
     "WithIdleLeader",
+    "WorkerCrashError",
     "all_specs",
     "make_simulator",
     "optimal_states",

@@ -9,6 +9,8 @@ Commands
 ``lower-bounds``  supplementary exp-s3: exhaustive lower-bound verification
 ``bench``         simulation-backend micro-benchmark (reference/fast/
                   counts, plus batch-ensemble, leap and bleap sections)
+``serve-bench``   serving-layer stress benchmark (warm pool vs cold
+                  per-call setup, result-memo replay)
 ``lint``          static well-formedness audit of all registered protocols
 ``simulate``      run one naming protocol chosen by model parameters
 """
@@ -161,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("report", add_help=False)
     sub.add_parser("exact-times", add_help=False)
     sub.add_parser("bench", add_help=False)
+    sub.add_parser("serve-bench", add_help=False)
     sub.add_parser("lint", add_help=False)
 
     show = sub.add_parser(
@@ -254,6 +257,7 @@ def main(argv: list[str] | None = None) -> int:
         "report",
         "exact-times",
         "bench",
+        "serve-bench",
         "lint",
         "simulate",
         "show",
@@ -302,6 +306,10 @@ def main(argv: list[str] | None = None) -> int:
             return run(rest)
         if command == "bench":
             from repro.experiments.bench import main as run
+
+            return run(rest)
+        if command == "serve-bench":
+            from repro.serve.bench import main as run
 
             return run(rest)
         if command == "lint":

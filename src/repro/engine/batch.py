@@ -80,6 +80,7 @@ the reason.
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 from repro.engine import sanitize as _sanitize
 from repro.engine.configuration import Configuration
@@ -212,7 +213,7 @@ class BatchedEnsembleSimulator:
                 f"initial configuration has {len(initial)} agents, "
                 f"population has {self.population.size}"
             )
-        interned, reason = self._batch_preconditions(
+        interned, leaders, reason = self._batch_preconditions(
             [initial], trace=trace, fault_hook=fault_hook, observer=observer
         )
         if reason is not None:
@@ -229,7 +230,7 @@ class BatchedEnsembleSimulator:
         self.last_run_lockstep = True
         return self._run_lockstep(
             interned,
-            [initial.leader_index],
+            leaders,
             [getattr(self.scheduler, "seed", None)],
             max_interactions,
             raise_on_timeout,
@@ -241,7 +242,7 @@ class BatchedEnsembleSimulator:
 
     def run_replicates(
         self,
-        initials: list[Configuration],
+        initials: "Sequence[Configuration]",
         schedulers: list[Scheduler],
         max_interactions: int = 1_000_000,
         raise_on_timeout: bool = False,
@@ -256,21 +257,21 @@ class BatchedEnsembleSimulator:
         same seed.  Ensembles the lockstep kernel cannot honour fall back
         to per-run counts execution (one
         :class:`~repro.engine.counts.CountSimulator` per replicate).
+
+        ``initials`` may be any sequence, including a lazy one (see
+        :class:`repro.engine.ensemble._LazyInitials`): the native
+        lockstep path consumes it in a single pass, interning each
+        configuration as it is produced, so O(N)-sized configurations
+        never need to exist all at once.
         """
         if len(initials) != len(schedulers):
             raise SimulationError(
                 f"{len(initials)} initial configurations for "
                 f"{len(schedulers)} schedulers"
             )
-        if not initials:
+        if not len(initials):
             return []
-        for initial in initials:
-            if len(initial) != self.population.size:
-                raise SimulationError(
-                    f"initial configuration has {len(initial)} agents, "
-                    f"population has {self.population.size}"
-                )
-        interned, reason = self._batch_preconditions(
+        interned, leaders, reason = self._batch_preconditions(
             initials, schedulers=schedulers, fault_hook=fault_hook
         )
         if reason is not None:
@@ -299,7 +300,7 @@ class BatchedEnsembleSimulator:
         self.last_run_lockstep = True
         return self._run_lockstep(
             interned,
-            [initial.leader_index for initial in initials],
+            leaders,
             [getattr(s, "seed", None) for s in schedulers],
             max_interactions,
             raise_on_timeout,
@@ -311,22 +312,33 @@ class BatchedEnsembleSimulator:
 
     def _batch_preconditions(
         self,
-        initials: list[Configuration],
+        initials: "Sequence[Configuration]",
         schedulers: list[Scheduler] | None = None,
         trace: Trace | None = None,
         fault_hook: FaultHook | None = None,
         observer: Observer | None = None,
-    ) -> tuple[list[list[int]] | None, str | None]:
-        """Intern every initial configuration, or explain why we cannot."""
+    ) -> tuple[
+        list[list[int]] | None, list[int | None] | None, str | None
+    ]:
+        """Intern every initial configuration, or explain why we cannot.
+
+        Returns ``(rows, leader_positions, reason)``.  Size validation,
+        interning and leader-position collection all happen in one pass
+        over ``initials``, so lazy initial sequences are realized exactly
+        once on the native path (each configuration can be garbage
+        collected as soon as its counts row exists).
+        """
         if _np is None:
-            return None, "NumPy is not installed (the lockstep kernel needs it)"
+            return None, None, (
+                "NumPy is not installed (the lockstep kernel needs it)"
+            )
         if self._table is None:
-            return None, (
+            return None, None, (
                 "the protocol's state space could not be compiled to a "
                 "transition table (unhashable, unenumerable or oversized)"
             )
         if not self._plan.closed:
-            return None, (
+            return None, None, (
                 "a rule moves a state across the mobile/leader role "
                 "boundary, so counts alone cannot identify the leader"
             )
@@ -334,15 +346,19 @@ class BatchedEnsembleSimulator:
             self.scheduler
         ]:
             if not getattr(scheduler, "uniform_pairs", False):
-                return None, (
+                return None, None, (
                     f"scheduler {scheduler.display_name!r} is not the "
                     "uniform-random pair scheduler (lockstep sampling "
                     "assumes independent uniform ordered pairs)"
                 )
         if fault_hook is not None:
-            return None, "fault hooks rewrite per-agent configurations"
+            return None, None, (
+                "fault hooks rewrite per-agent configurations"
+            )
         if trace is not None or observer is not None:
-            return None, "traces and observers need agent identities"
+            return None, None, (
+                "traces and observers need agent identities"
+            )
         problem = self.problem
         if problem is not None:
             # The lockstep kernel evaluates convergence straight off the
@@ -350,24 +366,31 @@ class BatchedEnsembleSimulator:
             # (distinct names + silence); other problems would need a
             # per-row materialization per check boundary.
             if type(problem) is not NamingProblem:
-                return None, (
+                return None, None, (
                     "the lockstep kernel only certifies the naming "
                     "problem; other problems run per-replicate"
                 )
             if not getattr(problem, "permutation_invariant", False):
-                return None, (
+                return None, None, (
                     "the problem is not permutation-invariant, so it "
                     "cannot be evaluated on a canonical representative"
                 )
         rows: list[list[int]] = []
+        leaders: list[int | None] = []
         for initial in initials:
+            if len(initial) != self.population.size:
+                raise SimulationError(
+                    f"initial configuration has {len(initial)} agents, "
+                    f"population has {self.population.size}"
+                )
             counts, reason = intern_initial(
                 self._table, self._plan.n_mobile, initial
             )
             if reason is not None:
-                return None, reason
+                return None, None, reason
             rows.append(counts)
-        return rows, None
+            leaders.append(initial.leader_index)
+        return rows, leaders, None
 
     # ------------------------------------------------------------------
     # The lockstep kernel

@@ -87,6 +87,7 @@ down the ladder ``batch -> counts -> fast -> reference``.
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 from repro.engine import sanitize as _sanitize
 from repro.engine.batch import BatchedEnsembleSimulator
@@ -234,7 +235,7 @@ class BatchedLeapSimulator:
                 f"initial configuration has {len(initial)} agents, "
                 f"population has {self.population.size}"
             )
-        interned, reason = self._batch._batch_preconditions(
+        interned, leaders, reason = self._batch._batch_preconditions(
             [initial], trace=trace, fault_hook=fault_hook, observer=observer
         )
         if reason is not None:
@@ -251,7 +252,7 @@ class BatchedLeapSimulator:
         self.last_run_native = True
         return self._run_windows(
             interned,
-            [initial.leader_index],
+            leaders,
             [getattr(self.scheduler, "seed", None)],
             max_interactions,
             raise_on_timeout,
@@ -263,7 +264,7 @@ class BatchedLeapSimulator:
 
     def run_replicates(
         self,
-        initials: list[Configuration],
+        initials: "Sequence[Configuration]",
         schedulers: list[Scheduler],
         max_interactions: int = 1_000_000,
         raise_on_timeout: bool = False,
@@ -277,22 +278,18 @@ class BatchedLeapSimulator:
         ``schedulers[r].seed``, so its result is independent of the
         other replicates, of the batch width and of ``n_jobs`` chunking.
         Ensembles the windowed kernel cannot honour fall back to the
-        lockstep batch engine.
+        lockstep batch engine.  ``initials`` may be a lazy sequence (see
+        :meth:`BatchedEnsembleSimulator.run_replicates`); the native
+        path realizes it in one interning pass.
         """
         if len(initials) != len(schedulers):
             raise SimulationError(
                 f"{len(initials)} initial configurations for "
                 f"{len(schedulers)} schedulers"
             )
-        if not initials:
+        if not len(initials):
             return []
-        for initial in initials:
-            if len(initial) != self.population.size:
-                raise SimulationError(
-                    f"initial configuration has {len(initial)} agents, "
-                    f"population has {self.population.size}"
-                )
-        interned, reason = self._batch._batch_preconditions(
+        interned, leaders, reason = self._batch._batch_preconditions(
             initials, schedulers=schedulers, fault_hook=fault_hook
         )
         if reason is not None:
@@ -308,7 +305,7 @@ class BatchedLeapSimulator:
         self.last_run_native = True
         return self._run_windows(
             interned,
-            [initial.leader_index for initial in initials],
+            leaders,
             [getattr(s, "seed", None) for s in schedulers],
             max_interactions,
             raise_on_timeout,

@@ -66,8 +66,7 @@ or missing NumPy - fall back to :class:`~repro.engine.fast.FastSimulator`
 from __future__ import annotations
 
 import time
-import weakref
-from collections import Counter
+from collections import Counter, OrderedDict
 
 from repro.engine import sanitize as _sanitize
 from repro.engine.configuration import Configuration
@@ -153,9 +152,11 @@ class _CountsPlan:
         "res_j",
         "diag",
         "quads",
+        "fingerprint",
     )
 
     def __init__(self, table: TransitionTable) -> None:
+        self.fingerprint = table.fingerprint
         n = table.n_states
         n_mobile = len(table.mobile_indices)
         pi: list[int] = []
@@ -266,26 +267,39 @@ def materialize_counts(
     return Configuration(tuple(states), leader_pos)
 
 
-#: Sampling plans, cached per protocol instance (like the table cache).
-_PLAN_CACHE: "weakref.WeakKeyDictionary[PopulationProtocol, _CountsPlan]"
-_PLAN_CACHE = weakref.WeakKeyDictionary()
+#: Bound on the fingerprint-keyed plan LRU (mirrors the table cache).
+PLAN_CACHE_SIZE = 128
+
+#: Sampling plans keyed by the compiled table's content fingerprint, so
+#: equal protocol instances - and serving workers loading precompiled
+#: artifacts - share one plan instead of rebuilding per instance.
+_PLAN_CACHE: "OrderedDict[str, _CountsPlan]" = OrderedDict()
+
+
+def seed_counts_plan(plan: _CountsPlan) -> None:
+    """Inject a precompiled sampling plan into the process-wide cache.
+
+    The serving workers (:mod:`repro.serve.pool`) call this with plans
+    loaded from the content-addressed disk store; subsequent
+    :func:`_plan_for` calls on tables with the same fingerprint reuse
+    the injected plan without re-deriving the NumPy pair arrays.
+    """
+    _PLAN_CACHE[plan.fingerprint] = plan
+    _PLAN_CACHE.move_to_end(plan.fingerprint)
+    while len(_PLAN_CACHE) > PLAN_CACHE_SIZE:
+        _PLAN_CACHE.popitem(last=False)
 
 
 def _plan_for(
     protocol: PopulationProtocol, table: TransitionTable
 ) -> _CountsPlan:
-    """Build (or fetch the cached) sampling plan for ``protocol``."""
-    try:
-        cached = _PLAN_CACHE.get(protocol)
-    except TypeError:  # unhashable protocol instance
-        cached = None
+    """Build (or fetch the cached) sampling plan for ``table``."""
+    cached = _PLAN_CACHE.get(table.fingerprint)
     if cached is not None:
+        _PLAN_CACHE.move_to_end(table.fingerprint)
         return cached
     plan = _CountsPlan(table)
-    try:
-        _PLAN_CACHE[protocol] = plan
-    except TypeError:
-        pass
+    seed_counts_plan(plan)
     return plan
 
 

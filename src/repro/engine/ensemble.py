@@ -267,6 +267,46 @@ def _run_chunk(task: tuple) -> list[SimulationResult]:
     ]
 
 
+class _LazyInitials:
+    """A lazy sequence of initial configurations, one per seed.
+
+    ``run_ensemble`` used to materialize ``initial_factory(population,
+    seed)`` for *every* seed up front, so an R-replicate ensemble held R
+    O(N)-sized configurations simultaneously on the dispatching process.
+    This sequence builds each configuration on demand instead: the
+    lockstep engines consume it in the single interning pass of
+    ``_batch_preconditions`` (peak memory O(N), not O(R * N)) and the
+    factory is still called exactly once per seed on the native path.
+    Nothing is cached - a second iteration (only the fallback paths do
+    one) calls the factory again, which is sound because factories are
+    pure functions of ``(population, seed)`` by contract.
+    """
+
+    __slots__ = ("_factory", "_population", "_seeds")
+
+    def __init__(
+        self,
+        factory: InitialFactory,
+        population: Population,
+        seeds: Sequence[int],
+    ) -> None:
+        self._factory = factory
+        self._population = population
+        self._seeds = seeds
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    def __iter__(self):
+        factory = self._factory
+        population = self._population
+        for seed in self._seeds:
+            yield factory(population, seed)
+
+    def __getitem__(self, r: int) -> Configuration:
+        return self._factory(self._population, self._seeds[r])
+
+
 def _chunk_seeds(seeds: list[int], n_chunks: int) -> list[list[int]]:
     """Split seeds into at most ``n_chunks`` contiguous, balanced chunks.
 
@@ -315,8 +355,12 @@ def _run_batch_chunk(task: tuple) -> list[SimulationResult]:
         fault_hook,
         sanitize,
     ) = common
+    # Schedulers are O(1) records (the lockstep kernels only read their
+    # seeds) and are needed for the whole batch, so they stay eager;
+    # the O(N) initial configurations are built lazily, one at a time,
+    # inside the engines' single interning pass.
     schedulers = [scheduler_factory(population, seed) for seed in seeds]
-    initials = [initial_factory(population, seed) for seed in seeds]
+    initials = _LazyInitials(initial_factory, population, seeds)
     simulator_class = (
         BatchedLeapSimulator
         if backend == "bleap"

@@ -32,9 +32,11 @@ hooks, or initial states outside the declared space.
 
 from __future__ import annotations
 
+import hashlib
 import time
 import warnings
 import weakref
+from collections import OrderedDict
 
 from repro.engine import sanitize as _sanitize
 from repro.engine.configuration import Configuration
@@ -72,9 +74,18 @@ class TransitionTable:
     ``transition(states[i], states[j])`` is null, else the pair
     ``(i', j')`` of result indices.  Pairs of two leader-only states are
     never scheduled (a population has one leader) and are left null.
+
+    ``fingerprint`` is a content hash over the canonical state ordering
+    and the non-null delta entries (see :func:`table_fingerprint`): two
+    semantically equal protocol instances compile to tables with equal
+    fingerprints, which keys every downstream compiled-artifact cache
+    (counts plans, leap delta matrices, the ``repro.serve`` store).
     """
 
-    __slots__ = ("states", "index", "n_states", "delta", "mobile_indices")
+    __slots__ = (
+        "states", "index", "n_states", "delta", "mobile_indices",
+        "fingerprint",
+    )
 
     def __init__(
         self,
@@ -82,37 +93,177 @@ class TransitionTable:
         mobile_states: frozenset,
         leader_states: frozenset,
     ) -> None:
-        from repro.engine.state import sort_key
+        states, n_mobile, delta = _enumerate_delta(
+            protocol, mobile_states, leader_states
+        )
+        self._init_from_parts(states, n_mobile, delta, None)
 
-        mobile = sorted(mobile_states, key=sort_key)
-        leader_only = sorted(leader_states - mobile_states, key=sort_key)
-        self.states: list = mobile + leader_only
-        self.n_states = len(self.states)
-        self.index = {s: i for i, s in enumerate(self.states)}
-        self.mobile_indices = frozenset(range(len(mobile)))
-        n = self.n_states
-        n_mobile = len(mobile)
-        delta: list[tuple[int, int] | None] = [None] * (n * n)
-        index = self.index
-        transition = protocol.transition
-        for i, p in enumerate(self.states):
-            row = i * n
-            for j, q in enumerate(self.states):
-                if i >= n_mobile and j >= n_mobile:
-                    continue  # leader-leader pairs are unschedulable
-                p2, q2 = transition(p, q)
-                if (p2, q2) != (p, q):
-                    delta[row + j] = (index[p2], index[q2])
+    @classmethod
+    def from_parts(
+        cls,
+        states: list,
+        n_mobile: int,
+        delta: list[tuple[int, int] | None],
+        fingerprint: str | None = None,
+    ) -> "TransitionTable":
+        """Build a table from already-enumerated parts.
+
+        Used by :func:`compile_table` so the transition function is
+        enumerated exactly once even when the fingerprint is computed
+        before the table object exists.  ``fingerprint`` may be passed
+        when the caller already hashed the parts; it is recomputed when
+        omitted.
+        """
+        table = cls.__new__(cls)
+        table._init_from_parts(states, n_mobile, delta, fingerprint)
+        return table
+
+    def _init_from_parts(
+        self,
+        states: list,
+        n_mobile: int,
+        delta: list[tuple[int, int] | None],
+        fingerprint: str | None,
+    ) -> None:
+        self.states = states
+        self.n_states = len(states)
+        self.index = {s: i for i, s in enumerate(states)}
+        self.mobile_indices = frozenset(range(n_mobile))
         self.delta = delta
+        self.fingerprint = (
+            fingerprint
+            if fingerprint is not None
+            else _fingerprint_parts(states, n_mobile, delta)
+        )
+
+    def __reduce__(self):
+        """Pickle via the enumerated parts (slots carry no dict)."""
+        return (
+            TransitionTable.from_parts,
+            (
+                self.states,
+                len(self.mobile_indices),
+                self.delta,
+                self.fingerprint,
+            ),
+        )
 
     def is_null_idx(self, i: int, j: int) -> bool:
         """Whether the interned pair ``(i, j)`` is a null interaction."""
         return self.delta[i * self.n_states + j] is None
 
 
-#: Compiled tables, cached per protocol instance (built once per protocol).
-_TABLE_CACHE: "weakref.WeakKeyDictionary[PopulationProtocol, TransitionTable]"
-_TABLE_CACHE = weakref.WeakKeyDictionary()
+def _enumerate_delta(
+    protocol: PopulationProtocol,
+    mobile_states: frozenset,
+    leader_states: frozenset,
+) -> tuple[list, int, list[tuple[int, int] | None]]:
+    """Enumerate the canonical state list and flat delta array.
+
+    Returns ``(states, n_mobile, delta)`` where ``states`` is the
+    canonical (:func:`repro.engine.state.sort_key`-ordered) state list,
+    mobile states first, and ``delta`` is the flat row-major result
+    array described on :class:`TransitionTable`.  This is the only place
+    the transition function is called during compilation.
+    """
+    from repro.engine.state import sort_key
+
+    mobile = sorted(mobile_states, key=sort_key)
+    leader_only = sorted(leader_states - mobile_states, key=sort_key)
+    states: list = mobile + leader_only
+    n = len(states)
+    n_mobile = len(mobile)
+    index = {s: i for i, s in enumerate(states)}
+    delta: list[tuple[int, int] | None] = [None] * (n * n)
+    transition = protocol.transition
+    for i, p in enumerate(states):
+        row = i * n
+        for j, q in enumerate(states):
+            if i >= n_mobile and j >= n_mobile:
+                continue  # leader-leader pairs are unschedulable
+            p2, q2 = transition(p, q)
+            if (p2, q2) != (p, q):
+                delta[row + j] = (index[p2], index[q2])
+    return states, n_mobile, delta
+
+
+def _fingerprint_parts(
+    states: list,
+    n_mobile: int,
+    delta: list[tuple[int, int] | None],
+) -> str:
+    """Content hash of a compiled table's canonical parts.
+
+    Hashes the canonical sort keys of the interned states (not their
+    reprs alone, so distinct kinds never collide), the mobile/leader
+    split, and every non-null delta entry.  Display names and other
+    presentation attributes are deliberately excluded: two protocol
+    instances with equal state spaces and equal transition functions
+    fingerprint identically and therefore share compiled artifacts.
+    """
+    from repro.engine.state import sort_key
+
+    h = hashlib.sha256()
+    h.update(f"repro-table-v1|{n_mobile}|{len(states)}".encode())
+    for s in states:
+        h.update(b"\x00")
+        h.update(repr(sort_key(s)).encode())
+    for flat, hit in enumerate(delta):
+        if hit is not None:
+            h.update(f"|{flat}:{hit[0]},{hit[1]}".encode())
+    return h.hexdigest()
+
+
+#: Most compiled tables kept alive by the fingerprint-keyed LRU below.
+TABLE_CACHE_SIZE = 128
+
+#: Compiled tables keyed by content fingerprint: two *equal* protocol
+#: instances (same state space, same transition function) share one
+#: table, where the previous identity-keyed WeakKeyDictionary recompiled
+#: per instance.  Bounded LRU so long-lived serving processes cannot
+#: accumulate unboundedly many tables.
+_TABLE_CACHE: "OrderedDict[str, TransitionTable]" = OrderedDict()
+
+#: Weak instance -> fingerprint map: makes the second ``compile_table``
+#: call on the *same* instance O(1) (no re-enumeration just to rehash).
+_FINGERPRINTS: "weakref.WeakKeyDictionary[PopulationProtocol, str]"
+_FINGERPRINTS = weakref.WeakKeyDictionary()
+
+
+def _remember_table(table: TransitionTable) -> None:
+    """Insert ``table`` into the LRU, evicting the oldest beyond the cap."""
+    _TABLE_CACHE[table.fingerprint] = table
+    _TABLE_CACHE.move_to_end(table.fingerprint)
+    while len(_TABLE_CACHE) > TABLE_CACHE_SIZE:
+        _TABLE_CACHE.popitem(last=False)
+
+
+def seed_compiled_table(table: TransitionTable) -> None:
+    """Inject a precompiled table into the process-wide cache.
+
+    Used by serving workers (:mod:`repro.serve.pool`) that load compiled
+    tables from the content-addressed disk store instead of recompiling:
+    after seeding, any ``compile_table`` call on a protocol with the same
+    fingerprint returns the injected table without enumerating
+    transitions into a fresh object.
+    """
+    _remember_table(table)
+
+
+def table_fingerprint(
+    protocol: PopulationProtocol,
+    compile_limit: int = DEFAULT_COMPILE_LIMIT,
+) -> str | None:
+    """Canonical content fingerprint of ``protocol``'s compiled table.
+
+    Returns ``None`` exactly when :func:`compile_table` would (state
+    space unhashable, unenumerable, raising, or over ``compile_limit``).
+    The fingerprint is a sha256 hex digest over the canonical state
+    ordering and the non-null transition entries; equal protocol
+    instances fingerprint identically across processes and runs.
+    """
+    table = compile_table(protocol, compile_limit)
+    return None if table is None else table.fingerprint
 
 
 def warn_fallback(backend: str, delegate: str, reason: str) -> None:
@@ -147,23 +298,39 @@ def compile_table(
     Returns ``None`` when the protocol cannot be compiled: its state space
     is unhashable, unenumerable, raises, or exceeds ``compile_limit``
     states.  Callers treat ``None`` as "use the reference simulator".
+
+    The cache is keyed by content fingerprint, not object identity: two
+    equal protocol instances (same states, same transitions) share one
+    compiled table, and tables injected via :func:`seed_compiled_table`
+    (e.g. loaded from the ``repro.serve`` content-addressed store) are
+    found without rebuilding.
     """
     try:
-        cached = _TABLE_CACHE.get(protocol)
+        known_fp = _FINGERPRINTS.get(protocol)
     except TypeError:  # unhashable protocol instance
-        cached = None
-    if cached is not None:
-        return cached
+        known_fp = None
+    if known_fp is not None:
+        cached = _TABLE_CACHE.get(known_fp)
+        if cached is not None:
+            _TABLE_CACHE.move_to_end(known_fp)
+            return cached
     try:
         mobile = frozenset(protocol.mobile_state_space())
         leader = frozenset(protocol.leader_state_space())
         if len(mobile | leader) > compile_limit:
             return None
-        table = TransitionTable(protocol, mobile, leader)
+        states, n_mobile, delta = _enumerate_delta(protocol, mobile, leader)
     except Exception:
         return None
+    fingerprint = _fingerprint_parts(states, n_mobile, delta)
+    table = _TABLE_CACHE.get(fingerprint)
+    if table is None:
+        table = TransitionTable.from_parts(
+            states, n_mobile, delta, fingerprint
+        )
+    _remember_table(table)
     try:
-        _TABLE_CACHE[protocol] = table
+        _FINGERPRINTS[protocol] = fingerprint
     except TypeError:
         pass
     return table

@@ -63,7 +63,7 @@ ladder ``counts -> fast -> reference``) with a
 from __future__ import annotations
 
 import time
-import weakref
+from collections import OrderedDict
 
 from repro.engine import sanitize as _sanitize
 from repro.engine.configuration import Configuration
@@ -162,9 +162,10 @@ class _LeapPlan:
     tau-selection rule).
     """
 
-    __slots__ = ("deltas", "deltas_sq")
+    __slots__ = ("deltas", "deltas_sq", "fingerprint")
 
     def __init__(self, plan) -> None:
+        self.fingerprint = plan.fingerprint
         n_pairs = plan.pair_i.shape[0]
         deltas = _np.zeros((n_pairs, plan.n_states), dtype=_np.int64)
         rows = _np.arange(n_pairs)
@@ -176,24 +177,36 @@ class _LeapPlan:
         self.deltas_sq = deltas * deltas
 
 
-#: Leap plans, cached per protocol instance (like the table/plan caches).
-_LEAP_CACHE: "weakref.WeakKeyDictionary[PopulationProtocol, _LeapPlan]"
-_LEAP_CACHE = weakref.WeakKeyDictionary()
+#: Bound on the fingerprint-keyed leap-plan LRU (mirrors the table cache).
+LEAP_CACHE_SIZE = 128
+
+#: Leap plans keyed by the compiled table's content fingerprint (like the
+#: table and counts-plan caches): equal protocol instances and serving
+#: workers loading precompiled artifacts share one delta matrix.
+_LEAP_CACHE: "OrderedDict[str, _LeapPlan]" = OrderedDict()
+
+
+def seed_leap_plan(leap: _LeapPlan) -> None:
+    """Inject precompiled delta matrices into the process-wide cache.
+
+    Called by serving workers (:mod:`repro.serve.pool`) with plans loaded
+    from the content-addressed disk store, so tau-leaping runs skip the
+    (pairs x states) matrix construction.
+    """
+    _LEAP_CACHE[leap.fingerprint] = leap
+    _LEAP_CACHE.move_to_end(leap.fingerprint)
+    while len(_LEAP_CACHE) > LEAP_CACHE_SIZE:
+        _LEAP_CACHE.popitem(last=False)
 
 
 def _leap_plan_for(protocol: PopulationProtocol, plan) -> _LeapPlan:
-    """Build (or fetch the cached) delta matrices for ``protocol``."""
-    try:
-        cached = _LEAP_CACHE.get(protocol)
-    except TypeError:  # unhashable protocol instance
-        cached = None
+    """Build (or fetch the cached) delta matrices for ``plan``'s table."""
+    cached = _LEAP_CACHE.get(plan.fingerprint)
     if cached is not None:
+        _LEAP_CACHE.move_to_end(plan.fingerprint)
         return cached
     leap = _LeapPlan(plan)
-    try:
-        _LEAP_CACHE[protocol] = leap
-    except TypeError:
-        pass
+    seed_leap_plan(leap)
     return leap
 
 

@@ -111,6 +111,76 @@ class SanitizerError(SimulationError):
         )
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the serving layer (``repro.serve``)."""
+
+
+class ServeSaturatedError(ServeError):
+    """The serve pool's bounded job queue is full and ``block=False``.
+
+    Attributes
+    ----------
+    pending:
+        Number of jobs in flight when the submission was refused.
+    max_pending:
+        The pool's configured backpressure bound.
+    """
+
+    def __init__(
+        self, message: str, pending: int = 0, max_pending: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.max_pending = max_pending
+
+    def __reduce__(self):
+        # Default exception pickling only preserves ``args``; rebuild
+        # with the keyword attributes so they survive process hops.
+        return type(self), (self.args[0], self.pending, self.max_pending)
+
+
+class WorkerCrashError(ServeError):
+    """A serve-pool worker process died while executing a job.
+
+    The pool recovers (the broken executor is discarded and rebuilt on
+    the next submission); this error reports which job lost its results,
+    structurally, instead of surfacing the executor's raw
+    ``BrokenProcessPool`` or hanging.
+
+    Attributes
+    ----------
+    job_id:
+        The pool-assigned id of the job whose results were lost.
+    seeds:
+        The seeds the crashed job covered (tuple, possibly empty when
+        unknown).
+    reason:
+        The underlying executor failure, as text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        job_id: int = -1,
+        seeds: tuple = (),
+        reason: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.seeds = tuple(seeds)
+        self.reason = reason
+
+    def __reduce__(self):
+        # Default exception pickling only preserves ``args``; rebuild
+        # with the keyword attributes so they survive process hops.
+        return type(self), (
+            self.args[0],
+            self.job_id,
+            self.seeds,
+            self.reason,
+        )
+
+
 class BackendFallbackWarning(RuntimeWarning):
     """An accelerated simulation backend silently delegated a run to a
     slower backend.

@@ -81,6 +81,49 @@ def lint_protocol(
     return report
 
 
+def cached_lint_report(
+    protocol: PopulationProtocol,
+    spec: ModelSpec | None = None,
+    bound: int | None = None,
+    rules: Sequence[str] | None = None,
+    budgets: LintBudgets | None = None,
+    cache=None,
+) -> LintReport:
+    """:func:`lint_protocol`, memoized in a content-addressed cache.
+
+    ``cache`` is a :class:`repro.serve.cache.ArtifactCache` (or any
+    object with its ``get``/``put`` interface).  The report is keyed on
+    the protocol's *content* fingerprint plus the audit parameters, so
+    equal protocol instances - across processes sharing a cache root -
+    reuse one stored report.  Protocols without a fingerprint, or calls
+    without a cache, fall through to a plain :func:`lint_protocol`.
+    """
+    import hashlib
+
+    if cache is None:
+        return lint_protocol(protocol, spec, bound, rules, budgets)
+    from repro.engine.fast import table_fingerprint
+
+    fingerprint = table_fingerprint(protocol)
+    if fingerprint is None:
+        return lint_protocol(protocol, spec, bound, rules, budgets)
+    parts = (
+        "repro-lint-v1",
+        fingerprint,
+        spec.describe() if spec is not None else "none",
+        str(bound),
+        ",".join(rules) if rules is not None else "all",
+        repr(budgets) if budgets is not None else "default",
+    )
+    key = hashlib.sha256("\x00".join(parts).encode()).hexdigest()
+    stored = cache.get("lint", key)
+    if isinstance(stored, LintReport):
+        return stored
+    report = lint_protocol(protocol, spec, bound, rules, budgets)
+    cache.put("lint", key, report)
+    return report
+
+
 def run_lint(
     bounds: Iterable[int] = DEFAULT_BOUNDS,
     rules: Sequence[str] | None = None,

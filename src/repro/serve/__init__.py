@@ -1,0 +1,54 @@
+"""The serving layer: amortize per-call setup across many requests.
+
+Every direct :func:`repro.engine.ensemble.run_ensemble` call pays cold
+start: a fresh :class:`~concurrent.futures.ProcessPoolExecutor`, a full
+protocol pickle per task, and a per-process recompilation of the interned
+transition tables and sampling plans.  This package removes all of it for
+serving workloads:
+
+* :mod:`repro.serve.cache` - :class:`ArtifactCache`, a content-addressed
+  store (disk-backed, in-memory LRU on top) for compiled transition
+  tables, precompiled delta matrices, lint reports and memoized results,
+  shared across protocol *instances* and worker processes;
+* :mod:`repro.serve.spec` - canonical spec hashing:
+  :func:`protocol_fingerprint` keys compiled artifacts,
+  :func:`job_key` keys memoized results on
+  (spec hash, seeds, budget, backend, sanitize);
+* :mod:`repro.serve.memo` - :class:`ResultMemo`, bit-identical replay of
+  previously served ensembles;
+* :mod:`repro.serve.pool` - :class:`ServePool`, a persistent sharded
+  worker pool that outlives individual calls, ships specs by hash
+  instead of pickling whole objects, warms workers once, and applies
+  bounded-queue backpressure; jobs are submitted as :class:`JobSpec` and
+  tracked through :class:`JobHandle` (progress streaming +
+  ``result()``);
+* :mod:`repro.serve.bench` - the ``repro serve-bench`` stress benchmark
+  (many concurrent heterogeneous jobs, cold vs warm), recorded in
+  ``BENCH_simulator.json`` and CI-gated via ``--serve-floor``.
+"""
+
+from repro.serve.cache import ArtifactCache, CacheStats
+from repro.serve.memo import ResultMemo, run_memoized
+from repro.serve.pool import JobHandle, JobProgress, ServePool
+from repro.serve.spec import (
+    JobSpec,
+    callable_token,
+    job_key,
+    protocol_fingerprint,
+    resolve_backend,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "JobHandle",
+    "JobProgress",
+    "JobSpec",
+    "ResultMemo",
+    "ServePool",
+    "callable_token",
+    "job_key",
+    "protocol_fingerprint",
+    "resolve_backend",
+    "run_memoized",
+]

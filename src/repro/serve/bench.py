@@ -1,0 +1,303 @@
+"""Stress benchmark ``repro serve-bench``: warm serving vs cold calls.
+
+Simulates a serving workload: many small heterogeneous ensemble jobs
+(the paper's asymmetric naming protocol at several bounds, distinct seed
+sets) arriving in a burst.  Three passes over the same job list:
+
+* **cold** - the pre-serving baseline: one
+  :func:`~repro.engine.ensemble.run_ensemble` call per job, sequential,
+  each paying the full per-call setup (a fresh
+  :class:`~concurrent.futures.ProcessPoolExecutor`, per-task protocol
+  pickling);
+* **warm** - one persistent :class:`~repro.serve.pool.ServePool`:
+  workers warmed once, protocols shipped by content hash, every job
+  submitted up front and collected as it completes;
+* **memo** - the same jobs resubmitted to the warm pool, served from
+  the result memo without touching the workers.
+
+The warm pass's assembled ensembles are compared against the cold
+pass's per job - bit-identical or the bench aborts - so the speedup is
+measured over verified-equal work.  ``python -m repro serve-bench``
+prints the table and merges a ``"serve"`` section into
+``BENCH_simulator.json``; ``--serve-floor R`` turns the run into a perf
+gate failing when the cold/warm wall-clock ratio drops below ``R``
+(CI gates at 3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.ensemble import run_ensemble
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.experiments.report import render_table
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.serve.pool import ServePool
+from repro.serve.spec import JobSpec
+
+#: Default shape of the simulated serving burst.
+DEFAULT_JOBS = 16
+DEFAULT_WORKERS = 2
+DEFAULT_SEED = 7
+DEFAULT_OUT = "BENCH_simulator.json"
+
+#: Per-job shape: small jobs, so per-call setup is the dominant cost -
+#: the serving regime this layer exists for.  (At these sizes a cold
+#: ``run_ensemble(n_jobs=2)`` call spends more on executor lifecycle and
+#: per-task protocol pickling than on simulation.)
+JOB_BOUNDS = (4, 6, 8)
+JOB_POPULATION = 100
+JOB_SEEDS = 6
+JOB_BUDGET = 2_500
+
+
+def _scheduler_factory(population: Population, seed: int):
+    """Module-level (picklable) scheduler factory for bench jobs."""
+    return RandomPairScheduler(population, seed=seed)
+
+
+def _initial_factory(population: Population, seed: int) -> Configuration:
+    """Module-level (picklable) uniform-start initial factory."""
+    return Configuration.uniform(population, 0)
+
+
+def build_jobs(
+    n_jobs: int = DEFAULT_JOBS,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+) -> list[JobSpec]:
+    """The burst: ``n_jobs`` heterogeneous naming-ensemble jobs.
+
+    Jobs cycle through name-range bounds :data:`JOB_BOUNDS` and carry
+    *distinct* seed sets, so no two jobs share a memo key and the warm
+    pass cannot shortcut through result memoization - it measures the
+    pool, the artifact cache and hash shipping, nothing else.
+    """
+    budget = max(2_000, int(JOB_BUDGET * scale))
+    jobs = []
+    for j in range(n_jobs):
+        bound = JOB_BOUNDS[j % len(JOB_BOUNDS)]
+        seeds = tuple(
+            seed + 1_000 * j + r for r in range(JOB_SEEDS)
+        )
+        jobs.append(
+            JobSpec(
+                protocol=AsymmetricNamingProtocol(bound),
+                population=Population(JOB_POPULATION),
+                scheduler_factory=_scheduler_factory,
+                initial_factory=_initial_factory,
+                problem=NamingProblem(),
+                seeds=seeds,
+                max_interactions=budget,
+                backend="batch",
+            )
+        )
+    return jobs
+
+
+def run_cold(jobs: list[JobSpec], workers: int) -> tuple[float, list]:
+    """Time the cold baseline: sequential per-call ``run_ensemble``.
+
+    Each job pays the full per-call setup the serving layer amortizes -
+    a fresh ``ProcessPoolExecutor`` (``n_jobs=workers``, the same
+    parallel width the pool gets) plus per-task protocol pickling.
+    Returns ``(seconds, ensembles)``.
+    """
+    ensembles = []
+    start = time.perf_counter()
+    for spec in jobs:
+        ensembles.append(
+            run_ensemble(
+                spec.protocol,
+                spec.population,
+                spec.scheduler_factory,
+                spec.initial_factory,
+                spec.problem,
+                list(spec.seeds),
+                max_interactions=spec.max_interactions,
+                backend=spec.backend,
+                n_jobs=workers,
+            )
+        )
+    return time.perf_counter() - start, ensembles
+
+
+def run_warm(
+    pool: ServePool, jobs: list[JobSpec]
+) -> tuple[float, list, int]:
+    """Time the warm pass: burst-submit every job to a warmed pool.
+
+    Submission happens up front (the pool's backpressure is unbounded
+    here), results are collected in order.  Returns ``(seconds,
+    ensembles, memo_hits_during_pass)``.
+    """
+    hits_before = pool.memo_hits
+    start = time.perf_counter()
+    handles = [pool.submit(spec) for spec in jobs]
+    ensembles = [handle.result() for handle in handles]
+    return (
+        time.perf_counter() - start,
+        ensembles,
+        pool.memo_hits - hits_before,
+    )
+
+
+def run_serve_bench(
+    n_jobs: int = DEFAULT_JOBS,
+    workers: int = DEFAULT_WORKERS,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+) -> dict:
+    """Run the three passes and return the ``"serve"`` report section.
+
+    Aborts (``RuntimeError``) if any warm or memoized ensemble differs
+    from its cold counterpart - speedups are only reported over
+    verified-identical results.
+    """
+    jobs = build_jobs(n_jobs, seed, scale)
+    cold_seconds, cold_results = run_cold(jobs, workers)
+    with ServePool(max_workers=workers) as pool:
+        pool.warm()
+        warm_seconds, warm_results, warm_hits = run_warm(pool, jobs)
+        memo_seconds, memo_results, memo_hits = run_warm(pool, jobs)
+        stats = pool.stats()
+    for j, (cold, warm, memo) in enumerate(
+        zip(cold_results, warm_results, memo_results)
+    ):
+        if warm.results != cold.results or warm.seeds != cold.seeds:
+            raise RuntimeError(
+                f"serve-bench differential check failed: warm job {j} "
+                "differs from the cold run_ensemble baseline"
+            )
+        if memo.results != cold.results or memo.seeds != cold.seeds:
+            raise RuntimeError(
+                f"serve-bench differential check failed: memoized job "
+                f"{j} differs from the cold run_ensemble baseline"
+            )
+    if warm_hits != 0:
+        raise RuntimeError(
+            "serve-bench warm pass hit the result memo; jobs must carry "
+            "distinct seed sets"
+        )
+    return {
+        "jobs": n_jobs,
+        "workers": workers,
+        "seeds_per_job": JOB_SEEDS,
+        "population": JOB_POPULATION,
+        "bounds": list(JOB_BOUNDS),
+        "budget": jobs[0].max_interactions,
+        "backend": jobs[0].resolved_backend,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "memo_seconds": round(memo_seconds, 6),
+        "warm_speedup": round(cold_seconds / warm_seconds, 3),
+        "memo_speedup": round(cold_seconds / memo_seconds, 3),
+        "memo_hits": memo_hits,
+        "pool_stats": stats,
+    }
+
+
+def merge_report(section: dict, path: str) -> None:
+    """Merge the ``"serve"`` section into the bench JSON at ``path``.
+
+    Other sections of an existing report (the ``repro bench`` backend /
+    ensemble / leap measurements) are preserved; a missing or corrupt
+    file is replaced by a report holding only this section.
+    """
+    payload: dict = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict):
+            payload = loaded
+    except (OSError, ValueError):
+        payload = {}
+    payload["serve"] = section
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_section(section: dict) -> str:
+    """Render the three passes as an aligned text table."""
+    rows = [
+        ("cold", f"{section['cold_seconds'] * 1000:.0f} ms", "1.0x",
+         "per-call run_ensemble, fresh executor each job"),
+        ("warm", f"{section['warm_seconds'] * 1000:.0f} ms",
+         f"{section['warm_speedup']:.1f}x",
+         "persistent pool, hash-shipped specs"),
+        ("memo", f"{section['memo_seconds'] * 1000:.0f} ms",
+         f"{section['memo_speedup']:.1f}x",
+         f"result memo ({section['memo_hits']} hits)"),
+    ]
+    return render_table(
+        ("pass", "time", "speedup", "path"),
+        rows,
+        title=(
+            f"serving layer: {section['jobs']} jobs x "
+            f"{section['seeds_per_job']} seeds, "
+            f"{section['workers']} workers"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the serving-layer stress benchmark from the command line."""
+    parser = argparse.ArgumentParser(
+        description="Serving-layer stress benchmark: warm vs cold."
+    )
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply every job's interaction budget by this factor",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny burst (3 jobs, minimal budgets) for CI smoke checks",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
+    parser.add_argument(
+        "--serve-floor",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "fail unless the cold/warm wall-clock ratio is at least "
+            "RATIO (the CI perf gate)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    n_jobs = 3 if args.smoke else args.jobs
+    scale = min(args.scale, 0.1) if args.smoke else args.scale
+    section = run_serve_bench(
+        n_jobs=n_jobs,
+        workers=args.workers,
+        seed=args.seed,
+        scale=scale,
+    )
+    print(render_section(section))
+    merge_report(section, args.out)
+    print(f"wrote {os.path.abspath(args.out)}")
+    if args.serve_floor is not None:
+        if section["warm_speedup"] < args.serve_floor:
+            print(
+                f"FAIL: warm speedup {section['warm_speedup']:.2f}x is "
+                f"below the floor {args.serve_floor:.2f}x"
+            )
+            return 1
+        print(
+            f"OK: warm speedup {section['warm_speedup']:.2f}x meets the "
+            f"floor {args.serve_floor:.2f}x"
+        )
+    return 0

@@ -1,0 +1,99 @@
+"""Result memoization: bit-identical replay of served ensembles.
+
+A memoized job stores its per-seed :class:`SimulationResult` list under
+its :func:`repro.serve.spec.job_key` in an :class:`ArtifactCache`
+(kind ``"results"``).  Replay assembles the identical
+:class:`~repro.engine.ensemble.EnsembleResult` a fresh run would return
+for the same (spec, seeds, budget, backend, sanitize) - the engines'
+randomness is a pure function of each seed, so equality here is exact,
+not statistical (``tests/serve/test_memo.py`` enforces it per backend).
+
+``require_convergence`` is applied at assembly time, in seed order,
+after the results exist: a replayed ensemble raises on the same first
+non-converged seed a fresh ``run_ensemble`` would, and storing the full
+result list keeps the cache usable for later calls that don't require
+convergence.
+"""
+
+from __future__ import annotations
+
+from repro.engine.ensemble import EnsembleResult, _record, run_ensemble
+from repro.engine.simulator import SimulationResult
+from repro.serve.cache import ArtifactCache
+from repro.serve.spec import JobSpec, job_key
+
+#: The artifact kind under which memoized result lists are stored.
+RESULTS_KIND = "results"
+
+
+def assemble(
+    spec: JobSpec, results: list[SimulationResult]
+) -> EnsembleResult:
+    """Fold per-seed results into an :class:`EnsembleResult`.
+
+    Enforces ``spec.require_convergence`` seed-by-seed in seed order,
+    exactly as ``run_ensemble`` does, so replayed and fresh ensembles
+    raise identically.
+    """
+    ensemble = EnsembleResult()
+    for seed, result in zip(spec.seeds, results):
+        _record(
+            ensemble,
+            seed,
+            result,
+            spec.max_interactions,
+            spec.require_convergence,
+        )
+    return ensemble
+
+
+class ResultMemo:
+    """Memoized ensemble results over an :class:`ArtifactCache`."""
+
+    def __init__(self, cache: ArtifactCache) -> None:
+        self.cache = cache
+
+    def lookup(self, key: str) -> list[SimulationResult] | None:
+        """The stored per-seed results under ``key``, or ``None``."""
+        value = self.cache.get(RESULTS_KIND, key)
+        if isinstance(value, list):
+            return value
+        return None
+
+    def store(self, key: str, results: list[SimulationResult]) -> None:
+        """Store the per-seed results of a completed job."""
+        self.cache.put(RESULTS_KIND, key, list(results))
+
+
+def run_memoized(
+    spec: JobSpec, cache: ArtifactCache
+) -> tuple[EnsembleResult, bool]:
+    """Serve ``spec`` from the memo, running (serially) on a miss.
+
+    Returns ``(ensemble, hit)``.  Jobs whose protocol has no content
+    fingerprint run uncached (``hit`` is always ``False`` for them).
+    The pool's submit path does the same dance around its worker
+    dispatch; this entry point is the pool-free building block used by
+    tests and light-weight callers.
+    """
+    memo = ResultMemo(cache)
+    key = job_key(spec)
+    if key is not None:
+        stored = memo.lookup(key)
+        if stored is not None and len(stored) == len(spec.seeds):
+            return assemble(spec, stored), True
+    ensemble = run_ensemble(
+        spec.protocol,
+        spec.population,
+        spec.scheduler_factory,
+        spec.initial_factory,
+        spec.problem,
+        list(spec.seeds),
+        max_interactions=spec.max_interactions,
+        backend=spec.backend,
+        check_interval=spec.check_interval,
+        sanitize=spec.sanitize,
+    )
+    if key is not None:
+        memo.store(key, ensemble.results)
+    return assemble(spec, ensemble.results), False

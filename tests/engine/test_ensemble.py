@@ -386,3 +386,77 @@ class TestSanitizeAcrossProcesses:
         assert err.value.backend == "reference"
         assert err.value.invariant == "population-size"
         assert err.value.interaction == 50
+
+
+class _CountingInitialFactory:
+    """Initial factory that counts its invocations (picklable)."""
+
+    calls = 0  # class attribute: shared within one process
+
+    def __call__(self, population, seed):
+        type(self).calls += 1
+        return Configuration.uniform(population, 0)
+
+
+class TestLazyInitials:
+    """The lockstep path builds initial configurations on demand."""
+
+    def test_factory_called_once_per_seed_on_batch_path(self):
+        protocol, population, sf, _ = make_parts(n=20)
+        factory = _CountingInitialFactory()
+        _CountingInitialFactory.calls = 0
+        run_ensemble(
+            protocol,
+            population,
+            sf,
+            factory,
+            NamingProblem(),
+            seeds=range(6),
+            max_interactions=100_000,
+            backend="batch",
+        )
+        assert _CountingInitialFactory.calls == 6
+
+    def test_lazy_initials_do_not_prebuild(self):
+        from repro.engine.ensemble import _LazyInitials
+
+        protocol, population, _, _ = make_parts(n=10)
+        built = []
+
+        def factory(pop, seed):
+            built.append(seed)
+            return Configuration.uniform(pop, 0)
+
+        lazy = _LazyInitials(factory, population, [0, 1, 2])
+        assert len(lazy) == 3
+        assert built == []  # construction is free
+        lazy[1]
+        assert built == [1]  # indexing builds exactly one
+        list(lazy)
+        assert built == [1, 0, 1, 2]  # iteration builds each once
+
+    def test_lockstep_chunking_matches_serial(self):
+        protocol, population, _, _ = make_parts(n=20)
+        serial = run_ensemble(
+            protocol,
+            population,
+            _scheduler_factory,
+            _initial_factory,
+            NamingProblem(),
+            seeds=range(8),
+            max_interactions=100_000,
+            backend="batch",
+        )
+        parallel = run_ensemble(
+            protocol,
+            population,
+            _scheduler_factory,
+            _initial_factory,
+            NamingProblem(),
+            seeds=range(8),
+            max_interactions=100_000,
+            backend="batch",
+            n_jobs=2,
+        )
+        assert parallel.results == serial.results
+        assert parallel.seeds == serial.seeds

@@ -26,6 +26,7 @@ from repro.engine.fast import (
     FastSimulator,
     compile_table,
     make_simulator,
+    table_fingerprint,
 )
 from repro.engine.population import Population
 from repro.engine.problems import NamingProblem
@@ -423,3 +424,48 @@ class TestParallelEnsembles:
                 seeds=range(2),
                 n_jobs=0,
             )
+
+
+class TestContentAddressedTableCache:
+    """Compiled tables are shared by content, not object identity."""
+
+    def test_equal_instances_share_one_table(self):
+        table1 = compile_table(AsymmetricNamingProtocol(5))
+        table2 = compile_table(AsymmetricNamingProtocol(5))
+        assert table1 is table2
+
+    def test_same_instance_is_cached(self):
+        protocol = AsymmetricNamingProtocol(5)
+        assert compile_table(protocol) is compile_table(protocol)
+
+    def test_different_protocols_get_different_tables(self):
+        table1 = compile_table(AsymmetricNamingProtocol(4))
+        table2 = compile_table(AsymmetricNamingProtocol(5))
+        assert table1 is not table2
+        assert table1.fingerprint != table2.fingerprint
+
+    def test_fingerprint_stable_across_instances(self):
+        fp1 = table_fingerprint(AsymmetricNamingProtocol(6))
+        fp2 = table_fingerprint(AsymmetricNamingProtocol(6))
+        assert fp1 is not None
+        assert fp1 == fp2
+
+    def test_table_pickle_roundtrip_keeps_fingerprint(self):
+        import pickle
+
+        table = compile_table(AsymmetricNamingProtocol(5))
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone.fingerprint == table.fingerprint
+        assert clone.states == table.states
+        assert clone.delta == table.delta
+
+    def test_seeded_table_is_returned_without_recompiling(self):
+        import pickle
+
+        from repro.engine.fast import seed_compiled_table
+
+        table = compile_table(AsymmetricNamingProtocol(7))
+        clone = pickle.loads(pickle.dumps(table))
+        seed_compiled_table(clone)
+        # A *new* equal instance now resolves to the injected clone.
+        assert compile_table(AsymmetricNamingProtocol(7)) is clone

@@ -1,0 +1,109 @@
+"""Tests for the content-addressed artifact cache."""
+
+import pytest
+
+from repro.serve.cache import ArtifactCache
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("tables", "a" * 64, {"x": 1})
+        assert cache.get("tables", "a" * 64) == {"x": 1}
+        assert cache.stats.memory_hits == 1
+
+    def test_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("tables", "b" * 64) is None
+        assert cache.stats.misses == 1
+
+    def test_contains(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert not cache.contains("tables", "c" * 64)
+        cache.put("tables", "c" * 64, 1)
+        assert cache.contains("tables", "c" * 64)
+
+    def test_kinds_are_namespaces(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("tables", "d" * 64, "table")
+        cache.put("results", "d" * 64, "result")
+        assert cache.get("tables", "d" * 64) == "table"
+        assert cache.get("results", "d" * 64) == "result"
+
+
+class TestDiskLayer:
+    def test_shared_root_across_instances(self, tmp_path):
+        # The worker-process pattern: another instance on the same root
+        # sees what the first one published, via a disk hit.
+        writer = ArtifactCache(tmp_path)
+        writer.put("tables", "e" * 64, [1, 2, 3])
+        reader = ArtifactCache(tmp_path)
+        assert reader.get("tables", "e" * 64) == [1, 2, 3]
+        assert reader.stats.disk_hits == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        writer = ArtifactCache(tmp_path)
+        writer.put("tables", "f" * 64, 42)
+        reader = ArtifactCache(tmp_path)
+        reader.get("tables", "f" * 64)
+        reader.get("tables", "f" * 64)
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.memory_hits == 1
+
+    def test_corrupt_artifact_is_a_miss_and_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("tables", "a1" + "0" * 62, "good")
+        reader = ArtifactCache(tmp_path)
+        [path] = list(tmp_path.rglob("*.pkl"))
+        path.write_bytes(b"not a pickle")
+        assert reader.get("tables", "a1" + "0" * 62) is None
+        assert not path.exists()
+
+    def test_invalid_components_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.put("../escape", "a" * 64, 1)
+        with pytest.raises(ValueError):
+            cache.get("tables", "../../etc/passwd")
+
+
+class TestEviction:
+    def test_memory_lru_respects_cap(self, tmp_path):
+        cache = ArtifactCache(tmp_path, memory_items=2)
+        for i in range(4):
+            cache.put("tables", f"{i:064d}", i)
+        assert cache.stats.memory_evictions == 2
+        # Evicted entries are still served from disk.
+        assert cache.get("tables", f"{0:064d}") == 0
+        assert cache.stats.disk_hits == 1
+
+    def test_memory_lru_keeps_recently_used(self, tmp_path):
+        cache = ArtifactCache(tmp_path, memory_items=2)
+        cache.put("tables", "a" * 64, "a")
+        cache.put("tables", "b" * 64, "b")
+        cache.get("tables", "a" * 64)  # refresh a
+        cache.put("tables", "c" * 64, "c")  # evicts b, not a
+        cache.get("tables", "a" * 64)
+        assert cache.stats.memory_hits == 2
+
+    def test_disk_budget_evicts_oldest(self, tmp_path):
+        import os
+        import time
+
+        # Budget fits one ~1 KiB artifact but not two.
+        cache = ArtifactCache(tmp_path, disk_bytes=1500)
+        cache.put("tables", "a" * 64, b"x" * 1000)
+        # Backdate the first artifact so mtime ordering is deterministic.
+        [first] = list(tmp_path.rglob("*.pkl"))
+        old = time.time() - 60
+        os.utime(first, (old, old))
+        cache.put("tables", "b" * 64, b"y" * 1000)
+        assert cache.stats.disk_evictions >= 1
+        assert not first.exists()
+        assert cache.contains("tables", "b" * 64)
+
+    def test_unbounded_disk_keeps_everything(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(8):
+            cache.put("tables", f"{i:064d}", i)
+        assert len(list(tmp_path.rglob("*.pkl"))) == 8

@@ -1,0 +1,111 @@
+"""Result memoization: replays must be bit-identical to fresh runs."""
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine.configuration import Configuration
+from repro.engine.ensemble import run_ensemble
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.errors import ConvergenceError
+from repro.schedulers.random_pair import RandomPairScheduler
+from repro.serve.cache import ArtifactCache
+from repro.serve.memo import run_memoized
+from repro.serve.spec import JobSpec
+
+
+def _scheduler_factory(population, seed):
+    return RandomPairScheduler(population, seed=seed)
+
+
+def _initial_factory(population, seed):
+    return Configuration.uniform(population, 0)
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        protocol=AsymmetricNamingProtocol(4),
+        population=Population(30),
+        scheduler_factory=_scheduler_factory,
+        initial_factory=_initial_factory,
+        problem=NamingProblem(),
+        seeds=(0, 1, 2, 3),
+        max_interactions=100_000,
+        backend="batch",
+    )
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def fresh_ensemble(spec):
+    return run_ensemble(
+        spec.protocol,
+        spec.population,
+        spec.scheduler_factory,
+        spec.initial_factory,
+        spec.problem,
+        list(spec.seeds),
+        max_interactions=spec.max_interactions,
+        backend=spec.backend,
+        sanitize=spec.sanitize,
+    )
+
+
+class TestBitIdenticalReplay:
+    @pytest.mark.parametrize("backend", ["batch", "fast", "counts"])
+    @pytest.mark.parametrize("sanitize", [False, True])
+    def test_replay_matches_fresh_run(self, tmp_path, backend, sanitize):
+        spec = make_spec(backend=backend, sanitize=sanitize)
+        reference = fresh_ensemble(spec)
+        cache = ArtifactCache(tmp_path)
+        first, hit1 = run_memoized(spec, cache)
+        second, hit2 = run_memoized(spec, cache)
+        assert (hit1, hit2) == (False, True)
+        for ensemble in (first, second):
+            assert ensemble.results == reference.results
+            assert ensemble.seeds == reference.seeds
+
+    def test_replay_shared_across_cache_instances(self, tmp_path):
+        spec = make_spec()
+        _, miss = run_memoized(spec, ArtifactCache(tmp_path))
+        replay, hit = run_memoized(spec, ArtifactCache(tmp_path))
+        assert (miss, hit) == (False, True)
+        assert replay.results == fresh_ensemble(spec).results
+
+    def test_equal_protocol_instances_share_results(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _, miss = run_memoized(make_spec(), cache)
+        _, hit = run_memoized(make_spec(), cache)
+        assert (miss, hit) == (False, True)
+
+    def test_different_seeds_do_not_collide(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        run_memoized(make_spec(), cache)
+        other, hit = run_memoized(make_spec(seeds=(9, 10)), cache)
+        assert not hit
+        assert other.seeds == [9, 10]
+
+
+class TestRequireConvergence:
+    def test_enforced_on_replay(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        # A 1-interaction budget cannot converge; the miss populates the
+        # cache (require_convergence is enforced at assembly, so the
+        # failure is raised on both the miss and the replay).
+        failing = make_spec(max_interactions=1, require_convergence=True)
+        with pytest.raises(ConvergenceError):
+            run_memoized(failing, cache)
+        with pytest.raises(ConvergenceError):
+            run_memoized(failing, cache)
+
+    def test_stored_results_reusable_without_convergence(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        failing = make_spec(max_interactions=1, require_convergence=True)
+        with pytest.raises(ConvergenceError):
+            run_memoized(failing, cache)
+        # Same job without the convergence requirement replays the
+        # stored results instead of re-running.
+        relaxed = make_spec(max_interactions=1)
+        ensemble, hit = run_memoized(relaxed, cache)
+        assert hit
+        assert ensemble.convergence_rate == 0.0
