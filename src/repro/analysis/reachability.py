@@ -9,7 +9,7 @@ common substrate of both model checkers.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Iterable, Iterator
@@ -85,16 +85,92 @@ def one_step_edges(
     return edges
 
 
+#: Explored graphs kept per process, keyed by protocol content
+#: fingerprint + population + root set.  Repeated lint/check sweeps over
+#: *equal* protocol instances (the registry builds a fresh object per
+#: cell) reuse one exploration instead of re-enumerating successor
+#: lists.  Bounded LRU, same idiom as the compiled-table cache in
+#: :mod:`repro.engine.fast`.
+GRAPH_CACHE_SIZE = 32
+
+_GRAPH_CACHE: "OrderedDict[tuple, ConfigurationGraph]" = OrderedDict()
+
+
+def _graph_key(
+    protocol: PopulationProtocol,
+    population: Population,
+    roots: list[Configuration],
+) -> tuple | None:
+    """Content key for one exploration; ``None`` when uncacheable."""
+    from repro.engine.fast import table_fingerprint
+
+    fingerprint = table_fingerprint(protocol)
+    if fingerprint is None:
+        return None  # too large / not enumerable: explore uncached
+    return (
+        fingerprint,
+        population.n_mobile,
+        population.has_leader,
+        tuple(sorted(repr(c.states) for c in roots)),
+    )
+
+
+def _remember_graph(key: tuple, graph: ConfigurationGraph) -> None:
+    """Insert ``graph`` into the LRU, evicting the oldest beyond the cap."""
+    _GRAPH_CACHE[key] = graph
+    _GRAPH_CACHE.move_to_end(key)
+    while len(_GRAPH_CACHE) > GRAPH_CACHE_SIZE:
+        _GRAPH_CACHE.popitem(last=False)
+
+
+def seed_configuration_graph(
+    protocol: PopulationProtocol,
+    population: Population,
+    initial: Iterable[Configuration],
+    graph: ConfigurationGraph,
+) -> None:
+    """Inject a pre-explored graph into the process-wide cache.
+
+    The ``seed_*`` injection idiom from :mod:`repro.engine.fast`: a
+    worker that received a graph out of band can make the next
+    :func:`explore` call with the same protocol content, population and
+    roots return it without re-enumerating.  No-op when the protocol is
+    not fingerprintable (those explorations are never cached).
+    """
+    key = _graph_key(protocol, population, list(initial))
+    if key is not None:
+        _remember_graph(key, graph)
+
+
 def explore(
     protocol: PopulationProtocol,
     population: Population,
     initial: Iterable[Configuration],
     max_nodes: int = 2_000_000,
 ) -> ConfigurationGraph:
-    """Breadth-first exploration from the given initial configurations."""
+    """Breadth-first exploration from the given initial configurations.
+
+    Results are cached per (protocol content fingerprint, population,
+    root set), so equal protocol instances share one exploration; the
+    ``max_nodes`` cap is enforced on cache hits too (a cached graph
+    larger than this call's cap raises exactly as a fresh exploration
+    would).
+    """
+    roots = list(initial)
+    key = _graph_key(protocol, population, roots)
+    if key is not None:
+        cached = _GRAPH_CACHE.get(key)
+        if cached is not None:
+            _GRAPH_CACHE.move_to_end(key)
+            if len(cached.nodes) > max_nodes:
+                raise VerificationError(
+                    f"configuration graph exceeded {max_nodes} nodes; "
+                    "use a smaller instance"
+                )
+            return cached
     graph = ConfigurationGraph(population)
     queue: deque[Configuration] = deque()
-    for config in initial:
+    for config in roots:
         if len(config) != population.size:
             raise VerificationError(
                 f"initial configuration has {len(config)} agents, "
@@ -117,6 +193,8 @@ def explore(
                     )
                 graph.nodes.add(edge.target)
                 queue.append(edge.target)
+    if key is not None:
+        _remember_graph(key, graph)
     return graph
 
 

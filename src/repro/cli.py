@@ -12,6 +12,8 @@ Commands
 ``serve-bench``   serving-layer stress benchmark (warm pool vs cold
                   per-call setup, result-memo replay)
 ``lint``          static well-formedness audit of all registered protocols
+``check``         symbolic model checker: verify naming properties on the
+                  counts quotient, with replay-validated counterexamples
 ``simulate``      run one naming protocol chosen by model parameters
 """
 
@@ -165,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("bench", add_help=False)
     sub.add_parser("serve-bench", add_help=False)
     sub.add_parser("lint", add_help=False)
+    sub.add_parser("check", add_help=False)
 
     show = sub.add_parser(
         "show", help="print a protocol's transition rules by model"
@@ -259,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench",
         "serve-bench",
         "lint",
+        "check",
         "simulate",
         "show",
     }
@@ -314,6 +318,10 @@ def main(argv: list[str] | None = None) -> int:
             return run(rest)
         if command == "lint":
             from repro.lint.cli import main as run
+
+            return run(rest)
+        if command == "check":
+            from repro.analysis.check import main as run
 
             return run(rest)
         from repro.experiments.lower_bounds import main as run

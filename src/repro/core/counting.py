@@ -114,6 +114,11 @@ class CountingProtocol(PopulationProtocol):
             for k in range(k_max + 1)
         )
 
+    def leader_space_size(self) -> int:
+        """``(P + 1) * (k_max + 1)`` in closed form (no enumeration)."""
+        k_max = sequence_length(self.bound - 1) + 1 if self.bound > 1 else 1
+        return (self.bound + 1) * (k_max + 1)
+
     def initial_leader_state(self) -> State:
         return CountingLeaderState(0, 0)
 

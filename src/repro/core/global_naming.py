@@ -75,6 +75,11 @@ class GlobalNamingProtocol(PopulationProtocol):
             for ptr in range(self.bound + 1)
         )
 
+    def leader_space_size(self) -> int:
+        """``(P + 1)^2 * (k_max + 1)`` in closed form (no enumeration)."""
+        k_max = sequence_length(self.bound - 1) + 1 if self.bound > 1 else 1
+        return (self.bound + 1) * (k_max + 1) * (self.bound + 1)
+
     def initial_leader_state(self) -> State:
         return GlobalLeaderState(0, 0, 0)
 

@@ -76,6 +76,10 @@ class SelfStabilizingNamingProtocol(PopulationProtocol):
             for k in range(k_max + 1)
         )
 
+    def leader_space_size(self) -> int:
+        """``(P + 2) * (l_P + 2)`` in closed form (no enumeration)."""
+        return (self.bound + 2) * (sequence_length(self.bound) + 2)
+
     def initial_leader_state(self) -> SelfStabLeaderState:
         """The ``(0, 0)`` state a freshly deployed BST would use.
 

@@ -316,6 +316,14 @@ def compile_table(
             return cached
     try:
         mobile = frozenset(protocol.mobile_state_space())
+        if len(mobile) > compile_limit:
+            return None
+        # Consult the closed-form size hint *before* materializing the
+        # leader space: for several protocols it is exponential in the
+        # name bound, and enumerating it just to reject it would cost
+        # the very blow-up this gate exists to prevent.
+        if protocol.leader_space_size() > compile_limit:
+            return None
         leader = frozenset(protocol.leader_state_space())
         if len(mobile | leader) > compile_limit:
             return None

@@ -56,6 +56,19 @@ class PopulationProtocol(ABC):
         """
         return frozenset()
 
+    def leader_space_size(self) -> int:
+        """Number of declared leader states, without enumerating them.
+
+        Size gates (the fast-path table compiler, the symbolic root
+        enumerator) consult this *before* materializing
+        :meth:`leader_state_space`.  The default counts the enumerated
+        space; protocols whose leader space is combinatorially large
+        (exponential in the name bound) must override it with the
+        closed-form count, or the gate itself triggers the enumeration
+        it exists to avoid.
+        """
+        return len(self.leader_state_space())
+
     # ------------------------------------------------------------------
     # Initialization
     # ------------------------------------------------------------------

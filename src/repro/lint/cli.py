@@ -44,6 +44,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat warnings as failures (the CI gate)",
     )
     parser.add_argument(
+        "--fail-on-skips",
+        action="store_true",
+        help=(
+            "fail when any analysis was skipped for budget reasons "
+            "(diagnostics with a structured skipped_budget field); the "
+            "CI zero-skip gate"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the report as JSON instead of text",
@@ -95,7 +104,17 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render_json())
     else:
         print(report.render_text(show_info=not args.no_info))
-    return report.exit_code(strict=args.strict)
+    code = report.exit_code(strict=args.strict)
+    if code == 0 and args.fail_on_skips and report.budget_skips:
+        skipped = sorted(
+            {d.skipped_budget for d in report.budget_skips if d.skipped_budget}
+        )
+        print(
+            f"lint: {len(report.budget_skips)} analysis skip(s) "
+            f"[budgets: {', '.join(skipped)}] and --fail-on-skips is set"
+        )
+        return 1
+    return code
 
 
 if __name__ == "__main__":

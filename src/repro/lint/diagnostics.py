@@ -55,6 +55,11 @@ class Diagnostic:
     spec: str | None = None
     bound: int | None = None
     witness: Any = None
+    #: Set when the finding records a *skipped* analysis: the name of
+    #: the :class:`~repro.lint.rules.LintBudgets` field that was
+    #: exceeded.  Machine-readable so CI can assert "no skips" on the
+    #: JSON report instead of grepping message text.
+    skipped_budget: str | None = None
 
     def render(self) -> str:
         """One-line text rendering, ``file:line``-style prefixed."""
@@ -64,6 +69,8 @@ class Diagnostic:
         if self.spec is not None:
             where += f" [{self.spec}]"
         line = f"{self.severity.value}: {self.rule}: {where}: {self.message}"
+        if self.skipped_budget is not None:
+            line += f" [budget: {self.skipped_budget}]"
         if self.witness is not None:
             line += f"\n    witness: {self.witness!r}"
         return line
@@ -100,6 +107,13 @@ class LintReport:
     @property
     def infos(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def budget_skips(self) -> list[Diagnostic]:
+        """Findings that record a skipped analysis (budget exceeded)."""
+        return [
+            d for d in self.diagnostics if d.skipped_budget is not None
+        ]
 
     def exit_code(self, strict: bool = False) -> int:
         """Process exit code: errors always fail; ``strict`` also fails

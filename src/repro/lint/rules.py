@@ -16,9 +16,13 @@ of two scopes:
     discipline.  Cheap, run per cell.
 
 Rules report findings; they never raise on a bad protocol.  Exhaustive
-sub-analyses (state closure, configuration-graph search) carry budget
-caps; when a protocol exceeds them the rule emits an ``INFO`` diagnostic
-recording the skip, so a clean report documents its own coverage.
+sub-analyses run through a ladder: the symbolic counts-quotient engine
+(:mod:`repro.analysis.symbolic`) first, the explicit labelled
+enumeration as a fallback, and only when both exceed their
+:class:`LintBudgets` caps does the rule emit an ``INFO`` diagnostic
+recording the skip (with a structured ``skipped_budget`` field), so a
+clean report documents its own coverage.  At the default budgets the
+full registry sweep reports zero skips.
 """
 
 from __future__ import annotations
@@ -32,6 +36,12 @@ from repro.analysis.reachability import (
     uniform_initial_configurations,
 )
 from repro.analysis.sink import unique_sink
+from repro.analysis.symbolic import (
+    check_liveness as _symbolic_liveness,
+    check_reach as _symbolic_reach,
+    initial_state_sets,
+    state_closure,
+)
 from repro.core.spec import CellResult, LeaderKind, ModelSpec, Symmetry
 from repro.engine.population import Population
 from repro.engine.problems import is_silent
@@ -55,14 +65,15 @@ class LintBudgets:
 
     Protocols exceeding a cap are skipped by the affected rule with an
     ``INFO`` diagnostic (never silently): soundness over completeness.
-    The defaults keep the full registry sweep at bounds {3, 5, 8} -
-    including the ~10^4-state leader space of the global-fairness
-    protocol - within a few seconds.
+    The defaults clear the full registry sweep at bounds {3, 5, 8} with
+    zero skips - the frontier-incremental closure and the symbolic
+    counts-quotient engine handle the ~10^4-state leader space of the
+    self-stabilizing protocols directly.
     """
 
     #: Largest combined state space for the state-closure analyses
     #: (reachable-states, dead-table-entries).
-    max_closure_states: int = 600
+    max_closure_states: int = 25_000
     #: Mobile population size for the configuration-graph search.
     reach_population: int = 3
     #: Largest number of initial configurations to explore from.
@@ -92,6 +103,7 @@ class LintContext:
         severity: Severity,
         message: str,
         witness=None,
+        skipped_budget: str | None = None,
     ) -> Diagnostic:
         """Build a diagnostic carrying this context."""
         return Diagnostic(
@@ -102,6 +114,7 @@ class LintContext:
             spec=self.spec.describe() if self.spec is not None else None,
             bound=self.bound,
             witness=witness,
+            skipped_budget=skipped_budget,
         )
 
 
@@ -245,74 +258,13 @@ def check_symmetry(ctx: LintContext) -> list[Diagnostic]:
     return []
 
 
-def _initial_state_sets(
-    protocol: PopulationProtocol,
-) -> tuple[set, set]:
-    """The mobile/leader states legal in an initial configuration.
-
-    A designated uniform initial state restricts the set to it; a
-    ``None`` designation (self-stabilizing reading) admits the full
-    space.
-    """
-    designated = protocol.initial_mobile_state()
-    mobiles = (
-        {designated}
-        if designated is not None
-        else set(protocol.mobile_state_space())
-    )
-    leader_designated = protocol.initial_leader_state()
-    leaders = (
-        {leader_designated}
-        if leader_designated is not None
-        else set(protocol.leader_state_space())
-    )
-    return mobiles, leaders
-
-
-def _state_closure(
-    protocol: PopulationProtocol,
-) -> tuple[set, set] | None:
-    """States reachable from the declared initial states, role-split.
-
-    A sound over-approximation of configuration reachability: it tracks
-    which *states* can ever occur (ignoring counts), so a state outside
-    the closure is unreachable in every population under every
-    scheduler.  Returns ``(mobile_reached, leader_reached)``, or
-    ``None`` when the closure diverges from the declared spaces (the
-    closure rule reports that separately).
-    """
-    mobile_space = protocol.mobile_state_space()
-    leader_space = protocol.leader_state_space()
-    mobiles, leaders = _initial_state_sets(protocol)
-    frontier = True
-    while frontier:
-        frontier = False
-        new_mobiles: set = set()
-        new_leaders: set = set()
-        mlist = sorted(mobiles, key=repr)
-        for a, p in enumerate(mlist):
-            for q in mlist[a:]:
-                for x, y in ((p, q), (q, p)):
-                    for s in protocol.transition(x, y):
-                        if s not in mobiles:
-                            new_mobiles.add(s)
-        for ls in sorted(leaders, key=repr):
-            for ms in mlist:
-                for x, y in ((ls, ms), (ms, ls)):
-                    r = protocol.transition(x, y)
-                    for s in r:
-                        if is_leader_state(s):
-                            if s not in leaders:
-                                new_leaders.add(s)
-                        elif s not in mobiles:
-                            new_mobiles.add(s)
-        if new_mobiles - mobile_space or new_leaders - leader_space:
-            return None
-        if new_mobiles or new_leaders:
-            mobiles |= new_mobiles
-            leaders |= new_leaders
-            frontier = True
-    return mobiles, leaders
+# The state-closure analysis lives in repro.analysis.symbolic (the
+# frontier-incremental version pairs only *new* states against the known
+# set per iteration, which is what lets the default closure budget cover
+# the ~10^4-state leader spaces); these aliases keep the historical rule
+# helper names importable.
+_initial_state_sets = initial_state_sets
+_state_closure = state_closure
 
 
 @rule(
@@ -332,6 +284,7 @@ def check_reachable_states(ctx: LintContext) -> list[Diagnostic]:
                 Severity.INFO,
                 f"skipped: {n_states} states exceed the closure budget "
                 f"of {ctx.budgets.max_closure_states}",
+                skipped_budget="max_closure_states",
             )
         ]
     closure = _state_closure(protocol)
@@ -417,11 +370,58 @@ def check_dead_table_entries(ctx: LintContext) -> list[Diagnostic]:
     "configurations assigns pairwise-distinct names",
 )
 def check_silent_configs_named(ctx: LintContext) -> list[Diagnostic]:
-    """Reachable silent configurations carry distinct names."""
+    """Reachable silent configurations carry distinct names.
+
+    Ladder: the symbolic counts-quotient frontier first (multiset roots,
+    exact, scales with the quotient), the explicit labelled exploration
+    as a fallback (it has no well-formedness precondition, so it still
+    covers protocols whose transitions escape the declared spaces), and
+    an ``INFO`` skip only when both are out of budget.
+    """
     protocol = ctx.protocol
     budgets = ctx.budgets
     n_mobile = budgets.reach_population
     population = Population(n_mobile, protocol.requires_leader)
+    designated_leader = protocol.initial_leader_state()
+    try:
+        verdict = _symbolic_reach(
+            protocol,
+            n_mobile,
+            leader_states=(
+                [designated_leader]
+                if designated_leader is not None
+                else None
+            ),
+            max_nodes=budgets.max_reach_nodes,
+            max_roots=budgets.max_reach_roots,
+        )
+    except VerificationError:
+        pass  # out of budget or not quotient-compilable; go explicit
+    else:
+        if verdict.holds:
+            return []
+        witness = verdict.witness
+        return [
+            ctx.diag(
+                "silent-configs-named",
+                Severity.ERROR,
+                f"a reachable silent configuration carries duplicate "
+                f"names (N = {n_mobile}); silence is terminal, so naming "
+                "can never be solved from it (counterexample "
+                "replay-validated on the reference simulator)",
+                witness={
+                    "names": [
+                        _fmt_state(s)
+                        for s in witness.final.mobile_states
+                    ],
+                    "initial": [
+                        _fmt_state(s)
+                        for s in witness.initial.mobile_states
+                    ],
+                    "meetings": list(witness.meetings),
+                },
+            )
+        ]
     if protocol.initial_mobile_state() is not None:
         roots_iter: Iterable = uniform_initial_configurations(
             protocol, population
@@ -446,6 +446,7 @@ def check_silent_configs_named(ctx: LintContext) -> list[Diagnostic]:
                     Severity.INFO,
                     f"skipped: {n_roots} initial configurations exceed "
                     f"the exploration budget of {budgets.max_reach_roots}",
+                    skipped_budget="max_reach_roots",
                 )
             ]
         roots_iter = arbitrary_initial_configurations(
@@ -464,6 +465,7 @@ def check_silent_configs_named(ctx: LintContext) -> list[Diagnostic]:
                 "silent-configs-named",
                 Severity.INFO,
                 f"skipped: {exc}",
+                skipped_budget="max_reach_nodes",
             )
         ]
     colliding: list[list[str]] = []
@@ -650,3 +652,82 @@ def check_sink_discipline(ctx: LintContext) -> list[Diagnostic]:
             )
         ]
     return []
+
+
+@rule(
+    "weak-liveness",
+    "spec",
+    "under weak fairness the protocol admits no weakly fair livelock or "
+    "duplicate-name parking (symbolic counts-quotient fiber search at "
+    "N = reach_population)",
+)
+def check_weak_liveness(ctx: LintContext) -> list[Diagnostic]:
+    """Weak-fairness naming holds at the lint population size.
+
+    Runs the symbolic liveness checker with spec-matched roots.  The
+    NON_INITIALIZED leader cells are deliberately left to ``repro
+    check``: their root space is the full declared leader state space
+    (~10^4 states at P = 8), which is on-demand verification territory,
+    not a per-sweep lint premise.
+    """
+    protocol = ctx.protocol
+    spec = ctx.spec
+    budgets = ctx.budgets
+    from repro.core.spec import Fairness, MobileInit
+
+    if spec is None or spec.fairness is not Fairness.WEAK:
+        return []
+    if (
+        protocol.requires_leader
+        and spec.leader is not LeaderKind.INITIALIZED
+    ):
+        return []  # full-leader-space roots: `repro check` territory
+    mobile_mode = (
+        "uniform"
+        if spec.mobile_init is MobileInit.UNIFORM
+        else "arbitrary"
+    )
+    leader_states = None
+    if protocol.requires_leader:
+        designated = protocol.initial_leader_state()
+        if designated is None:
+            return []  # INITIALIZED cell without a designated leader
+        leader_states = [designated]
+    try:
+        verdict = _symbolic_liveness(
+            protocol,
+            budgets.reach_population,
+            mobile_mode=mobile_mode,
+            leader_states=leader_states,
+            max_nodes=budgets.max_reach_nodes,
+            max_roots=budgets.max_reach_roots,
+        )
+    except VerificationError as exc:
+        return [
+            ctx.diag(
+                "weak-liveness",
+                Severity.INFO,
+                f"skipped: {exc}",
+                skipped_budget="max_reach_nodes",
+            )
+        ]
+    if verdict.holds:
+        return []
+    witness = verdict.witness
+    return [
+        ctx.diag(
+            "weak-liveness",
+            Severity.ERROR,
+            f"{verdict.reason} (N = {budgets.reach_population}; "
+            "counterexample schedule replay-validated on the reference "
+            "simulator)",
+            witness={
+                "kind": witness.kind,
+                "initial": [
+                    _fmt_state(s) for s in witness.initial.mobile_states
+                ],
+                "meetings": list(witness.meetings),
+                "rounds": list(witness.round_ends),
+            },
+        )
+    ]

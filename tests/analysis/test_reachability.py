@@ -3,9 +3,11 @@
 import pytest
 
 from repro.analysis.reachability import (
+    _GRAPH_CACHE,
     arbitrary_initial_configurations,
     explore,
     one_step_edges,
+    seed_configuration_graph,
     uniform_initial_configurations,
 )
 from repro.core.asymmetric import AsymmetricNamingProtocol
@@ -149,3 +151,48 @@ class TestInitialConfigurationGenerators:
         configs = list(uniform_initial_configurations(protocol, pop))
         assert len(configs) == 3
         assert all(len(set(c.mobile_states)) == 1 for c in configs)
+
+
+class TestGraphCache:
+    """The fingerprint-keyed exploration cache behind :func:`explore`."""
+
+    def setup_method(self):
+        _GRAPH_CACHE.clear()
+
+    def test_equal_instances_share_one_exploration(self):
+        pop = Population(3)
+
+        def roots(p):
+            return list(arbitrary_initial_configurations(p, pop))
+
+        first = explore(SymmetricGlobalNamingProtocol(3), pop,
+                        roots(SymmetricGlobalNamingProtocol(3)))
+        second = explore(SymmetricGlobalNamingProtocol(3), pop,
+                         roots(SymmetricGlobalNamingProtocol(3)))
+        assert second is first  # cache hit: same object, no re-explore
+
+    def test_different_roots_explore_separately(self):
+        protocol = SymmetricGlobalNamingProtocol(3)
+        pop = Population(3)
+        all_roots = list(arbitrary_initial_configurations(protocol, pop))
+        full = explore(protocol, pop, all_roots)
+        partial = explore(protocol, pop, all_roots[:1])
+        assert partial is not full
+        assert len(partial.nodes) <= len(full.nodes)
+
+    def test_cached_graph_still_respects_max_nodes(self):
+        protocol = SymmetricGlobalNamingProtocol(3)
+        pop = Population(3)
+        roots = list(arbitrary_initial_configurations(protocol, pop))
+        graph = explore(protocol, pop, roots)
+        with pytest.raises(VerificationError, match="exceeded"):
+            explore(protocol, pop, roots, max_nodes=len(graph.nodes) - 1)
+
+    def test_seeded_graph_is_returned_verbatim(self):
+        protocol = SymmetricGlobalNamingProtocol(3)
+        pop = Population(3)
+        roots = list(arbitrary_initial_configurations(protocol, pop))
+        graph = explore(protocol, pop, roots)
+        _GRAPH_CACHE.clear()
+        seed_configuration_graph(protocol, pop, roots, graph)
+        assert explore(protocol, pop, roots) is graph

@@ -22,12 +22,32 @@ class TestRunLint:
         assert report.protocols_checked > 0
         assert set(report.rules_run) == set(RULES)
 
-    def test_budget_skips_surface_as_info(self):
-        # The global-fairness leader protocol's state space explodes at
-        # P=8; the sweep must record the skipped analyses, not hide them.
-        report = run_lint(bounds=(8,))
-        assert report.infos
-        assert all("skipped" in d.message for d in report.infos)
+    def test_no_budget_skips_at_default_bounds(self):
+        # The symbolic checker retired the budget skips: at the default
+        # bounds every analysis runs to completion (symbolic first,
+        # explicit fallback), so the sweep reports zero skipped cells.
+        report = run_lint(bounds=(3, 5, 8))
+        assert report.budget_skips == []
+
+    def test_tight_budgets_surface_structured_skips(self):
+        # Artificially strangled budgets must still degrade gracefully:
+        # the skipped analyses surface as INFO diagnostics carrying the
+        # machine-readable name of the exhausted budget.
+        from repro.lint.rules import LintBudgets
+
+        report = run_lint(
+            bounds=(8,),
+            budgets=LintBudgets(max_closure_states=2, max_reach_roots=1),
+        )
+        assert report.budget_skips
+        for diag in report.budget_skips:
+            assert diag.severity is Severity.INFO
+            assert diag.skipped_budget in (
+                "max_closure_states",
+                "max_reach_roots",
+                "max_reach_nodes",
+            )
+            assert "[budget: " in diag.render()
 
     def test_protocol_scope_rules_deduplicated(self):
         # The self-stabilizing protocol serves several cells; its
@@ -123,6 +143,18 @@ class TestLintCli:
         out = capsys.readouterr().out
         for rule_id in RULES:
             assert rule_id in out
+
+    def test_fail_on_skips_gate_passes_at_defaults(self, capsys):
+        assert lint_main(["--strict", "--bounds", "3", "8",
+                          "--fail-on-skips"]) == 0
+
+    def test_fail_on_skips_gate_fails_when_strangled(self, capsys):
+        code = lint_main(
+            ["--bounds", "8", "--max-closure-states", "2",
+             "--fail-on-skips"]
+        )
+        assert code == 1
+        assert "--fail-on-skips" in capsys.readouterr().out
 
     def test_dispatch_through_main_cli(self, capsys):
         from repro.cli import main as repro_main
