@@ -103,7 +103,7 @@ from repro.serve import (
     ServePool,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "SINK_STATE",

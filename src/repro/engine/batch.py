@@ -80,6 +80,7 @@ the reason.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.engine import sanitize as _sanitize
@@ -87,7 +88,7 @@ from repro.engine.configuration import Configuration
 from repro.engine.counts import (
     CountSimulator,
     intern_initial,
-    materialize_counts,
+    materialize_counts_lazy,
 )
 from repro.engine.fast import BACKENDS, DEFAULT_COMPILE_LIMIT, warn_fallback
 from repro.engine.leap import _leap_plan_for
@@ -119,6 +120,145 @@ except ImportError:  # pragma: no cover - the test image ships NumPy
 #: while keeping the buffer small (2 KiB per row); at R = 256 that is
 #: the difference between ~4 and ~2 generator calls per kernel step.
 REFILL_STEPS = 128
+
+#: Column layout of :attr:`LockstepRaw.scalars` - one int64 row per
+#: replicate, fixed width, so a whole ensemble's non-matrix outcome fits
+#: one (R, :data:`N_SCALARS`) block that shared-memory workers can write
+#: in place (see :mod:`repro.engine.parallel`).  ``leader_pos`` encodes
+#: ``None`` as ``-1``; the leap columns stay zero on the exact batch
+#: kernel (``has_leap`` on the raw says whether they are meaningful).
+SCALAR_FIELDS = (
+    "interactions",
+    "events",
+    "conv_at",
+    "leader_pos",
+    "leaps",
+    "leap_interactions",
+    "repairs",
+    "ssa_rows",
+)
+N_SCALARS = len(SCALAR_FIELDS)
+
+#: Scalar column indices by name (module-level so the parallel layer and
+#: both lockstep kernels agree on one layout).
+COL = {name: k for k, name in enumerate(SCALAR_FIELDS)}
+
+
+@dataclass
+class LockstepRaw:
+    """A lockstep kernel's outcome before result materialization.
+
+    ``counts`` is the final (R, S) counts matrix, ``scalars`` the
+    (R, :data:`N_SCALARS`) per-replicate outcome block laid out by
+    :data:`SCALAR_FIELDS`.  This is the whole result: the parallel
+    layer transports exactly these two arrays over shared memory
+    (workers write their row-slices in place) and
+    :func:`materialize_raw` turns any row range into
+    :class:`~repro.engine.simulator.SimulationResult` objects - the
+    same function the serial path uses, so serial and sharded
+    materialization are one code path.
+    """
+
+    counts: "object"  # (R, S) int64 ndarray
+    scalars: "object"  # (R, N_SCALARS) int64 ndarray
+    has_leap: bool
+    wall_seconds: float
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.counts)
+
+
+def materialize_raw(
+    table,
+    n_mobile: int,
+    population: Population,
+    display_name: str,
+    raw: LockstepRaw,
+    max_interactions: int,
+    raise_on_timeout: bool,
+    shards: int | None = None,
+    shm_bytes: int | None = None,
+    copy_bytes_saved: int | None = None,
+) -> list[SimulationResult]:
+    """Build per-replicate results from a kernel's raw arrays.
+
+    Shared by the serial lockstep paths and the shared-memory parallel
+    layer (which calls it on attached views), so both produce identical
+    :class:`SimulationResult` objects: final configurations are lazy
+    :class:`~repro.engine.counts.CountsConfiguration` representatives
+    (O(S) per row - the O(N) expansion happens only if a caller looks),
+    wall clock is attributed in equal per-row shares, and the optional
+    ``shards``/``shm_bytes``/``copy_bytes_saved`` annotations land in
+    each row's :class:`RunStats`.
+    """
+    n_rows = raw.n_rows
+    share = raw.wall_seconds / n_rows if n_rows else 0.0
+    scalars = raw.scalars
+    has_leap = raw.has_leap
+    results = []
+    for r in range(n_rows):
+        row = scalars[r]
+        interactions = int(row[COL["interactions"]])
+        non_null = int(row[COL["events"]])
+        conv = int(row[COL["conv_at"]])
+        converged_at = conv if conv >= 0 else None
+        converged = converged_at is not None
+        if not converged and raise_on_timeout:
+            raise ConvergenceError(
+                f"{display_name} did not converge "
+                f"within {max_interactions} interactions",
+                interactions=interactions,
+            )
+        leader_pos = int(row[COL["leader_pos"]])
+        if has_leap:
+            n_leaps = int(row[COL["leaps"]])
+            leaps = n_leaps
+            mean_tau = (
+                int(row[COL["leap_interactions"]]) / n_leaps
+                if n_leaps
+                else 0.0
+            )
+            repairs = int(row[COL["repairs"]])
+            ssa_fallback_rows = int(row[COL["ssa_rows"]])
+        else:
+            leaps = mean_tau = repairs = ssa_fallback_rows = None
+        results.append(
+            SimulationResult(
+                converged=converged,
+                interactions=interactions,
+                non_null_interactions=non_null,
+                final_configuration=materialize_counts_lazy(
+                    table,
+                    n_mobile,
+                    raw.counts[r],
+                    leader_pos if leader_pos >= 0 else None,
+                ),
+                population=population,
+                trace=None,
+                convergence_interaction=converged_at,
+                faults_injected=0,
+                stats=RunStats(
+                    wall_seconds=share,
+                    interactions_per_second=(
+                        interactions / share if share > 0 else 0.0
+                    ),
+                    null_fraction=(
+                        (interactions - non_null) / interactions
+                        if interactions
+                        else 0.0
+                    ),
+                    leaps=leaps,
+                    mean_tau=mean_tau,
+                    repairs=repairs,
+                    ssa_fallback_rows=ssa_fallback_rows,
+                    shards=shards,
+                    shm_bytes=shm_bytes,
+                    copy_bytes_saved=copy_bytes_saved,
+                ),
+            )
+        )
+    return results
 
 
 class BatchedEnsembleSimulator:
@@ -396,6 +536,50 @@ class BatchedEnsembleSimulator:
     # The lockstep kernel
     # ------------------------------------------------------------------
 
+    def run_replicates_raw(
+        self,
+        initials: "Sequence[Configuration]",
+        schedulers: list[Scheduler],
+        max_interactions: int = 1_000_000,
+        fault_hook: FaultHook | None = None,
+    ) -> tuple[LockstepRaw | None, str | None]:
+        """Run replicates natively, returning raw arrays instead of results.
+
+        The entry point of the shared-memory parallel layer
+        (:mod:`repro.engine.parallel`): on success the returned
+        :class:`LockstepRaw` holds the final (R, S) counts matrix and
+        the (R, N_SCALARS) outcome block, which a worker writes straight
+        into a shared buffer - no per-replicate result objects, no
+        pickling.  When the lockstep preconditions do not hold, returns
+        ``(None, reason)`` **without** warning or falling back; the
+        caller decides how to degrade (the parallel layer reruns the
+        chunk through :meth:`run_replicates`, which warns once and
+        delegates down the ladder).
+        """
+        if len(initials) != len(schedulers):
+            raise SimulationError(
+                f"{len(initials)} initial configurations for "
+                f"{len(schedulers)} schedulers"
+            )
+        if not len(initials):
+            return None, "empty replicate set"
+        interned, leaders, reason = self._batch_preconditions(
+            initials, schedulers=schedulers, fault_hook=fault_hook
+        )
+        if reason is not None:
+            self.last_run_lockstep = False
+            return None, reason
+        self.last_run_lockstep = True
+        return (
+            self._lockstep_raw(
+                interned,
+                leaders,
+                [getattr(s, "seed", None) for s in schedulers],
+                max_interactions,
+            ),
+            None,
+        )
+
     def _run_lockstep(
         self,
         rows: list[list[int]],
@@ -404,6 +588,27 @@ class BatchedEnsembleSimulator:
         max_interactions: int,
         raise_on_timeout: bool,
     ) -> list[SimulationResult]:
+        """Advance all rows, then materialize per-replicate results."""
+        raw = self._lockstep_raw(
+            rows, leader_positions, seeds, max_interactions
+        )
+        return materialize_raw(
+            self._table,
+            self._plan.n_mobile,
+            self.population,
+            self.protocol.display_name,
+            raw,
+            max_interactions,
+            raise_on_timeout,
+        )
+
+    def _lockstep_raw(
+        self,
+        rows: list[list[int]],
+        leader_positions: list[int | None],
+        seeds: list[int | None],
+        max_interactions: int,
+    ) -> LockstepRaw:
         """Advance all rows to silence, convergence or the budget."""
         np = _np
         started = time.perf_counter()
@@ -643,51 +848,19 @@ class BatchedEnsembleSimulator:
             )
 
         elapsed = time.perf_counter() - started
-        # Attribute each replicate an equal share of the batch's wall
-        # clock, so ensemble-aggregated totals reflect the real elapsed
-        # time and mean per-run rates sum to the batch throughput.
-        share = elapsed / n_rows if n_rows else 0.0
-        results = []
-        for r in range(n_rows):
-            interactions = int(pos[r])
-            non_null = int(events[r])
-            converged_at = int(conv_at[r]) if conv_at[r] >= 0 else None
-            converged = converged_at is not None
-            if not converged and raise_on_timeout:
-                raise ConvergenceError(
-                    f"{self.protocol.display_name} did not converge "
-                    f"within {max_interactions} interactions",
-                    interactions=interactions,
-                )
-            results.append(
-                SimulationResult(
-                    converged=converged,
-                    interactions=interactions,
-                    non_null_interactions=non_null,
-                    final_configuration=materialize_counts(
-                        self._table,
-                        n_mobile,
-                        [int(k) for k in C[r]],
-                        leader_positions[r],
-                    ),
-                    population=self.population,
-                    trace=None,
-                    convergence_interaction=converged_at,
-                    faults_injected=0,
-                    stats=RunStats(
-                        wall_seconds=share,
-                        interactions_per_second=(
-                            interactions / share if share > 0 else 0.0
-                        ),
-                        null_fraction=(
-                            (interactions - non_null) / interactions
-                            if interactions
-                            else 0.0
-                        ),
-                    ),
-                )
-            )
-        return results
+        scalars = np.zeros((n_rows, N_SCALARS), dtype=np.int64)
+        scalars[:, COL["interactions"]] = pos
+        scalars[:, COL["events"]] = events
+        scalars[:, COL["conv_at"]] = conv_at
+        scalars[:, COL["leader_pos"]] = [
+            -1 if p is None else p for p in leader_positions
+        ]
+        return LockstepRaw(
+            counts=C,
+            scalars=scalars,
+            has_leap=False,
+            wall_seconds=elapsed,
+        )
 
 
 BACKENDS["batch"] = BatchedEnsembleSimulator

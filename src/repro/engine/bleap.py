@@ -90,9 +90,14 @@ import time
 from typing import Sequence
 
 from repro.engine import sanitize as _sanitize
-from repro.engine.batch import BatchedEnsembleSimulator
+from repro.engine.batch import (
+    COL,
+    N_SCALARS,
+    BatchedEnsembleSimulator,
+    LockstepRaw,
+    materialize_raw,
+)
 from repro.engine.configuration import Configuration
-from repro.engine.counts import materialize_counts
 from repro.engine.fast import BACKENDS, DEFAULT_COMPILE_LIMIT, warn_fallback
 from repro.engine.leap import (
     DEFAULT_LEAP_EPS,
@@ -315,6 +320,45 @@ class BatchedLeapSimulator:
     # The windowed lockstep kernel
     # ------------------------------------------------------------------
 
+    def run_replicates_raw(
+        self,
+        initials: "Sequence[Configuration]",
+        schedulers: list[Scheduler],
+        max_interactions: int = 1_000_000,
+        fault_hook: FaultHook | None = None,
+    ) -> tuple[LockstepRaw | None, str | None]:
+        """Run replicates natively, returning raw arrays instead of results.
+
+        The bleap entry point of the shared-memory parallel layer;
+        see :meth:`BatchedEnsembleSimulator.run_replicates_raw`.  On
+        precondition failure returns ``(None, reason)`` without warning
+        or delegating - the caller reruns through :meth:`run_replicates`
+        which does both.
+        """
+        if len(initials) != len(schedulers):
+            raise SimulationError(
+                f"{len(initials)} initial configurations for "
+                f"{len(schedulers)} schedulers"
+            )
+        if not len(initials):
+            return None, "empty replicate set"
+        interned, leaders, reason = self._batch._batch_preconditions(
+            initials, schedulers=schedulers, fault_hook=fault_hook
+        )
+        if reason is not None:
+            self.last_run_native = False
+            return None, reason
+        self.last_run_native = True
+        return (
+            self._windows_raw(
+                interned,
+                leaders,
+                [getattr(s, "seed", None) for s in schedulers],
+                max_interactions,
+            ),
+            None,
+        )
+
     def _run_windows(
         self,
         rows: list[list[int]],
@@ -323,6 +367,27 @@ class BatchedLeapSimulator:
         max_interactions: int,
         raise_on_timeout: bool,
     ) -> list[SimulationResult]:
+        """Advance all rows, then materialize per-replicate results."""
+        raw = self._windows_raw(
+            rows, leader_positions, seeds, max_interactions
+        )
+        return materialize_raw(
+            self._table,
+            self._plan.n_mobile,
+            self.population,
+            self.protocol.display_name,
+            raw,
+            max_interactions,
+            raise_on_timeout,
+        )
+
+    def _windows_raw(
+        self,
+        rows: list[list[int]],
+        leader_positions: list[int | None],
+        seeds: list[int | None],
+        max_interactions: int,
+    ) -> LockstepRaw:
         """Advance all rows to silence, convergence or the budget."""
         np = _np
         started = time.perf_counter()
@@ -533,60 +598,23 @@ class BatchedLeapSimulator:
             )
 
         elapsed = time.perf_counter() - started
-        # Attribute each replicate an equal share of the batch's wall
-        # clock, as the batch engine does, so ensemble-aggregated totals
-        # reflect the real elapsed time.
-        share = elapsed / n_rows if n_rows else 0.0
-        results = []
-        for r in range(n_rows):
-            interactions = int(pos[r])
-            non_null = int(events[r])
-            converged_at = int(conv_at[r]) if conv_at[r] >= 0 else None
-            converged = converged_at is not None
-            if not converged and raise_on_timeout:
-                raise ConvergenceError(
-                    f"{self.protocol.display_name} did not converge "
-                    f"within {max_interactions} interactions",
-                    interactions=interactions,
-                )
-            n_leaps = int(leaps[r])
-            results.append(
-                SimulationResult(
-                    converged=converged,
-                    interactions=interactions,
-                    non_null_interactions=non_null,
-                    final_configuration=materialize_counts(
-                        self._table,
-                        n_mobile,
-                        [int(k) for k in C[r]],
-                        leader_positions[r],
-                    ),
-                    population=self.population,
-                    trace=None,
-                    convergence_interaction=converged_at,
-                    faults_injected=0,
-                    stats=RunStats(
-                        wall_seconds=share,
-                        interactions_per_second=(
-                            interactions / share if share > 0 else 0.0
-                        ),
-                        null_fraction=(
-                            (interactions - non_null) / interactions
-                            if interactions
-                            else 0.0
-                        ),
-                        leaps=n_leaps,
-                        mean_tau=(
-                            int(leap_interactions[r]) / n_leaps
-                            if n_leaps
-                            else 0.0
-                        ),
-                        repairs=int(repairs[r]),
-                        ssa_fallback_rows=int(ssa_rows[r]),
-                    ),
-                )
-            )
-        return results
+        scalars = np.zeros((n_rows, N_SCALARS), dtype=np.int64)
+        scalars[:, COL["interactions"]] = pos
+        scalars[:, COL["events"]] = events
+        scalars[:, COL["conv_at"]] = conv_at
+        scalars[:, COL["leader_pos"]] = [
+            -1 if p is None else p for p in leader_positions
+        ]
+        scalars[:, COL["leaps"]] = leaps
+        scalars[:, COL["leap_interactions"]] = leap_interactions
+        scalars[:, COL["repairs"]] = repairs
+        scalars[:, COL["ssa_rows"]] = ssa_rows
+        return LockstepRaw(
+            counts=C,
+            scalars=scalars,
+            has_leap=True,
+            wall_seconds=elapsed,
+        )
 
 
 BACKENDS["bleap"] = BatchedLeapSimulator

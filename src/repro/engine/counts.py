@@ -88,7 +88,11 @@ from repro.engine.simulator import (
     SimulationResult,
 )
 from repro.engine.trace import InteractionRecord, Trace
-from repro.errors import ConvergenceError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    SimulationError,
+)
 from repro.schedulers.base import Scheduler
 
 try:  # NumPy powers the batched sampler; without it the backend delegates.
@@ -265,6 +269,149 @@ def materialize_counts(
             break
     states.insert(leader_pos, leader_state)
     return Configuration(tuple(states), leader_pos)
+
+
+def _rebuild_counts_configuration(
+    pairs: tuple, leader_state, leader_pos: int | None
+) -> "CountsConfiguration":
+    """Pickle reconstructor for :class:`CountsConfiguration`."""
+    return CountsConfiguration(pairs, leader_state, leader_pos)
+
+
+class CountsConfiguration(Configuration):
+    """A :class:`Configuration` materialized lazily from a counts row.
+
+    Stores the O(S) ``(state, count)`` pairs of the canonical
+    representative instead of the O(N) per-agent states tuple; the full
+    ``states`` tuple is built on first access and cached.  Equality,
+    hashing and every view are interchangeable with an eagerly
+    materialized :class:`Configuration` of the same equivalence-class
+    representative (mixed comparisons in either order agree), so callers
+    cannot tell the difference - except that a result whose final
+    configuration is never inspected costs O(S), not O(N).
+
+    This is what lets the lockstep engines return R-replicate ensembles
+    without holding R O(N) tuples alive, and what lets the shared-memory
+    parallel layer (:mod:`repro.engine.parallel`) transport results as
+    (R, S) count rows with no per-agent pickling: pickling one of these
+    ships the pairs, not the expansion.
+    """
+
+    __slots__ = ("_pairs", "_lazy_leader", "_states_cache")
+
+    def __init__(
+        self,
+        pairs,
+        leader_state,
+        leader_pos: int | None,
+    ) -> None:
+        object.__setattr__(self, "_pairs", tuple(pairs))
+        object.__setattr__(self, "_lazy_leader", leader_state)
+        object.__setattr__(self, "_states_cache", None)
+        object.__setattr__(self, "leader_index", leader_pos)
+        object.__setattr__(self, "_canonical_cache", None)
+        object.__setattr__(self, "_tally_cache", None)
+        if leader_pos is not None and not (0 <= leader_pos <= self._n_mobile()):
+            raise ConfigurationError(
+                f"leader index {leader_pos} out of range for "
+                f"{self._n_mobile() + 1} agents"
+            )
+
+    def _n_mobile(self) -> int:
+        return sum(k for _, k in self._pairs)
+
+    @property
+    def states(self) -> tuple:  # type: ignore[override]
+        cached = self._states_cache
+        if cached is None:
+            states: list = []
+            for state, k in self._pairs:
+                states.extend([state] * k)
+            if self.leader_index is not None:
+                states.insert(self.leader_index, self._lazy_leader)
+            cached = tuple(states)
+            object.__setattr__(self, "_states_cache", cached)
+        return cached
+
+    # -- O(S) overrides of the O(N) derived views ----------------------
+
+    def __len__(self) -> int:
+        return self._n_mobile() + (1 if self.leader_index is not None else 0)
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return len(self)
+
+    @property
+    def leader_state(self):  # type: ignore[override]
+        if self.leader_index is None:
+            raise ConfigurationError("configuration has no leader")
+        return self._lazy_leader
+
+    def multiset(self) -> Counter:
+        return Counter(dict(self._pairs))
+
+    def state_tally(self) -> Counter:
+        if self._tally_cache is None:
+            tally = Counter(dict(self._pairs))
+            if self.leader_index is not None:
+                tally[self._lazy_leader] += 1
+            object.__setattr__(self, "_tally_cache", tally)
+        return self._tally_cache
+
+    def names_distinct(self) -> bool:
+        return all(k < 2 for _, k in self._pairs)
+
+    # -- identity: interchangeable with eager configurations -----------
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Configuration):
+            return (self.states, self.leader_index) == (
+                other.states,
+                other.leader_index,
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Matches the frozen-dataclass hash of an equal Configuration.
+        return hash((self.states, self.leader_index))
+
+    def __reduce__(self):
+        # Pickle the O(S) pairs, never the O(N) expansion: results
+        # shipped across processes (memo stores, worker fallbacks) stay
+        # count-sized.
+        return (
+            _rebuild_counts_configuration,
+            (self._pairs, self._lazy_leader, self.leader_index),
+        )
+
+
+def materialize_counts_lazy(
+    table: TransitionTable,
+    n_mobile: int,
+    counts,
+    leader_pos: int | None,
+) -> Configuration:
+    """O(S) lazy variant of :func:`materialize_counts`.
+
+    Returns a :class:`CountsConfiguration` equal (``==``, ``hash``) to
+    ``materialize_counts(table, n_mobile, counts, leader_pos)`` but
+    holding only the nonzero ``(state, count)`` pairs; the O(N) states
+    tuple is expanded on first access.  Used by the lockstep engines and
+    the shared-memory parallel layer, where final configurations are
+    frequently never inspected per agent.
+    """
+    objs = table.states
+    pairs = tuple(
+        (objs[i], int(counts[i])) for i in range(n_mobile) if counts[i]
+    )
+    leader_state = None
+    if leader_pos is not None:
+        for i in range(n_mobile, table.n_states):
+            if counts[i]:
+                leader_state = objs[i]
+                break
+    return CountsConfiguration(pairs, leader_state, leader_pos)
 
 
 #: Bound on the fingerprint-keyed plan LRU (mirrors the table cache).

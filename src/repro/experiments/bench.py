@@ -69,14 +69,28 @@ gates the fluid/leap *wall-clock* ratio - the tier's headline claim is
 completing horizons whose agent vectors are not worth (or beyond N =
 10^9, not possible) building.
 
+A sixth, parallel section measures the zero-copy shared-memory
+sharding layer (:mod:`repro.engine.parallel`): the bleap engine at
+R = 1024 replicates and N = 10^5, serial versus sharded across worker
+processes, plus the symbolic checker's frontier expansion
+(:func:`repro.analysis.symbolic.reach`), serial versus sharded.  Both
+pairs are bit-identical by construction, so the cells measure pure
+transport and parallelism; ``--parallel-floor`` gates the
+sharded/serial rate *ratio* on the lockstep pair, and self-skips
+(reporting the ratio) on hosts with fewer than ``PARALLEL_MIN_CORES``
+cores, where the ratio measures oversubscription rather than the
+transport.
+
 Sections can be selected individually with ``--sections`` (comma-
 separated names from ``backends``, ``ensemble``, ``leap``, ``bleap``,
-``fluid``), so CI perf gates re-time only the sections they gate; a
-floor flag whose section was deselected is a usage error.
+``fluid``, ``parallel``), so CI perf gates re-time only the sections
+they gate; a floor flag whose section was deselected is a usage error.
 
 The JSON report carries an ``environment`` block (NumPy version, CPU
 count, git revision) so regressions flagged by the floor gates can be
-attributed to code versus machine changes.
+attributed to code versus machine changes, a ``section_seconds`` block
+(wall-clock per section that ran, harness overhead included) and its
+``total_seconds`` sum.
 """
 
 from __future__ import annotations
@@ -152,8 +166,29 @@ LEAP_BUDGET = 10_000_000
 #: and the counts-native fluid pipeline side-steps them.
 FLUID_N = 100_000_000
 
+#: Population size of the parallel section's lockstep cells.
+PARALLEL_N = 100_000
+
+#: Replicate count of the parallel section: wide enough that sharding
+#: the (R, S) lockstep matrix across workers has real work per shard.
+PARALLEL_REPLICATES = 1024
+
+#: Interaction budget per replicate in the parallel section (scaled by
+#: ``--scale``/``--smoke``), matching the bleap section's regime.
+PARALLEL_BUDGET = 200_000
+
+#: Cores below which the ``--parallel-floor`` gate reports and skips:
+#: a sharded run cannot beat serial without cores to shard across, so
+#: the floor is only meaningful on real multi-core hosts.
+PARALLEL_MIN_CORES = 4
+
+#: Name bound / mobile population of the parallel section's checker
+#: frontier cells (the full-scale instance; smoke shrinks it).
+PARALLEL_CHECK_BOUND = 10
+PARALLEL_CHECK_N = 12
+
 #: The bench section names selectable via ``--sections``.
-SECTIONS = ("backends", "ensemble", "leap", "bleap", "fluid")
+SECTIONS = ("backends", "ensemble", "leap", "bleap", "fluid", "parallel")
 
 try:  # Provenance only; the engines guard their own NumPy use.
     import numpy as _np
@@ -912,6 +947,190 @@ def render_fluid_points(points: list[FluidBenchPoint]) -> str:
     )
 
 
+@dataclass(frozen=True)
+class ParallelBenchPoint:
+    """One parallel-section measurement.
+
+    ``kind`` is ``"lockstep"`` (an ensemble run; ``work`` counts
+    interactions) or ``"frontier"`` (a symbolic reach; ``work`` counts
+    quotient nodes).  ``mode`` is ``"serial"`` or ``"sharded"``; the
+    shared-memory transport fields are filled only on sharded lockstep
+    cells that actually took the zero-copy path.
+    """
+
+    kind: str
+    mode: str
+    n_mobile: int
+    replicates: int | None
+    work: int
+    seconds: float
+    jobs: int
+    shards: int | None = None
+    shm_bytes: int | None = None
+    copy_bytes_saved: int | None = None
+
+    @property
+    def rate(self) -> float:
+        """Work units (interactions or nodes) per second."""
+        return _safe_rate(self.work, self.seconds)
+
+
+def run_parallel_bench(
+    n: int = PARALLEL_N,
+    replicates: int = PARALLEL_REPLICATES,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+    jobs: int | None = None,
+) -> list[ParallelBenchPoint]:
+    """Measure the shared-memory parallel layer against serial execution.
+
+    Two workload pairs, serial first in each so a parallel-side crash
+    cannot hide the baseline:
+
+    * **lockstep**: the bleap engine at (R, N) - one wide lockstep
+      ensemble - serial versus sharded over
+      :mod:`repro.engine.parallel` (one worker chunk per job, raw rows
+      written to shared memory, zero result pickling).  Results are
+      bit-identical by construction, so the cells measure pure
+      transport and parallelism.
+    * **frontier**: the symbolic checker's reach fixpoint, serial
+      versus the sharded frontier expansion of
+      :func:`repro.analysis.symbolic.reach`.
+
+    ``jobs`` defaults to the host's core count (at least 2, so the
+    sharded path is exercised even on small machines).
+    """
+    if jobs is None:
+        jobs = max(2, min(os.cpu_count() or 1, 8))
+    protocol = workloads()["naming"]
+    budget = max(1_000, int(PARALLEL_BUDGET * scale))
+    if scale < 1.0:
+        replicates = max(32, int(replicates * scale))
+    population = Population(n)
+    initial_factory = _SpreadInitialFactory(protocol)
+    seeds = range(seed, seed + replicates)
+    points: list[ParallelBenchPoint] = []
+    for mode, n_jobs in (("serial", 1), ("sharded", jobs)):
+        start = time.perf_counter()
+        ensemble = run_ensemble(
+            protocol,
+            population,
+            _bench_scheduler,
+            initial_factory,
+            NamingProblem(),
+            seeds=seeds,
+            max_interactions=budget,
+            backend="bleap",
+            n_jobs=n_jobs,
+        )
+        elapsed = time.perf_counter() - start
+        stats = ensemble.stats
+        points.append(
+            ParallelBenchPoint(
+                kind="lockstep",
+                mode=mode,
+                n_mobile=n,
+                replicates=replicates,
+                work=sum(res.interactions for res in ensemble.results),
+                seconds=elapsed,
+                jobs=n_jobs,
+                shards=stats.shards,
+                shm_bytes=stats.shm_bytes,
+                copy_bytes_saved=stats.copy_bytes_saved,
+            )
+        )
+    from repro.analysis.symbolic import CountsSystem, reach
+    from repro.core.asymmetric import AsymmetricNamingProtocol
+
+    bound, check_n = (
+        (PARALLEL_CHECK_BOUND, PARALLEL_CHECK_N)
+        if scale >= 0.5
+        else (6, 9)
+    )
+    check_protocol = AsymmetricNamingProtocol(bound)
+    for mode, n_jobs in (("serial", 1), ("sharded", jobs)):
+        system = CountsSystem(check_protocol)
+        roots = system.root_matrix(check_n, "auto", None, None)
+        start = time.perf_counter()
+        rs = reach(system, roots, n_jobs=n_jobs)
+        elapsed = time.perf_counter() - start
+        points.append(
+            ParallelBenchPoint(
+                kind="frontier",
+                mode=mode,
+                n_mobile=check_n,
+                replicates=None,
+                work=rs.n_nodes,
+                seconds=elapsed,
+                jobs=n_jobs,
+            )
+        )
+    return points
+
+
+def parallel_speedups(
+    points: list[ParallelBenchPoint],
+) -> dict[str, float]:
+    """Per-kind sharded/serial rate ratios (machine-independent)."""
+    out: dict[str, float] = {}
+    for kind in ("lockstep", "frontier"):
+        rates = {p.mode: p.rate for p in points if p.kind == kind}
+        serial = rates.get("serial")
+        sharded = rates.get("sharded")
+        if serial and sharded:
+            out[kind] = sharded / serial
+    return out
+
+
+def render_parallel_points(points: list[ParallelBenchPoint]) -> str:
+    """Render the parallel measurements as an aligned text table."""
+    ratios = parallel_speedups(points)
+    rows = []
+    for p in points:
+        if p.kind == "lockstep":
+            unit = "interactions"
+            detail = (
+                f"{p.shards} shards, {p.shm_bytes:,} B shm, "
+                f"{p.copy_bytes_saved:,} B copies saved"
+                if p.shards is not None
+                else ("R replicate rows pickled" if p.mode == "sharded"
+                      else "one lockstep batch")
+            )
+        else:
+            unit = "nodes"
+            detail = (
+                "sharded frontier expansion"
+                if p.mode == "sharded"
+                else "serial frontier"
+            )
+        ratio = ratios.get(p.kind)
+        shown = (
+            f"{ratio:.2f}x vs serial"
+            if p.mode == "sharded" and ratio
+            else ""
+        )
+        rows.append(
+            (
+                p.kind,
+                p.mode,
+                p.jobs,
+                p.n_mobile,
+                p.replicates if p.replicates is not None else "",
+                f"{p.work:,} {unit}",
+                f"{p.seconds * 1000:.0f} ms",
+                f"{p.rate:,.0f}/s",
+                detail,
+                shown,
+            )
+        )
+    return render_table(
+        ("cell", "mode", "jobs", "N", "R", "work", "time", "rate",
+         "transport", "speedup"),
+        rows,
+        title="parallel execution (shared-memory sharding vs serial)",
+    )
+
+
 def speedups(
     points: list[BenchPoint],
 ) -> dict[str, dict[str, dict[str, float]]]:
@@ -989,12 +1208,17 @@ def write_json(
     leap: list[LeapBenchPoint] | None = None,
     bleap: list[BleapBenchPoint] | None = None,
     fluid: list[FluidBenchPoint] | None = None,
+    parallel: list[ParallelBenchPoint] | None = None,
+    section_seconds: dict[str, float] | None = None,
 ) -> None:
     """Write the measurements and speedups as a JSON report.
 
     Sections deselected by ``--sections`` arrive as ``None`` (or an
     empty ``points`` list) and are simply omitted from the payload, so
-    a partial re-run still writes a valid report.
+    a partial re-run still writes a valid report.  ``section_seconds``
+    is the wall-clock cost of each section that ran (measurement plus
+    harness overhead, which the per-point ``seconds`` fields exclude);
+    its sum is reported as ``total_seconds``.
     """
     payload = {
         "benchmark": "simulator",
@@ -1103,6 +1327,35 @@ def write_json(
             ],
             "speedup": fluid_speedup(fluid),
         }
+    if parallel:
+        payload["parallel"] = {
+            "workload": "naming",
+            "points": [
+                {
+                    "kind": p.kind,
+                    "mode": p.mode,
+                    "jobs": p.jobs,
+                    "n_mobile": p.n_mobile,
+                    "replicates": p.replicates,
+                    "work": p.work,
+                    "seconds": round(p.seconds, 6),
+                    "rate": round(p.rate, 1),
+                    "shards": p.shards,
+                    "shm_bytes": p.shm_bytes,
+                    "copy_bytes_saved": p.copy_bytes_saved,
+                }
+                for p in parallel
+            ],
+            "speedup": parallel_speedups(parallel),
+        }
+    if section_seconds:
+        payload["section_seconds"] = {
+            name: round(value, 6)
+            for name, value in section_seconds.items()
+        }
+        payload["total_seconds"] = round(
+            sum(section_seconds.values()), 6
+        )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -1292,6 +1545,43 @@ def main(argv: list[str] | None = None) -> int:
             "clock, end to end) than the leap backend"
         ),
     )
+    parser.add_argument(
+        "--parallel-n",
+        type=int,
+        default=PARALLEL_N,
+        metavar="N",
+        help="population size of the parallel lockstep cells",
+    )
+    parser.add_argument(
+        "--parallel-reps",
+        type=int,
+        default=PARALLEL_REPLICATES,
+        metavar="R",
+        help="replicate count of the parallel lockstep cells",
+    )
+    parser.add_argument(
+        "--parallel-jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help=(
+            "worker count of the sharded cells (default: the core "
+            "count, clamped to [2, 8])"
+        ),
+    )
+    parser.add_argument(
+        "--parallel-floor",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "fail (exit 1) unless the sharded lockstep rate reaches "
+            "RATIO times the serial rate (machine-independent; "
+            f"reported but skipped on hosts with fewer than "
+            f"{PARALLEL_MIN_CORES} cores, where the ratio measures "
+            "oversubscription, not the transport)"
+        ),
+    )
     args = parser.parse_args(argv)
     sections = tuple(
         name.strip() for name in args.sections.split(",") if name.strip()
@@ -1311,6 +1601,7 @@ def main(argv: list[str] | None = None) -> int:
         "leap": args.leap_floor is not None,
         "bleap": args.bleap_floor is not None,
         "fluid": args.fluid_floor is not None,
+        "parallel": args.parallel_floor is not None,
     }
     for name, has_floor in gated.items():
         if has_floor and name not in sections:
@@ -1324,56 +1615,83 @@ def main(argv: list[str] | None = None) -> int:
     leap: list[LeapBenchPoint] | None = None
     bleap: list[BleapBenchPoint] | None = None
     fluid: list[FluidBenchPoint] | None = None
+    parallel: list[ParallelBenchPoint] | None = None
+    section_seconds: dict[str, float] = {}
     printed = False
     if "backends" in sections:
+        started = time.perf_counter()
         points = run_bench(tuple(args.sizes), seed=args.seed, scale=scale)
+        section_seconds["backends"] = time.perf_counter() - started
         print(render_points(points))
         printed = True
     if "ensemble" in sections:
         if printed:
             print()
+        started = time.perf_counter()
         ensemble = run_ensemble_bench(
             tuple(args.ensemble_sizes),
             tuple(args.ensemble_reps),
             seed=args.seed,
             scale=scale,
         )
+        section_seconds["ensemble"] = time.perf_counter() - started
         print(render_ensemble_points(ensemble))
         printed = True
     if "leap" in sections:
         if printed:
             print()
+        started = time.perf_counter()
         leap = run_leap_bench(
             n=args.leap_n,
             seed=args.seed,
             scale=scale,
             leap_eps=args.leap_eps,
         )
+        section_seconds["leap"] = time.perf_counter() - started
         print(render_leap_points(leap))
         printed = True
     if "bleap" in sections:
         if printed:
             print()
+        started = time.perf_counter()
         bleap = run_bleap_bench(
             n=args.bleap_n,
             replicates=args.bleap_reps,
             seed=args.seed,
             scale=scale,
         )
+        section_seconds["bleap"] = time.perf_counter() - started
         print(render_bleap_points(bleap))
         printed = True
     if "fluid" in sections:
         if printed:
             print()
+        started = time.perf_counter()
         fluid = run_fluid_bench(
             n=args.fluid_n,
             seed=args.seed,
             scale=scale,
         )
+        section_seconds["fluid"] = time.perf_counter() - started
         print(render_fluid_points(fluid))
         printed = True
+    if "parallel" in sections:
+        if printed:
+            print()
+        started = time.perf_counter()
+        parallel = run_parallel_bench(
+            n=args.parallel_n,
+            replicates=args.parallel_reps,
+            seed=args.seed,
+            scale=scale,
+            jobs=args.parallel_jobs,
+        )
+        section_seconds["parallel"] = time.perf_counter() - started
+        print(render_parallel_points(parallel))
+        printed = True
     write_json(points, args.out, seed=args.seed, scale=scale,
-               ensemble=ensemble, leap=leap, bleap=bleap, fluid=fluid)
+               ensemble=ensemble, leap=leap, bleap=bleap, fluid=fluid,
+               parallel=parallel, section_seconds=section_seconds)
     print(f"\nJSON written to {args.out}")
     failed = False
     if args.floor is not None:
@@ -1443,6 +1761,28 @@ def main(argv: list[str] | None = None) -> int:
             f"{ratio:.1f}x vs floor {args.fluid_floor:.1f}x -> {verdict}"
         )
         failed = failed or ratio < args.fluid_floor
+    if args.parallel_floor is not None:
+        ratio = parallel_speedups(parallel or []).get("lockstep")
+        if ratio is None:
+            print("parallel floor check: a lockstep cell is missing")
+            return 1
+        cores = os.cpu_count() or 1
+        if cores < PARALLEL_MIN_CORES:
+            # Below the core floor the ratio measures oversubscription,
+            # not the shared-memory transport - report, don't gate.
+            print(
+                f"parallel floor check: sharded/serial speedup "
+                f"{ratio:.2f}x on {cores} core(s) -> skipped (floor "
+                f"gates only on >= {PARALLEL_MIN_CORES} cores)"
+            )
+        else:
+            verdict = "ok" if ratio >= args.parallel_floor else "FAIL"
+            print(
+                f"parallel floor check: sharded/serial lockstep "
+                f"speedup {ratio:.2f}x vs floor "
+                f"{args.parallel_floor:.2f}x -> {verdict}"
+            )
+            failed = failed or ratio < args.parallel_floor
     return 1 if failed else 0
 
 

@@ -1,0 +1,130 @@
+"""The sharded frontier expansion must be bit-identical to serial.
+
+The parallel path of :func:`repro.analysis.symbolic.reach` partitions
+each level's mobile-mobile expansion across worker processes and merges
+the batches with a vectorized dedup whose append order reproduces the
+serial successor loop exactly.  These tests force the sharded path onto
+instances small enough to enumerate (``_REACH_PARALLEL_MIN_WORK`` is
+patched down) and compare every observable of the resulting
+:class:`~repro.analysis.symbolic.ReachSet` - node rows and ids,
+predecessor tree, and edge lists - against the serial run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import symbolic as S
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.core.leader_uniform import LeaderUniformNamingProtocol
+from repro.engine.parallel import shm_available
+from repro.errors import BackendFallbackWarning, VerificationError
+
+pytestmark = pytest.mark.skipif(
+    not shm_available()[0], reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture
+def force_sharding(monkeypatch):
+    """Shard every level, however small the frontier."""
+    monkeypatch.setattr(S, "_REACH_PARALLEL_MIN_WORK", 1)
+
+
+def assert_reach_sets_equal(a, b):
+    assert len(a.rows) == len(b.rows)
+    for row_a, row_b in zip(a.rows, b.rows):
+        assert np.array_equal(row_a, row_b)
+    assert a.index == b.index
+    assert a.n_roots == b.n_roots
+    assert a.pred == b.pred
+    assert a.pred_rule == b.pred_rule
+    assert a.edges_src == b.edges_src
+    assert a.edges_dst == b.edges_dst
+    assert a.edges_rule == b.edges_rule
+
+
+class TestShardedReachIdentity:
+    @pytest.mark.parametrize("track_edges", [False, True])
+    def test_mobile_only_protocol(self, force_sharding, track_edges):
+        system = S.CountsSystem(AsymmetricNamingProtocol(4))
+        roots = system.root_matrix(5)
+        serial = S.reach(system, roots, track_edges=track_edges)
+        system2 = S.CountsSystem(AsymmetricNamingProtocol(4))
+        sharded = S.reach(
+            system2,
+            system2.root_matrix(5),
+            track_edges=track_edges,
+            n_jobs=2,
+        )
+        assert_reach_sets_equal(serial, sharded)
+
+    def test_leadered_protocol(self, force_sharding):
+        # Leader-mobile rules always expand in the parent; only the
+        # mobile-mobile grid is sharded.  The merge must interleave
+        # both batch streams in serial order.
+        system = S.CountsSystem(LeaderUniformNamingProtocol(3))
+        roots = system.root_matrix(4)
+        serial = S.reach(system, roots, track_edges=True)
+        system2 = S.CountsSystem(LeaderUniformNamingProtocol(3))
+        sharded = S.reach(
+            system2, system2.root_matrix(4), track_edges=True, n_jobs=2
+        )
+        assert_reach_sets_equal(serial, sharded)
+
+    def test_max_nodes_overflow_point_is_identical(self, force_sharding):
+        # A single root, so the frontier genuinely grows past it (roots
+        # themselves are exempt from the cap).
+        system = S.CountsSystem(AsymmetricNamingProtocol(4))
+        roots = system.root_matrix(5)[:1]
+        serial = S.reach(system, roots)
+        cap = len(serial.rows) - 1
+        assert cap >= 1
+        with pytest.raises(VerificationError, match=str(cap)):
+            S.reach(
+                S.CountsSystem(AsymmetricNamingProtocol(4)),
+                roots,
+                max_nodes=cap,
+            )
+        with pytest.raises(VerificationError, match=str(cap)):
+            S.reach(
+                S.CountsSystem(AsymmetricNamingProtocol(4)),
+                roots,
+                max_nodes=cap,
+                n_jobs=2,
+            )
+
+    def test_verdicts_identical_across_widths(self, force_sharding):
+        protocol = AsymmetricNamingProtocol(4)
+        for prop in ("reach", "sinks"):
+            serial = S.check_property(protocol, prop, 4)
+            sharded = S.check_property(protocol, prop, 4, n_jobs=2)
+            assert serial.holds == sharded.holds
+            assert serial.explored == sharded.explored
+
+
+class TestShardingFallback:
+    def test_no_shm_warns_and_stays_serial(self, monkeypatch):
+        from repro.engine import parallel
+
+        monkeypatch.setattr(
+            parallel, "_SHM_PROBE", (False, "forced by test")
+        )
+        system = S.CountsSystem(AsymmetricNamingProtocol(4))
+        roots = system.root_matrix(5)
+        with pytest.warns(BackendFallbackWarning, match="forced by test"):
+            fallen = S.reach(system, roots, n_jobs=2)
+        serial = S.reach(
+            S.CountsSystem(AsymmetricNamingProtocol(4)), roots
+        )
+        assert_reach_sets_equal(serial, fallen)
+
+    def test_small_frontiers_stay_serial_without_patching(self):
+        # Below _REACH_PARALLEL_MIN_WORK per level no pool is spawned,
+        # but the result is still the sharded-entry-point result.
+        system = S.CountsSystem(AsymmetricNamingProtocol(4))
+        roots = system.root_matrix(4)
+        serial = S.reach(
+            S.CountsSystem(AsymmetricNamingProtocol(4)), roots
+        )
+        sharded = S.reach(system, roots, n_jobs=2)
+        assert_reach_sets_equal(serial, sharded)

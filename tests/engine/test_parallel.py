@@ -1,0 +1,228 @@
+"""Tests for the zero-copy shared-memory parallel execution layer."""
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricNamingProtocol
+from repro.engine import parallel
+from repro.engine.configuration import Configuration
+from repro.engine.ensemble import run_ensemble
+from repro.engine.parallel import (
+    SharedBlock,
+    ShmLease,
+    shm_available,
+)
+from repro.engine.population import Population
+from repro.engine.problems import NamingProblem
+from repro.errors import BackendFallbackWarning, ConvergenceError
+from repro.schedulers.random_pair import RandomPairScheduler
+
+np = pytest.importorskip("numpy")
+
+HAVE_SHM = shm_available()[0]
+needs_shm = pytest.mark.skipif(
+    not HAVE_SHM, reason="POSIX shared memory unavailable"
+)
+
+
+# Module-level (picklable) factories for the process-parallel tests.
+def _scheduler_factory(population, seed):
+    return RandomPairScheduler(population, seed=seed)
+
+
+def _initial_factory(population, seed):
+    return Configuration.uniform(population, 0)
+
+
+def _fault_hook(simulator, interaction):  # pragma: no cover - never called
+    return None
+
+
+def _fingerprint(result):
+    """Everything observable about one run, for bit-identity checks."""
+    return (
+        result.converged,
+        result.interactions,
+        result.non_null_interactions,
+        result.convergence_interaction,
+        sorted(result.final_configuration.states)
+        if result.final_configuration is not None
+        else None,
+        result.final_counts,
+        tuple(result.notes),
+    )
+
+
+@needs_shm
+class TestSharedBlock:
+    def test_create_write_attach_read_round_trip(self):
+        owner = SharedBlock.create((3, 4), "int64")
+        try:
+            owner.array[:] = np.arange(12).reshape(3, 4)
+            attached = SharedBlock.attach(owner.meta)
+            try:
+                assert np.array_equal(attached.array, owner.array)
+                # Writes travel the other way too: it is one buffer.
+                attached.array[2, 3] = -7
+                assert owner.array[2, 3] == -7
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_meta_is_picklable_and_sized(self):
+        import pickle
+
+        block = SharedBlock.create((5, 2), "int64")
+        try:
+            meta = pickle.loads(pickle.dumps(block.meta))
+            assert meta == block.meta
+            assert meta.nbytes == 5 * 2 * 8
+            assert block.nbytes == meta.nbytes
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_close_and_unlink_are_idempotent(self):
+        block = SharedBlock.create((2,), "int64")
+        block.close()
+        block.close()
+        block.unlink()
+        block.unlink()
+        with pytest.raises(ValueError, match="closed"):
+            block.array
+
+    def test_unlink_removes_the_name(self):
+        block = SharedBlock.create((2,), "int64")
+        meta = block.meta
+        block.close()
+        block.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedBlock.attach(meta)
+
+
+@needs_shm
+class TestShmLease:
+    def test_release_unlinks_every_block_and_is_idempotent(self):
+        blocks = [
+            SharedBlock.create((2,), "int64"),
+            SharedBlock.create((3,), "int64"),
+        ]
+        metas = [b.meta for b in blocks]
+        lease = ShmLease(blocks)
+        assert lease.nbytes == 2 * 8 + 3 * 8
+        assert not lease.released
+        lease.release()
+        assert lease.released
+        lease.release()  # no-op, no error
+        for meta in metas:
+            with pytest.raises(FileNotFoundError):
+                SharedBlock.attach(meta)
+
+    def test_dropped_lease_is_finalized(self):
+        block = SharedBlock.create((2,), "int64")
+        meta = block.meta
+        lease = ShmLease([block])
+        del lease, block
+        import gc
+
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            SharedBlock.attach(meta)
+
+
+class TestShmProbe:
+    def test_probe_is_cached(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_SHM_PROBE", None)
+        first = shm_available()
+        assert shm_available() is first
+        ok, reason = first
+        assert ok is (reason is None)
+
+
+def _run(backend, sanitize, n_jobs, max_interactions=4_000, **kwargs):
+    protocol = AsymmetricNamingProtocol(5)
+    population = Population(6)
+    return run_ensemble(
+        protocol,
+        population,
+        _scheduler_factory,
+        _initial_factory,
+        NamingProblem(),
+        seeds=range(7),
+        max_interactions=max_interactions,
+        backend=backend,
+        sanitize=sanitize,
+        n_jobs=n_jobs,
+        **kwargs,
+    )
+
+
+@needs_shm
+class TestShardedEnsembleIdentity:
+    @pytest.mark.parametrize("backend", ["batch", "bleap"])
+    @pytest.mark.parametrize("sanitize", [False, True])
+    def test_sharded_matches_serial_bit_for_bit(self, backend, sanitize):
+        serial = _run(backend, sanitize, n_jobs=1)
+        sharded = _run(backend, sanitize, n_jobs=3)
+        assert len(serial.results) == len(sharded.results)
+        for a, b in zip(serial.results, sharded.results):
+            assert _fingerprint(a) == _fingerprint(b)
+
+    def test_sharded_stats_report_the_transport(self):
+        sharded = _run("batch", False, n_jobs=3)
+        stats = sharded.stats
+        assert stats.shards == 3
+        assert stats.shm_bytes > 0
+        # Per-row savings (one counts row + one scalar row, int64)
+        # summed over the 7 replicates total exactly the lease size.
+        assert stats.copy_bytes_saved == stats.shm_bytes
+        serial = _run("batch", False, n_jobs=1)
+        assert serial.stats.shards is None
+        assert serial.stats.shm_bytes is None
+        assert serial.stats.copy_bytes_saved is None
+
+    def test_raise_on_timeout_parity(self):
+        # Same exception, same wording as the serial lockstep batch.
+        with pytest.raises(ConvergenceError, match="did not converge") as serial:
+            _run("batch", False, n_jobs=1, max_interactions=1,
+                 raise_on_timeout=True)
+        with pytest.raises(ConvergenceError, match="did not converge") as sharded:
+            _run("batch", False, n_jobs=3, max_interactions=1,
+                 raise_on_timeout=True)
+        assert str(sharded.value) == str(serial.value)
+
+
+class TestFallbackLadder:
+    def test_no_shm_warns_and_matches_serial(self, monkeypatch):
+        serial = _run("batch", False, n_jobs=1)
+        monkeypatch.setattr(
+            parallel, "_SHM_PROBE", (False, "forced by test")
+        )
+        with pytest.warns(BackendFallbackWarning, match="forced by test"):
+            fallen = _run("batch", False, n_jobs=3)
+        for a, b in zip(serial.results, fallen.results):
+            assert _fingerprint(a) == _fingerprint(b)
+        assert fallen.stats.shards is None
+
+    def test_fault_hook_skips_the_shared_path(self):
+        # fault_hook disables lockstep everywhere; the sharded path must
+        # bow out before allocating segments (returns None upstream).
+        from repro.engine.ensemble import _chunk_seeds  # noqa: F401
+
+        protocol = AsymmetricNamingProtocol(5)
+        population = Population(6)
+        common = (
+            protocol,
+            population,
+            _scheduler_factory,
+            _initial_factory,
+            NamingProblem(),
+            4_000,
+            "batch",
+            None,
+            False,
+            _fault_hook,
+            False,
+        )
+        assert parallel.maybe_run_sharded(common, [1, 2, 3], 2) is None

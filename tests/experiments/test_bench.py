@@ -6,6 +6,7 @@ import pytest
 
 from repro.engine.fast import compile_table
 from repro.experiments.bench import (
+    PARALLEL_MIN_CORES,
     REFERENCE_MAX_N,
     SECTIONS,
     BenchPoint,
@@ -13,6 +14,7 @@ from repro.experiments.bench import (
     EnsembleBenchPoint,
     FluidBenchPoint,
     LeapBenchPoint,
+    ParallelBenchPoint,
     _safe_rate,
     ensemble_floor_rate,
     ensemble_speedups,
@@ -21,13 +23,16 @@ from repro.experiments.bench import (
     fluid_speedup,
     leap_speedup,
     main,
+    parallel_speedups,
     render_ensemble_points,
     render_fluid_points,
     render_leap_points,
+    render_parallel_points,
     run_bench,
     run_ensemble_bench,
     run_fluid_bench,
     run_leap_bench,
+    run_parallel_bench,
     speedups,
     workloads,
     write_json,
@@ -339,14 +344,16 @@ class TestSectionsSelector:
         payload = json.loads(out.read_text())
         assert payload["points"] == []
         assert "leap" in payload
-        for omitted in ("ensemble", "bleap", "fluid"):
+        for omitted in ("ensemble", "bleap", "fluid", "parallel"):
             assert omitted not in payload
         shown = capsys.readouterr().out
         assert "leap throughput" in shown
         assert "ensemble throughput" not in shown
 
     def test_all_sections_named(self):
-        assert SECTIONS == ("backends", "ensemble", "leap", "bleap", "fluid")
+        assert SECTIONS == (
+            "backends", "ensemble", "leap", "bleap", "fluid", "parallel"
+        )
 
     def test_unknown_section_is_a_usage_error(self, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -376,3 +383,156 @@ class TestSectionsSelector:
             ]
         )
         assert code == 0
+
+
+class TestParallelBench:
+    def test_smoke_run_produces_all_four_cells(self):
+        points = run_parallel_bench(
+            n=2_000, replicates=48, seed=1, scale=0.02, jobs=2
+        )
+        cells = {(p.kind, p.mode) for p in points}
+        assert cells == {
+            ("lockstep", "serial"),
+            ("lockstep", "sharded"),
+            ("frontier", "serial"),
+            ("frontier", "sharded"),
+        }
+        assert all(p.work > 0 and p.seconds >= 0 for p in points)
+        # Serial and sharded lockstep cells are seed-identical runs of
+        # the same workload, so they must report identical work.
+        work = {p.mode: p.work for p in points if p.kind == "lockstep"}
+        assert work["serial"] == work["sharded"]
+        ratios = parallel_speedups(points)
+        assert set(ratios) == {"lockstep", "frontier"}
+        assert all(v > 0 for v in ratios.values())
+
+    def test_sharded_lockstep_cell_reports_shm_transport(self):
+        from repro.engine.parallel import shm_available
+
+        points = run_parallel_bench(
+            n=2_000, replicates=48, seed=1, scale=0.02, jobs=2
+        )
+        sharded = [
+            p for p in points
+            if p.kind == "lockstep" and p.mode == "sharded"
+        ][0]
+        if shm_available()[0]:
+            assert sharded.shards == 2
+            assert sharded.shm_bytes > 0
+            assert sharded.copy_bytes_saved > 0
+        serial = [
+            p for p in points
+            if p.kind == "lockstep" and p.mode == "serial"
+        ][0]
+        assert serial.shards is None
+
+    def test_render_marks_speedup_and_transport(self):
+        points = [
+            ParallelBenchPoint(
+                kind="lockstep", mode="serial", n_mobile=100,
+                replicates=8, work=800, seconds=0.2, jobs=1,
+            ),
+            ParallelBenchPoint(
+                kind="lockstep", mode="sharded", n_mobile=100,
+                replicates=8, work=800, seconds=0.1, jobs=4,
+                shards=4, shm_bytes=4096, copy_bytes_saved=2048,
+            ),
+        ]
+        table = render_parallel_points(points)
+        assert "shared-memory sharding" in table
+        assert "2.00x vs serial" in table
+        assert "4 shards" in table
+        assert "copies saved" in table
+
+    def test_json_payload_includes_parallel_section(self, tmp_path):
+        points = run_parallel_bench(
+            n=2_000, replicates=48, seed=1, scale=0.02, jobs=2
+        )
+        out = tmp_path / "bench.json"
+        write_json([], str(out), seed=1, scale=0.02, parallel=points)
+        payload = json.loads(out.read_text())
+        section = payload["parallel"]
+        assert len(section["points"]) == 4
+        assert set(section["speedup"]) == {"lockstep", "frontier"}
+        for cell in section["points"]:
+            assert cell["seconds"] >= 0
+            assert cell["work"] > 0
+
+    def test_json_payload_records_section_wall_clock(self, tmp_path):
+        # Satellite: every section that ran reports its wall-clock cost
+        # and the payload totals them.
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "--smoke",
+                "--sections",
+                "parallel",
+                "--parallel-n",
+                "2000",
+                "--parallel-reps",
+                "48",
+                "--parallel-jobs",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["section_seconds"]) == {"parallel"}
+        assert payload["section_seconds"]["parallel"] > 0
+        assert payload["total_seconds"] == pytest.approx(
+            sum(payload["section_seconds"].values())
+        )
+
+    def test_floor_gate_skips_below_core_floor(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setattr("os.cpu_count", lambda: PARALLEL_MIN_CORES - 1)
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "--smoke",
+                "--sections",
+                "parallel",
+                "--parallel-n",
+                "2000",
+                "--parallel-reps",
+                "48",
+                "--parallel-jobs",
+                "2",
+                "--parallel-floor",
+                "1000.0",
+                "--out",
+                str(out),
+            ]
+        )
+        # An absurd floor cannot fail the run on a small host: the
+        # gate is reported but skipped below the core floor.
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_floor_gate_enforced_at_or_above_core_floor(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setattr("os.cpu_count", lambda: PARALLEL_MIN_CORES)
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "--smoke",
+                "--sections",
+                "parallel",
+                "--parallel-n",
+                "2000",
+                "--parallel-reps",
+                "48",
+                "--parallel-jobs",
+                "2",
+                "--parallel-floor",
+                "0.0001",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "parallel floor check" in capsys.readouterr().out

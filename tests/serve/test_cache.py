@@ -1,8 +1,38 @@
 """Tests for the content-addressed artifact cache."""
 
+from concurrent.futures import ProcessPoolExecutor
+
 import pytest
 
 from repro.serve.cache import ArtifactCache
+
+_RACE_KEY = "ab" * 32
+_RACE_ROUNDS = 40
+
+
+def _race_writer(args):
+    """One racing process: hammer the same fingerprint with its payload."""
+    root, tag = args
+    cache = ArtifactCache(root)
+    # Big enough that a non-atomic write would be observably torn.
+    payload = {"tag": tag, "blob": list(range(20_000))}
+    for _ in range(_RACE_ROUNDS):
+        cache.put("results", _RACE_KEY, payload)
+    return tag
+
+
+def _race_reader(root):
+    """Poll the racing key; every observation must be a whole artifact."""
+    seen = set()
+    for _ in range(_RACE_ROUNDS * 5):
+        # A fresh instance per poll, so every read goes to disk rather
+        # than being served from the promoted memory copy.
+        value = ArtifactCache(root).get("results", _RACE_KEY)
+        if value is None:
+            continue  # not yet written - a miss, never an error
+        assert value["blob"] == list(range(20_000)), "torn pickle read"
+        seen.add(value["tag"])
+    return seen
 
 
 class TestRoundTrip:
@@ -107,3 +137,32 @@ class TestEviction:
         for i in range(8):
             cache.put("tables", f"{i:064d}", i)
         assert len(list(tmp_path.rglob("*.pkl"))) == 8
+
+
+class TestConcurrentWriters:
+    def test_racing_processes_never_tear_or_fail(self, tmp_path):
+        """Two processes hammering one fingerprint: both succeed, the
+        surviving artifact is one writer's whole payload (atomic
+        last-wins via ``os.replace``), and a concurrent reader never
+        observes a torn pickle - only misses or complete values."""
+        root = str(tmp_path)
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            reader = pool.submit(_race_reader, root)
+            writers = [
+                pool.submit(_race_writer, (root, tag))
+                for tag in ("left", "right")
+            ]
+            assert sorted(w.result(timeout=300) for w in writers) == [
+                "left",
+                "right",
+            ]
+            seen = reader.result(timeout=300)
+        assert seen <= {"left", "right"}
+        # Last-wins: exactly one whole artifact remains on disk, and it
+        # belongs to one of the racers.
+        final = ArtifactCache(root).get("results", _RACE_KEY)
+        assert final["tag"] in {"left", "right"}
+        assert final["blob"] == list(range(20_000))
+        assert len(list(tmp_path.rglob("*.pkl"))) == 1
+        # No temp-file debris survives the race.
+        assert not list(tmp_path.rglob("*.tmp"))

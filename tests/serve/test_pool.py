@@ -153,12 +153,100 @@ class TestCrashRecovery:
             assert served.results == fresh_ensemble(spec).results
 
 
+class TestZeroCopyTransport:
+    def test_lockstep_job_takes_the_shm_path(self, pool):
+        from repro.engine.parallel import shm_available
+
+        if not shm_available()[0]:
+            pytest.skip("POSIX shared memory unavailable")
+        spec = make_spec(seeds=(90, 91, 92))
+        handle = pool.submit(spec)
+        assert handle._shm is not None
+        lease = handle._shm[0]
+        served = handle.result(timeout=120)
+        # Results carry the transport provenance and are still
+        # bit-identical to a fresh serial run (stats never compare).
+        stats = served.results[0].stats
+        assert stats.shards >= 1
+        assert stats.shm_bytes > 0
+        assert served.results == fresh_ensemble(spec).results
+        # The blocks are torn down as soon as the job is assembled.
+        assert lease.released
+        assert lease not in pool._leases
+
+    def test_non_lockstep_backend_skips_shm(self, pool):
+        handle = pool.submit(make_spec(backend="fast", seeds=(93, 94)))
+        assert handle._shm is None
+        handle.result(timeout=120)
+
+    def test_unread_job_after_shutdown_raises(self):
+        from repro.engine.parallel import shm_available
+
+        if not shm_available()[0]:
+            pytest.skip("POSIX shared memory unavailable")
+        pool = ServePool(max_workers=1)
+        pool.warm()
+        handle = pool.submit(make_spec(seeds=(95, 96)))
+        while not handle.progress().done:
+            time.sleep(0.01)
+        pool.shutdown()
+        with pytest.raises(ServeError, match="released"):
+            handle.result(timeout=120)
+
+    def test_shm_unavailable_warns_once_and_serves_pickled(
+        self, monkeypatch
+    ):
+        from repro.engine import parallel
+        from repro.errors import BackendFallbackWarning
+
+        monkeypatch.setattr(
+            parallel, "_SHM_PROBE", (False, "forced by test")
+        )
+        with ServePool(max_workers=1) as pool:
+            pool.warm()
+            spec = make_spec(seeds=(97, 98))
+            with pytest.warns(BackendFallbackWarning, match="forced by test"):
+                handle = pool.submit(spec)
+            assert handle._shm is None
+            served = handle.result(timeout=120)
+            assert served.results == fresh_ensemble(spec).results
+            # The warning fires once per pool, not once per job.
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                second = pool.submit(make_spec(seeds=(99,)))
+            second.result(timeout=120)
+
+
 class TestLifecycle:
     def test_shutdown_rejects_new_jobs(self):
         pool = ServePool(max_workers=1)
         pool.shutdown()
         with pytest.raises(ServeError):
             pool.submit(make_spec())
+
+    def test_shutdown_is_idempotent(self):
+        pool = ServePool(max_workers=1)
+        pool.warm()
+        pool.submit(make_spec(seeds=(72,))).result(timeout=120)
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op, not an error
+        pool.shutdown(wait=False)
+
+    def test_shutdown_after_context_exit_is_a_noop(self):
+        with ServePool(max_workers=1) as pool:
+            pool.submit(make_spec(seeds=(73,))).result(timeout=120)
+        pool.shutdown()
+
+    def test_del_shuts_down_silently(self):
+        # __del__ may run at interpreter teardown with modules half
+        # gone; it must never raise, and must release pool resources.
+        pool = ServePool(max_workers=1)
+        root = pool.cache.root
+        pool.__del__()
+        assert not root.exists()
+        pool.__del__()  # and it is as idempotent as shutdown()
 
     def test_owned_cache_dir_removed_on_shutdown(self):
         pool = ServePool(max_workers=1)
